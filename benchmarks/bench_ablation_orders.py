@@ -1,0 +1,45 @@
+"""Ablation — item and transaction orders (Section 3.4).
+
+The paper: "it is usually most efficient to assign the item codes
+w.r.t. ascending frequency ... and to process the transactions in the
+order of increasing size"; the reverse transaction order makes the
+prefix tree large early and slows every later transaction down.
+"""
+
+import pytest
+
+from conftest import run_and_check
+
+SMIN = 10
+
+
+@pytest.mark.parametrize(
+    "transaction_order",
+    ("size-ascending", "size-descending", "identity", "random"),
+)
+def test_transaction_order(benchmark, yeast_db, transaction_order):
+    result = run_and_check(
+        benchmark,
+        yeast_db,
+        SMIN,
+        "ista",
+        "ablation-transaction-order",
+        transaction_order=transaction_order,
+    )
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize(
+    "item_order",
+    ("frequency-ascending", "frequency-descending", "identity"),
+)
+def test_item_order(benchmark, yeast_db, item_order):
+    result = run_and_check(
+        benchmark,
+        yeast_db,
+        SMIN,
+        "ista",
+        "ablation-item-order",
+        item_order=item_order,
+    )
+    assert len(result) > 0

@@ -1,0 +1,41 @@
+"""Ablation — the data-set regime decides the winner (Sections 1 and 5).
+
+On standard market-basket data (few items, very many transactions) the
+intersection approach is *not* competitive: "the more transactions
+there are, the more work an intersection approach has to do".  This
+bench shows the tables turning relative to the gene-expression
+exhibits.
+"""
+
+import pytest
+
+from conftest import run_and_check
+
+SMIN = 150
+
+ALGORITHMS = ("fpgrowth", "lcm", "eclat", "sam", "ista")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_market_basket_regime(benchmark, baskets_db, algorithm):
+    result = run_and_check(
+        benchmark, baskets_db, SMIN, algorithm, "ablation-regime"
+    )
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize(
+    "label, options",
+    [
+        ("pure-rows", {"switch_ratio": float("inf")}),
+        ("adaptive", {}),
+        ("pure-columns", {"switch_ratio": 0.0, "min_rows_to_switch": 1}),
+    ],
+)
+def test_cobbler_switch_policy(benchmark, thrombin_db, label, options):
+    """Cobbler's hand-over point, swept from pure Carpenter to pure
+    column enumeration on the thrombin workload."""
+    result = run_and_check(
+        benchmark, thrombin_db, 52, "cobbler", "ablation-cobbler", **options
+    )
+    assert len(result) > 0

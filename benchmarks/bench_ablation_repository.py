@@ -1,0 +1,45 @@
+"""Ablation — prefix tree repository vs flat structure.
+
+Two of the paper's claims about repositories:
+
+* IsTa's prefix tree vs the flat structure of Mielikäinen [14]
+  ("often exceeding a factor of 100" in C).  In Python the flat
+  repository rides on C-speed big-integer intersections, so wall-clock
+  is closer than in the paper — the *operation counts* (captured by the
+  harness runs) retain the paper's gap.
+* Carpenter's backward check: prefix-tree repository vs hash set.
+"""
+
+import pytest
+
+from conftest import run_and_check
+
+SMIN = 10
+
+
+@pytest.mark.parametrize(
+    "label, algorithm, options",
+    [
+        ("ista-prefix-tree", "ista", {}),
+        ("cumulative-flat", "cumulative-flat", {}),
+        ("cumulative-flat-pruned", "cumulative-flat", {"prune": True}),
+    ],
+)
+def test_repository_structure(benchmark, yeast_db, label, algorithm, options):
+    result = run_and_check(
+        benchmark, yeast_db, SMIN, algorithm, "ablation-repository", **options
+    )
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("repository_kind", ("prefix-tree", "hash"))
+def test_carpenter_repository_backend(benchmark, webview_db, repository_kind):
+    result = run_and_check(
+        benchmark,
+        webview_db,
+        4,
+        "carpenter-table",
+        "ablation-carpenter-repo",
+        repository_kind=repository_kind,
+    )
+    assert len(result) > 0

@@ -1,0 +1,25 @@
+"""Figure 5 — runtime on the yeast compendium workload.
+
+Paper: 300 transactions, close to 10000 items; below smin ≈ 20 the
+enumeration miners diverge while IsTa stays flat, and neither Carpenter
+variant can compete with IsTa.
+
+This pytest-benchmark file measures one representative support on a
+scaled workload (200 conditions x 3000 genes); the full sweep behind
+EXPERIMENTS.md comes from ``python benchmarks/run_figures.py`` or
+``python -m repro.cli bench fig5-yeast``.
+"""
+
+import pytest
+
+from conftest import run_and_check
+
+SMIN = 10
+
+ALGORITHMS = ("ista", "carpenter-table", "carpenter-lists", "fpgrowth", "lcm", "eclat")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_yeast(benchmark, yeast_db, algorithm):
+    result = run_and_check(benchmark, yeast_db, SMIN, algorithm, "fig5-yeast")
+    assert len(result) > 0

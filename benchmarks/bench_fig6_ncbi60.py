@@ -1,0 +1,20 @@
+"""Figure 6 — runtime on the NCBI60 cell-line panel workload.
+
+Paper: only the intersection miners appear (FP-close and LCM3 crashed
+on this data); table-based Carpenter and IsTa run on par, the
+list-based variant is slower by a roughly constant factor.
+"""
+
+import pytest
+
+from conftest import run_and_check
+
+SMIN = 52
+
+ALGORITHMS = ("ista", "carpenter-table", "carpenter-lists")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig6_ncbi60(benchmark, ncbi60_db, algorithm):
+    result = run_and_check(benchmark, ncbi60_db, SMIN, algorithm, "fig6-ncbi60")
+    assert len(result) > 0

@@ -1,0 +1,28 @@
+"""Figure 7 — runtime on the thrombin subset workload.
+
+Paper: 64 records over 139,351 binary features; LCM3 and FP-close are
+competitive only down to smin ≈ 32-34; below, the intersection miners
+take over, with table-based Carpenter and IsTa roughly on par.
+"""
+
+import pytest
+
+from conftest import run_and_check
+
+SMIN = 44
+
+ALGORITHMS = ("ista", "fpgrowth", "lcm")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig7_thrombin(benchmark, thrombin_db, algorithm):
+    result = run_and_check(benchmark, thrombin_db, SMIN, algorithm, "fig7-thrombin")
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("algorithm", ("carpenter-table", "carpenter-lists"))
+def test_fig7_thrombin_carpenter(benchmark, thrombin_db, algorithm):
+    """Carpenter at the top of the sweep (it truncates below, as in the
+    full-figure run where its curves end early)."""
+    result = run_and_check(benchmark, thrombin_db, 52, algorithm, "fig7-thrombin")
+    assert len(result) > 0

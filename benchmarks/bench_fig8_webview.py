@@ -1,0 +1,20 @@
+"""Figure 8 — runtime on the transposed BMS-WebView-1 workload.
+
+Paper: behaves like the yeast data — FP-growth and LCM competitive only
+down to smin ≈ 11; IsTa clearly outperforms both Carpenter variants,
+with table-based slightly ahead of list-based.
+"""
+
+import pytest
+
+from conftest import run_and_check
+
+SMIN = 4
+
+ALGORITHMS = ("ista", "carpenter-table", "carpenter-lists", "fpgrowth", "lcm")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig8_webview(benchmark, webview_db, algorithm):
+    result = run_and_check(benchmark, webview_db, SMIN, algorithm, "fig8-webview")
+    assert len(result) > 0

@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one exhibit of the paper (see
+DESIGN.md section 4).  The pytest-benchmark runs use workload sizes
+that keep the whole suite in the minutes range; the *full* paper-scale
+sweeps — the ones EXPERIMENTS.md reports — are produced by::
+
+    python benchmarks/run_figures.py            # all figures
+    python -m repro.cli bench fig5-yeast        # one figure
+
+Every benchmark asserts the mined closed-set count against the other
+algorithms of the same exhibit, so a timing run is also a correctness
+cross-check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.datasets import (
+    ncbi60_like,
+    quest_baskets,
+    thrombin_like,
+    webview_transposed,
+    yeast_compendium,
+)
+from repro.mining import mine
+
+# Closed-set counts observed for each (fixture, smin); every benchmark
+# checks its own result against this shared record so that all
+# algorithms of one exhibit provably mined the same family.
+_observed: Dict[Tuple[str, int], int] = {}
+
+
+@pytest.fixture(scope="session")
+def yeast_db():
+    """Scaled yeast compendium (Figure 5 workload)."""
+    return yeast_compendium(n_genes=3000, n_conditions=200)
+
+
+@pytest.fixture(scope="session")
+def ncbi60_db():
+    """NCBI60-shaped cell-line panel (Figure 6 workload)."""
+    return ncbi60_like()
+
+
+@pytest.fixture(scope="session")
+def thrombin_db():
+    """Thrombin-shaped sparse feature data (Figure 7 workload)."""
+    return thrombin_like(n_features=2600)
+
+
+@pytest.fixture(scope="session")
+def webview_db():
+    """Transposed click-stream data (Figure 8 workload)."""
+    return webview_transposed()
+
+
+@pytest.fixture(scope="session")
+def baskets_db():
+    """Market-basket data (regime ablation)."""
+    return quest_baskets(n_transactions=1500, n_items=80)
+
+
+def run_and_check(benchmark, db, smin, algorithm, dataset_key, **options):
+    """Benchmark one miner and cross-check its result size."""
+    result = benchmark.pedantic(
+        mine, args=(db, smin), kwargs={"algorithm": algorithm, **options},
+        rounds=1, iterations=1,
+    )
+    key = (dataset_key, smin)
+    previous = _observed.setdefault(key, len(result))
+    assert len(result) == previous, (
+        f"{algorithm} found {len(result)} closed sets on {dataset_key} at "
+        f"smin={smin}, but another algorithm found {previous}"
+    )
+    return result

@@ -1,0 +1,67 @@
+"""repro — closed frequent item set mining by intersecting transactions.
+
+A complete reproduction of C. Borgelt, X. Yang, R. Nogales-Cadenas,
+P. Carmona-Saez, A. Pascual-Montano: "Finding Closed Frequent Item Sets
+by Intersecting Transactions", EDBT 2011.
+
+Quick start::
+
+    from repro import TransactionDatabase, mine
+
+    db = TransactionDatabase.from_iterable([
+        ["a", "b", "c"], ["a", "d", "e"], ["b", "c", "d"],
+    ])
+    result = mine(db, smin=2, algorithm="ista")
+    for items, support in result.labeled():
+        print(items, support)
+
+The flagship algorithms are ``"ista"`` (the paper's cumulative prefix
+tree scheme), ``"carpenter-lists"`` and ``"carpenter-table"``; the
+enumeration baselines ``"fpgrowth"``, ``"lcm"``, ``"eclat"`` and
+``"apriori"`` are included for comparison, exactly as in the paper's
+evaluation.  See :mod:`repro.datasets` for the gene-expression-style
+workload generators and :mod:`repro.bench` for the figure harness.
+"""
+
+from .analysis import profile_database, profile_family
+from .closure.lattice import ConceptLattice
+from .core.incremental import IncrementalMiner
+from .data.arff import read_arff, write_arff
+from .data.database import TransactionDatabase
+from .data.io import parse_fimi, read_fimi, write_fimi
+from .mining import (
+    ALGORITHMS,
+    ENUMERATION_ALGORITHMS,
+    INTERSECTION_ALGORITHMS,
+    choose_algorithm,
+    mine,
+)
+from .result import MiningResult
+from .rules import AssociationRule, generate_rules, support_of
+from .stats import OperationCounters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TransactionDatabase",
+    "MiningResult",
+    "OperationCounters",
+    "IncrementalMiner",
+    "mine",
+    "choose_algorithm",
+    "ALGORITHMS",
+    "INTERSECTION_ALGORITHMS",
+    "ENUMERATION_ALGORITHMS",
+    "AssociationRule",
+    "generate_rules",
+    "support_of",
+    "ConceptLattice",
+    "profile_database",
+    "profile_family",
+    "parse_fimi",
+    "read_fimi",
+    "write_fimi",
+    "read_arff",
+    "write_arff",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Benchmark harness: sweeps, figure specs, paper-style reporting."""
+
+from .figures import FIGURES, FigureSpec, PAPER_ALGORITHMS, run_figure
+from .harness import Measurement, SweepResult, run_sweep
+
+__all__ = [
+    "FIGURES",
+    "FigureSpec",
+    "PAPER_ALGORITHMS",
+    "run_figure",
+    "Measurement",
+    "SweepResult",
+    "run_sweep",
+]

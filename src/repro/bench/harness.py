@@ -1,0 +1,245 @@
+"""Benchmark harness: support sweeps in the style of the paper's figures.
+
+Each figure of the paper plots ``log10(time in seconds)`` against the
+minimum support for a fixed data set and a fixed algorithm line-up.
+:func:`run_sweep` reproduces that measurement: for every support value
+and algorithm it times the mining call, captures the operation counters
+(the language-independent work measure), and records the number of
+closed sets found.  An algorithm that exceeds ``time_limit`` at some
+support is not run at lower supports — the same early-stopping the
+paper applied to the [14] implementation ("we terminated the run").
+
+:func:`SweepResult.format_table` prints the paper-style series.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..closure.verify import check_closed_family
+from ..data.database import TransactionDatabase
+from ..mining import mine
+from ..stats import OperationCounters
+
+__all__ = ["Measurement", "SweepResult", "run_sweep"]
+
+
+@dataclass
+class Measurement:
+    """One (algorithm, smin) cell of a sweep."""
+
+    algorithm: str
+    smin: int
+    seconds: float
+    n_closed: int
+    counters: Dict[str, int]
+    skipped: bool = False
+
+    @property
+    def log_seconds(self) -> float:
+        """``log10`` of the runtime — the paper's vertical axis."""
+        return math.log10(self.seconds) if self.seconds > 0 else float("-inf")
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep, indexed ``[algorithm][smin]``."""
+
+    dataset: str
+    smin_values: List[int]
+    algorithms: List[str]
+    cells: Dict[Tuple[str, int], Measurement] = field(default_factory=dict)
+
+    def get(self, algorithm: str, smin: int) -> Optional[Measurement]:
+        return self.cells.get((algorithm, smin))
+
+    def series(self, algorithm: str) -> List[Optional[float]]:
+        """Runtime series of one algorithm over the sweep (None = skipped)."""
+        out = []
+        for smin in self.smin_values:
+            cell = self.get(algorithm, smin)
+            out.append(None if cell is None or cell.skipped else cell.seconds)
+        return out
+
+    def winner(self, smin: int) -> Optional[str]:
+        """Fastest algorithm at one support value."""
+        best_name, best_time = None, None
+        for algorithm in self.algorithms:
+            cell = self.get(algorithm, smin)
+            if cell is None or cell.skipped:
+                continue
+            if best_time is None or cell.seconds < best_time:
+                best_name, best_time = algorithm, cell.seconds
+        return best_name
+
+    def crossover(self, left: str, right: str) -> Optional[int]:
+        """Largest smin at which ``left`` is strictly faster than ``right``.
+
+        The paper's figures are all about where the intersection miners
+        start beating the enumeration miners as support drops; this
+        pinpoints that support value (``None`` if ``left`` never wins).
+        """
+        for smin in sorted(self.smin_values, reverse=True):
+            a, b = self.get(left, smin), self.get(right, smin)
+            if a is None or a.skipped:
+                continue
+            if b is None or b.skipped or a.seconds < b.seconds:
+                return smin
+        return None
+
+    def format_table(self, value: str = "seconds") -> str:
+        """Paper-style table: rows = smin, columns = algorithms.
+
+        ``value`` is ``"seconds"``, ``"log"`` (the figures' axis),
+        ``"closed"`` (result sizes) or any counter name.
+        """
+        header = ["smin"] + list(self.algorithms)
+        rows: List[List[str]] = []
+        for smin in self.smin_values:
+            row = [str(smin)]
+            for algorithm in self.algorithms:
+                cell = self.get(algorithm, smin)
+                if cell is None or cell.skipped:
+                    row.append("--")
+                elif value == "seconds":
+                    row.append(f"{cell.seconds:.4f}")
+                elif value == "log":
+                    row.append(f"{cell.log_seconds:+.2f}")
+                elif value == "closed":
+                    row.append(str(cell.n_closed))
+                else:
+                    row.append(str(cell.counters.get(value, 0)))
+            rows.append(row)
+        widths = [
+            max(len(header[col]), *(len(row[col]) for row in rows)) if rows else len(header[col])
+            for col in range(len(header))
+        ]
+        lines = [
+            "  ".join(title.rjust(width) for title, width in zip(header, widths)),
+            "  ".join("-" * width for width in widths),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _cell_worker(connection, db, smin, algorithm, options) -> None:
+    """Subprocess body for one hard-limited measurement."""
+    counters = OperationCounters()
+    start = time.perf_counter()
+    mined = mine(db, smin, algorithm=algorithm, counters=counters, **options)
+    elapsed = time.perf_counter() - start
+    connection.send((elapsed, len(mined), counters.as_dict()))
+    connection.close()
+
+
+def _measure_cell(
+    db: TransactionDatabase,
+    smin: int,
+    algorithm: str,
+    options: dict,
+    repeats: int,
+    hard_limit: Optional[float],
+) -> Optional[Tuple[float, int, Dict[str, int]]]:
+    """One measurement, optionally isolated in a killable subprocess.
+
+    Returns ``None`` when the hard limit struck (the cell is then
+    recorded as skipped, like the runs the paper had to terminate).
+    """
+    if hard_limit is None:
+        best = None
+        for _ in range(repeats):
+            counters = OperationCounters()
+            start = time.perf_counter()
+            mined = mine(db, smin, algorithm=algorithm, counters=counters, **options)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[0]:
+                best = (elapsed, len(mined), counters.as_dict())
+        return best
+    context = multiprocessing.get_context("fork")
+    best = None
+    for _ in range(repeats):
+        receiver, sender = context.Pipe(duplex=False)
+        worker = context.Process(
+            target=_cell_worker, args=(sender, db, smin, algorithm, options)
+        )
+        worker.start()
+        sender.close()
+        if receiver.poll(hard_limit):
+            measurement = receiver.recv()
+            worker.join()
+            if best is None or measurement[0] < best[0]:
+                best = measurement
+        else:
+            worker.terminate()
+            worker.join()
+            receiver.close()
+            return None
+        receiver.close()
+    return best
+
+
+def run_sweep(
+    db: TransactionDatabase,
+    smin_values: Sequence[int],
+    algorithms: Sequence[str],
+    dataset: str = "",
+    repeats: int = 1,
+    time_limit: Optional[float] = None,
+    verify: bool = False,
+    algorithm_options: Optional[Dict[str, dict]] = None,
+    hard_limit_factor: float = 5.0,
+) -> SweepResult:
+    """Time every algorithm at every support value.
+
+    ``smin_values`` are swept from high to low support (the paper's
+    direction of increasing difficulty).  An algorithm whose cell
+    exceeds ``time_limit`` is not run at lower supports, and each cell
+    is additionally hard-killed (in a subprocess) after
+    ``time_limit * hard_limit_factor`` seconds — the equivalent of the
+    paper terminating the runs that did not finish "in reasonable
+    time".  ``verify=True`` additionally checks every result against
+    the brute-force oracle (tiny databases only, incompatible with the
+    subprocess isolation so it runs in-process).  ``algorithm_options``
+    maps algorithm names to extra keyword options for
+    :func:`repro.mining.mine`.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    options = algorithm_options or {}
+    ordered = sorted(set(int(s) for s in smin_values), reverse=True)
+    result = SweepResult(dataset, ordered, list(algorithms))
+    hard_limit = None
+    if time_limit is not None and not verify:
+        hard_limit = max(time_limit * hard_limit_factor, time_limit + 30.0)
+    dead = set()
+    for smin in ordered:
+        for algorithm in algorithms:
+            if algorithm in dead:
+                result.cells[(algorithm, smin)] = Measurement(
+                    algorithm, smin, float("inf"), 0, {}, skipped=True
+                )
+                continue
+            measurement = _measure_cell(
+                db, smin, algorithm, options.get(algorithm, {}), repeats, hard_limit
+            )
+            if measurement is None:
+                result.cells[(algorithm, smin)] = Measurement(
+                    algorithm, smin, float("inf"), 0, {}, skipped=True
+                )
+                dead.add(algorithm)
+                continue
+            seconds, n_closed, counter_dict = measurement
+            if verify:
+                mined = mine(db, smin, algorithm=algorithm, **options.get(algorithm, {}))
+                check_closed_family(db, mined, smin)
+            result.cells[(algorithm, smin)] = Measurement(
+                algorithm, smin, seconds, n_closed, counter_dict
+            )
+            if time_limit is not None and seconds > time_limit:
+                dead.add(algorithm)
+    return result

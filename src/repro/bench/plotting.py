@@ -1,0 +1,114 @@
+"""Terminal rendering of sweep results as the paper's figures.
+
+The paper's Figures 5-8 plot ``log10(time/seconds)`` against the
+minimum support, one line per algorithm.  :func:`render_figure` draws
+the same chart with Unicode characters so the benchmark harness and the
+CLI can show the curve *shapes* — which is what the reproduction is
+about — directly in a terminal or a Markdown code block.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .harness import SweepResult
+
+__all__ = ["render_figure", "MARKERS"]
+
+#: Plot markers, assigned to algorithms in line-up order.
+MARKERS = "ox+*#@%&"
+
+
+def render_figure(
+    sweep: SweepResult,
+    width: int = 64,
+    height: int = 18,
+    value_floor: float = 1e-3,
+) -> str:
+    """Render a sweep as a log-time-vs-support character chart.
+
+    The horizontal axis is the minimum support (descending to the
+    right, as difficulty increases), the vertical axis is
+    ``log10(seconds)``.  Cells that were skipped (past the time limit)
+    simply end their line, exactly like the truncated curves in the
+    paper's figures.
+    """
+    if width < 16 or height < 6:
+        raise ValueError("chart needs at least 16x6 characters")
+    points: Dict[str, List[Tuple[int, float]]] = {}
+    for algorithm in sweep.algorithms:
+        series = []
+        for smin in sweep.smin_values:
+            cell = sweep.get(algorithm, smin)
+            if cell is None or cell.skipped:
+                continue
+            series.append((smin, math.log10(max(cell.seconds, value_floor))))
+        if series:
+            points[algorithm] = series
+    if not points:
+        return "(no measurements)"
+
+    lows = [value for series in points.values() for _, value in series]
+    y_min = math.floor(min(lows))
+    y_max = math.ceil(max(lows))
+    if y_max == y_min:
+        y_max = y_min + 1
+    smin_values = sweep.smin_values  # descending
+    x_of = {smin: index for index, smin in enumerate(smin_values)}
+    x_span = max(len(smin_values) - 1, 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for rank, (algorithm, series) in enumerate(points.items()):
+        marker = MARKERS[rank % len(MARKERS)]
+        previous: Optional[Tuple[int, int]] = None
+        for smin, value in series:
+            x = round(x_of[smin] / x_span * (width - 1))
+            y = round((value - y_min) / (y_max - y_min) * (height - 1))
+            row = height - 1 - y
+            grid[row][x] = marker
+            if previous is not None:
+                _draw_segment(grid, previous, (x, row), marker)
+            previous = (x, row)
+
+    axis_width = 6
+    lines = []
+    for row_index, row in enumerate(grid):
+        value = y_max - (y_max - y_min) * row_index / (height - 1)
+        label = f"{value:+.1f} " if row_index % 3 == 0 else " " * 5
+        lines.append(label.rjust(axis_width) + "|" + "".join(row))
+    lines.append(" " * axis_width + "+" + "-" * width)
+    tick_line = [" "] * width
+    tick_labels = " " * (axis_width + 1)
+    for smin in smin_values:
+        x = round(x_of[smin] / x_span * (width - 1))
+        tick_line[x] = "|"
+    lines.append(" " * axis_width + " " + "".join(tick_line))
+    label_row = [" "] * (width + axis_width + 1)
+    for smin in smin_values:
+        x = axis_width + 1 + round(x_of[smin] / x_span * (width - 1))
+        text = str(smin)
+        for offset, char in enumerate(text):
+            position = x + offset
+            if position < len(label_row):
+                label_row[position] = char
+    lines.append("".join(label_row))
+    legend = "  ".join(
+        f"{MARKERS[rank % len(MARKERS)]}={algorithm}"
+        for rank, algorithm in enumerate(points)
+    )
+    lines.append("")
+    lines.append(" " * axis_width + f"smin ->   log10(t/s) vs minimum support")
+    lines.append(" " * axis_width + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end, marker) -> None:
+    """Sparse linear interpolation between two plotted points."""
+    (x0, row0), (x1, row1) = start, end
+    steps = max(abs(x1 - x0), abs(row1 - row0))
+    for step in range(1, steps):
+        x = round(x0 + (x1 - x0) * step / steps)
+        row = round(row0 + (row1 - row0) * step / steps)
+        if grid[row][x] == " ":
+            grid[row][x] = "."

@@ -1,0 +1,15 @@
+"""The improved Carpenter algorithm: transaction set enumeration."""
+
+from .cobbler import mine_cobbler
+from .list_based import mine_carpenter_lists
+from .repository import HashRepository, PrefixTreeRepository, make_repository
+from .table_based import mine_carpenter_table
+
+__all__ = [
+    "mine_carpenter_lists",
+    "mine_carpenter_table",
+    "mine_cobbler",
+    "HashRepository",
+    "PrefixTreeRepository",
+    "make_repository",
+]

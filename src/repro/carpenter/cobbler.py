@@ -1,0 +1,193 @@
+"""Cobbler [16] — combining row and column enumeration.
+
+Carpenter enumerates *rows* (transaction sets); the classic miners
+enumerate *columns* (item sets).  Cobbler, by Pan et al. and cited by
+the paper as Carpenter's "closely related variant", switches between
+the two: it starts like Carpenter, and whenever the remaining
+sub-problem has become cheaper to solve by column enumeration — the
+conditional sub-table is taller than it is wide — it hands the
+sub-problem to a closed item set enumerator.
+
+Correctness of the hand-over (see ``tests/carpenter/test_cobbler.py``
+for the differential evidence):
+
+At a Carpenter state ``(I, K, l)`` the running intersection satisfies
+``I = ⋂_{k in K} t_k`` up to items removed by the elimination bound
+(which provably cannot appear in any frequent set of the subtree).
+A set ``S`` that is closed *within* the sub-database
+``{ t_j ∩ I : j >= l }`` with sub-cover ``C`` therefore satisfies
+``S = ⋂_{j in K ∪ C} t_j`` — it is closed with respect to exactly the
+transactions ``K ∪ C``.  It is closed in the *full* database with
+support ``|K| + |C|`` unless some earlier unused transaction also
+contains it, and in that case the include-before-exclude order
+guarantees the set was already reported, so the usual repository
+membership test filters it — the same backward check Carpenter itself
+uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..common import finalize, prepare_for_mining
+from ..data import itemset
+from ..data.database import TransactionDatabase
+from ..enumeration.closedness import ClosedSetStore
+from ..result import MiningResult
+from ..stats import OperationCounters
+from .repository import make_repository
+
+__all__ = ["mine_cobbler"]
+
+
+def mine_cobbler(
+    db: TransactionDatabase,
+    smin: int,
+    item_order: str = "frequency-ascending",
+    transaction_order: str = "size-ascending",
+    repository_kind: str = "hash",
+    switch_ratio: float = 1.0,
+    min_rows_to_switch: int = 8,
+    counters: Optional[OperationCounters] = None,
+) -> MiningResult:
+    """Mine all closed frequent item sets with Cobbler.
+
+    ``switch_ratio`` tunes the hand-over: the state switches to column
+    enumeration when ``remaining_rows > switch_ratio * |I|`` (more rows
+    left than the intersection is wide) and at least
+    ``min_rows_to_switch`` rows remain.  ``switch_ratio = inf``
+    degenerates to pure Carpenter; ``0`` switches immediately, i.e.
+    pure column enumeration.
+    """
+    if switch_ratio < 0:
+        raise ValueError(f"switch_ratio must be non-negative, got {switch_ratio}")
+    prepared, code_map = prepare_for_mining(
+        db, smin, item_order=item_order, transaction_order=transaction_order
+    )
+    if counters is None:
+        counters = OperationCounters()
+    transactions = prepared.transactions
+    n = len(transactions)
+    n_items = prepared.n_items
+    if n == 0 or smin > n:
+        return finalize((), code_map, db, "cobbler", smin)
+
+    repository = make_repository(repository_kind, n_items)
+    full = (1 << n_items) - 1
+    pairs: List[Tuple[int, int]] = []
+
+    stack: List[Tuple[int, int, int]] = [(full, 0, 0)]
+    while stack:
+        intersection, k, position = stack.pop()
+        if position >= n or k + (n - position) < smin:
+            continue
+        rows_left = n - position
+        width = itemset.size(intersection) if intersection != full else n_items
+        if (
+            rows_left >= min_rows_to_switch
+            and rows_left > switch_ratio * width
+        ):
+            _column_phase(
+                intersection, k, position, transactions, smin,
+                repository, pairs, counters,
+            )
+            continue
+
+        counters.recursion_calls += 1
+        counters.intersections += 1
+        candidate = intersection & transactions[position]
+        if candidate:
+            skip_exclude = candidate == intersection
+            if k + 1 >= smin and candidate not in repository:
+                counters.containment_checks += 1
+                if not any(
+                    candidate & ~t == 0 for t in transactions[position + 1 :]
+                ):
+                    pairs.append((candidate, k + 1))
+                    counters.reports += 1
+                    repository.add(candidate)
+            if position + 1 < n:
+                if not skip_exclude:
+                    stack.append((intersection, k, position + 1))
+                stack.append((candidate, k + 1, position + 1))
+        elif position + 1 < n:
+            stack.append((intersection, k, position + 1))
+
+    return finalize(pairs, code_map, db, "cobbler", smin)
+
+
+def _column_phase(
+    intersection: int,
+    k: int,
+    position: int,
+    transactions: List[int],
+    smin: int,
+    repository,
+    pairs: List[Tuple[int, int]],
+    counters: OperationCounters,
+) -> None:
+    """Solve one sub-problem by closed *item* enumeration (CHARM-style).
+
+    The sub-database holds ``t_j ∩ I`` for the remaining rows; closed
+    sets there with combined support ``|K| + sub-support >= smin`` are
+    closed overall unless the repository already contains them.
+    """
+    sub_rows = [t & intersection for t in transactions[position:]]
+    smin_sub = max(1, smin - k)
+
+    # Vertical view of the sub-database, restricted to frequent items.
+    tid_masks = {}
+    for row_index, row in enumerate(sub_rows):
+        bit = 1 << row_index
+        remaining = row
+        while remaining:
+            low = remaining & -remaining
+            item = low.bit_length() - 1
+            tid_masks[item] = tid_masks.get(item, 0) | bit
+            remaining ^= low
+    items = sorted(
+        (item, tids)
+        for item, tids in tid_masks.items()
+        if itemset.size(tids) >= smin_sub
+    )
+
+    store = ClosedSetStore(counters)
+    # No explicit sub-root seeding: the closure of the empty sub-set,
+    # when non-empty, consists of full-support items and is discovered
+    # as the perfect-extension closure of its lowest item's branch.
+    # (Seeding it up front would subsume that branch's own prefix and
+    # wrongly prune the subtree below it.)
+    frames: List[List] = [[0, items, 0]]
+    while frames:
+        frame = frames[-1]
+        current, extensions, index = frame
+        if index >= len(extensions):
+            frames.pop()
+            continue
+        frame[2] = index + 1
+        item, tids = extensions[index]
+        counters.recursion_calls += 1
+        support = itemset.size(tids)
+        candidate = current | (1 << item)
+        narrowed = []
+        for other, other_tids in extensions[index + 1 :]:
+            counters.intersections += 1
+            joint = tids & other_tids
+            if joint == tids:
+                candidate |= 1 << other
+            elif itemset.size(joint) >= smin_sub:
+                narrowed.append((other, joint))
+        counters.containment_checks += 1
+        if store.subsumed(candidate, support):
+            continue
+        store.add(candidate, support)
+        if narrowed:
+            frames.append([candidate, narrowed, 0])
+
+    for mask, sub_support in store.pairs():
+        total = k + sub_support
+        if total >= smin and mask not in repository:
+            counters.containment_checks += 1
+            pairs.append((mask, total))
+            counters.reports += 1
+            repository.add(mask)

@@ -1,0 +1,140 @@
+"""Closed-set repositories for the Carpenter backward check.
+
+Carpenter must decide, for a candidate intersection ``I1`` reached at
+transaction index ``l`` with used set ``K``, whether some *earlier*
+transaction ``t_j`` (``j < l``, ``j not in K``) contains ``I1``.
+Because the include-branch is always solved before the exclude-branch,
+that is the case exactly when ``I1`` was already reported — so the check
+is a membership test in a repository of reported sets (Section 3.1.1).
+
+The paper lays the repository out as a prefix tree whose top level is a
+flat array over all items (many items, densely populated top level).
+We provide that structure and a plain hash-set alternative, so the
+design choice can be ablated:
+
+* :class:`HashRepository` — a Python ``set`` of item set bitmasks;
+  constant-time membership through hashing.  (In C, hashing an item set
+  costs a pass over it, which is why the paper prefers the tree; in
+  Python the int hash is already cached machinery.)
+* :class:`PrefixTreeRepository` — the paper's structure: a trie over
+  item codes in descending order, top level indexed directly by item.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Protocol
+
+__all__ = ["Repository", "HashRepository", "PrefixTreeRepository", "make_repository"]
+
+
+class Repository(Protocol):
+    """What Carpenter needs from a repository."""
+
+    def add(self, mask: int) -> None:  # pragma: no cover - protocol
+        ...
+
+    def __contains__(self, mask: int) -> bool:  # pragma: no cover - protocol
+        ...
+
+    def __len__(self) -> int:  # pragma: no cover - protocol
+        ...
+
+
+class HashRepository:
+    """Hash-set repository of item set bitmasks."""
+
+    __slots__ = ("_sets",)
+
+    def __init__(self) -> None:
+        self._sets: set = set()
+
+    def add(self, mask: int) -> None:
+        self._sets.add(mask)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._sets
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._sets)
+
+
+class _TrieNode:
+    __slots__ = ("children", "terminal")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.terminal = False
+
+
+class PrefixTreeRepository:
+    """Trie repository over descending item codes (the paper's layout).
+
+    The top level is a flat array indexed by item code — the paper
+    stresses this because on gene-expression data the top level is
+    almost fully populated, so a flat array avoids walking a long
+    sibling list.  Deeper levels are sparse dicts (the paper likewise
+    found flat arrays unhelpful below the top level).
+    """
+
+    __slots__ = ("_top", "_n_items", "_size")
+
+    def __init__(self, n_items: int) -> None:
+        if n_items < 0:
+            raise ValueError(f"n_items must be non-negative, got {n_items}")
+        self._top: List[Optional[_TrieNode]] = [None] * n_items
+        self._n_items = n_items
+        self._size = 0
+
+    def add(self, mask: int) -> None:
+        if not mask:
+            raise ValueError("cannot store the empty item set")
+        items = _descending(mask)
+        first = next(items)
+        node = self._top[first]
+        if node is None:
+            node = _TrieNode()
+            self._top[first] = node
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _TrieNode()
+                node.children[item] = child
+            node = child
+        if not node.terminal:
+            node.terminal = True
+            self._size += 1
+
+    def __contains__(self, mask: int) -> bool:
+        if not mask:
+            return False
+        items = _descending(mask)
+        node = self._top[next(items)]
+        if node is None:
+            return False
+        for item in items:
+            node = node.children.get(item)
+            if node is None:
+                return False
+        return node.terminal
+
+    def __len__(self) -> int:
+        return self._size
+
+
+def make_repository(kind: str, n_items: int) -> Repository:
+    """Factory: ``"hash"`` or ``"prefix-tree"``."""
+    if kind == "hash":
+        return HashRepository()
+    if kind == "prefix-tree":
+        return PrefixTreeRepository(n_items)
+    raise ValueError(f"unknown repository kind {kind!r}; expected 'hash' or 'prefix-tree'")
+
+
+def _descending(mask: int) -> Iterator[int]:
+    while mask:
+        item = mask.bit_length() - 1
+        yield item
+        mask ^= 1 << item

@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-mine mine  FILE -s SMIN [-a ALGORITHM] [-t TARGET] [-o OUT]
+    repro-mine bench FIGURE [--scale S] [--repeats R] [--value log|seconds|closed]
+    repro-mine gen   DATASET -o OUT [--option key=value ...]
+
+``mine`` reads a FIMI-format transaction file and prints (or writes)
+the closed frequent item sets, one per line with the support in
+parentheses — the output convention of the original fim tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis import profile_database, profile_family
+from .bench.figures import FIGURES, run_figure
+from .bench.plotting import render_figure
+from .data.arff import read_arff, write_arff
+from .data.io import read_fimi, write_fimi
+from .datasets import DATASETS, load
+from .mining import ALGORITHMS, mine
+from .rules import generate_nonredundant_rules, generate_rules
+from .stats import OperationCounters
+
+
+def _read_any(path: str):
+    """Read a transaction file, dispatching on the extension."""
+    if str(path).lower().endswith(".arff"):
+        return read_arff(path)
+    return read_fimi(path)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Closed frequent item set mining by intersecting transactions "
+        "(IsTa / Carpenter, EDBT 2011 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    mine_parser = subparsers.add_parser("mine", help="mine a FIMI-format file")
+    mine_parser.add_argument("file", help="transaction file (FIMI format)")
+    mine_parser.add_argument(
+        "-s", "--smin", type=int, required=True, help="absolute minimum support"
+    )
+    mine_parser.add_argument(
+        "-a",
+        "--algorithm",
+        default="ista",
+        choices=sorted(ALGORITHMS),
+        help="mining algorithm (default: ista)",
+    )
+    mine_parser.add_argument(
+        "-t",
+        "--target",
+        default="closed",
+        choices=("all", "closed", "maximal"),
+        help="item set family to report (default: closed)",
+    )
+    mine_parser.add_argument("-o", "--output", help="write result here instead of stdout")
+    mine_parser.add_argument(
+        "--stats", action="store_true", help="print timing and operation counters"
+    )
+
+    bench_parser = subparsers.add_parser("bench", help="run a paper exhibit")
+    bench_parser.add_argument("figure", choices=sorted(FIGURES), help="exhibit name")
+    bench_parser.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    bench_parser.add_argument("--repeats", type=int, default=1, help="timing repeats")
+    bench_parser.add_argument(
+        "--value",
+        default="seconds",
+        help="table cells: seconds, log, closed, or a counter name",
+    )
+    bench_parser.add_argument(
+        "--time-limit", type=float, default=None, help="per-cell time limit in seconds"
+    )
+    bench_parser.add_argument(
+        "--plot", action="store_true", help="also draw the log-time chart"
+    )
+
+    gen_parser = subparsers.add_parser("gen", help="generate a synthetic data set")
+    gen_parser.add_argument("dataset", choices=sorted(DATASETS), help="generator name")
+    gen_parser.add_argument(
+        "-o", "--output", required=True,
+        help="output file (FIMI, or ARFF with an .arff extension)",
+    )
+    gen_parser.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="generator option, repeatable (int/float parsed automatically)",
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="profile a transaction file (shape, regime, family sizes)"
+    )
+    stats_parser.add_argument("file", help="transaction file (FIMI or ARFF)")
+    stats_parser.add_argument(
+        "-s", "--smin", type=int, default=None,
+        help="also mine at this support and profile the closed family",
+    )
+
+    rules_parser = subparsers.add_parser(
+        "rules", help="mine closed sets and derive association rules"
+    )
+    rules_parser.add_argument("file", help="transaction file (FIMI or ARFF)")
+    rules_parser.add_argument("-s", "--smin", type=int, required=True)
+    rules_parser.add_argument(
+        "-c", "--min-confidence", type=float, default=0.8, help="default 0.8"
+    )
+    rules_parser.add_argument(
+        "-a", "--algorithm", default="auto",
+        choices=sorted(ALGORITHMS) + ["auto"],
+    )
+    rules_parser.add_argument(
+        "--non-redundant",
+        action="store_true",
+        help="emit the min-max basis (minimal antecedents) instead of all rules",
+    )
+    return parser
+
+
+def _parse_options(pairs: List[str]) -> dict:
+    options = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --option {pair!r}: expected KEY=VALUE")
+        key, value = pair.split("=", 1)
+        try:
+            options[key] = int(value)
+        except ValueError:
+            try:
+                options[key] = float(value)
+            except ValueError:
+                options[key] = value
+    return options
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    db = _read_any(args.file)
+    counters = OperationCounters()
+    start = time.perf_counter()
+    result = mine(
+        db, args.smin, algorithm=args.algorithm, target=args.target, counters=counters
+    )
+    elapsed = time.perf_counter() - start
+    lines = result.to_lines()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+    else:
+        for line in lines:
+            print(line)
+    if args.stats:
+        print(
+            f"# {len(result)} item sets in {elapsed:.3f}s "
+            f"({db.n_transactions} transactions, {db.n_items} items)",
+            file=sys.stderr,
+        )
+        print(f"# counters: {counters.as_dict()}", file=sys.stderr)
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    sweep = run_figure(
+        args.figure,
+        scale=args.scale,
+        repeats=args.repeats,
+        time_limit=args.time_limit,
+    )
+    spec = FIGURES[args.figure]
+    print(f"# {spec.paper_exhibit}: {spec.description}")
+    print(f"# expected shape: {spec.expected_shape}")
+    print(sweep.format_table(args.value))
+    if args.plot:
+        print()
+        print(render_figure(sweep))
+    return 0
+
+
+def _command_gen(args: argparse.Namespace) -> int:
+    db = load(args.dataset, **_parse_options(args.option))
+    if args.output.lower().endswith(".arff"):
+        write_arff(db, args.output, relation=args.dataset)
+    else:
+        write_fimi(db, args.output)
+    print(
+        f"wrote {db.n_transactions} transactions over {db.n_items} items "
+        f"to {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    db = _read_any(args.file)
+    profile = profile_database(db)
+    print(profile.describe())
+    if args.smin is not None:
+        result = mine(db, args.smin, algorithm="auto")
+        family = profile_family(result)
+        print(
+            f"closed family at smin={args.smin}: {family.n_sets} sets, "
+            f"mean size {family.mean_size:.1f} (max {family.max_size}), "
+            f"mean support {family.mean_support:.1f} (max {family.max_support})"
+        )
+    return 0
+
+
+def _command_rules(args: argparse.Namespace) -> int:
+    db = _read_any(args.file)
+    closed = mine(db, args.smin, algorithm=args.algorithm)
+    if args.non_redundant:
+        rules = generate_nonredundant_rules(
+            db, closed, min_confidence=args.min_confidence
+        )
+    else:
+        rules = generate_rules(
+            closed, db.n_transactions, min_confidence=args.min_confidence
+        )
+    count = 0
+    for rule in rules:
+        print(rule.labeled(db.item_labels))
+        count += 1
+    print(f"# {count} rules from {len(closed)} closed sets", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (also installed as the ``repro-mine`` script)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "mine":
+        return _command_mine(args)
+    if args.command == "bench":
+        return _command_bench(args)
+    if args.command == "gen":
+        return _command_gen(args)
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "rules":
+        return _command_rules(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

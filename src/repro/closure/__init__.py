@@ -1,0 +1,28 @@
+"""Formal layer: Galois connection, closure operators, oracles, lattice."""
+
+from .galois import closure, cover, intersection_of, is_closed, tid_closure
+from .generators import all_minimal_generators, minimal_generators
+from .lattice import ConceptLattice
+from .verify import (
+    all_frequent_bruteforce,
+    check_closed_family,
+    closed_frequent_bruteforce,
+    maximal_frequent_bruteforce,
+    reconstruct_support,
+)
+
+__all__ = [
+    "closure",
+    "cover",
+    "intersection_of",
+    "is_closed",
+    "tid_closure",
+    "ConceptLattice",
+    "all_minimal_generators",
+    "minimal_generators",
+    "all_frequent_bruteforce",
+    "check_closed_family",
+    "closed_frequent_bruteforce",
+    "maximal_frequent_bruteforce",
+    "reconstruct_support",
+]

@@ -1,0 +1,117 @@
+"""The Galois connection behind intersection mining (Sections 2.4 / 2.5).
+
+Between the power set of the item base ``2^B`` and the power set of the
+transaction indices ``2^{0..n-1}`` the paper considers
+
+    ``f(I) = K_T(I)``  — the cover: indices of transactions containing I,
+    ``g(K) = \\bigcap_{k in K} t_k`` — the intersection of transactions.
+
+``(f, g)`` is a Galois connection, hence ``f∘g`` and ``g∘f`` are closure
+operators, and ``f`` restricted to the closed item sets is a bijection
+onto the closed tid sets.  Everything in this module is a direct, naive
+transcription of those definitions; it is the *ground truth* layer that
+the optimised miners are tested against.
+
+Item sets and tid sets are both bitmask integers (items over item codes,
+tid sets over transaction indices).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..data import itemset
+from ..data.database import TransactionDatabase
+
+__all__ = [
+    "cover",
+    "intersection_of",
+    "closure",
+    "tid_closure",
+    "is_closed",
+    "is_tid_closed",
+    "all_tids",
+    "item_base_mask",
+]
+
+
+def item_base_mask(db: TransactionDatabase) -> int:
+    """Bitmask of the full item base ``B``."""
+    return (1 << db.n_items) - 1
+
+
+def all_tids(db: TransactionDatabase) -> int:
+    """Bitmask of all transaction indices ``{0, ..., n-1}``."""
+    return (1 << db.n_transactions) - 1
+
+
+def cover(db: TransactionDatabase, items: int) -> int:
+    """``f(I) = K_T(I)``: tid mask of the transactions containing ``items``.
+
+    Implemented literally (containment test per transaction) rather than
+    through the cached vertical representation — this module is the
+    oracle and must not share machinery with the code it checks.
+    """
+    result = 0
+    for tid, transaction in enumerate(db.transactions):
+        if items & ~transaction == 0:
+            result |= 1 << tid
+    return result
+
+
+def intersection_of(db: TransactionDatabase, tids: int) -> int:
+    """``g(K)``: intersection of the transactions indexed by ``tids``.
+
+    ``g`` of the empty tid set is the full item base (the neutral
+    element of intersection), matching the Galois-connection convention.
+    """
+    result = item_base_mask(db)
+    remaining = tids
+    while remaining:
+        low = remaining & -remaining
+        result &= db.transactions[low.bit_length() - 1]
+        remaining ^= low
+    return result
+
+
+def closure(db: TransactionDatabase, items: int) -> int:
+    """The closure operator ``g∘f`` on item sets.
+
+    An item set whose cover is empty closes to the full item base.
+    """
+    return intersection_of(db, cover(db, items))
+
+
+def tid_closure(db: TransactionDatabase, tids: int) -> int:
+    """The closure operator ``f∘g`` on tid sets."""
+    return cover(db, intersection_of(db, tids))
+
+
+def is_closed(db: TransactionDatabase, items: int) -> bool:
+    """True iff ``items`` equals the intersection of its covering transactions.
+
+    Note: by this (Section 2.4) definition an item set with an empty
+    cover is closed only if it is the whole item base.
+    """
+    return closure(db, items) == items
+
+
+def is_tid_closed(db: TransactionDatabase, tids: int) -> bool:
+    """True iff ``tids`` is closed under ``f∘g``."""
+    return tid_closure(db, tids) == tids
+
+
+def closed_tid_sets(db: TransactionDatabase, min_size: int = 1) -> List[int]:
+    """All closed tid sets of size at least ``min_size`` (naive enumeration).
+
+    Exponential in the number of transactions — strictly for tests on
+    tiny databases, where it realises the Section 2.5 statement that the
+    closed frequent item sets are the images under ``g`` of the closed
+    tid sets of size >= smin.
+    """
+    n = db.n_transactions
+    found = []
+    for tids in range(1, 1 << n):
+        if itemset.size(tids) >= min_size and is_tid_closed(db, tids):
+            found.append(tids)
+    return found

@@ -1,0 +1,127 @@
+"""Minimal generators of closed item sets.
+
+A *generator* of a closed set ``C`` is any item set whose closure is
+``C``; a *minimal* generator has no proper subset with the same
+support.  Minimal generators are the left-hand sides of non-redundant
+association rules and the usual companion structure of a closed family
+(the pair (minimal generators, closed sets) is lossless like the closed
+family alone, but supports rule generation without re-scanning).
+
+The search uses the classic *free set* levelwise scheme: a set is free
+iff every proper subset has strictly larger support; free sets are
+downward closed, so candidates of level ``k`` are joins of free sets of
+level ``k-1``.  A free subset of ``C`` whose support equals ``C``'s is
+a minimal generator of ``C`` (its closure is ``C``), and extending it
+cannot yield further free sets — which is what keeps the search small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..data import itemset
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+
+__all__ = ["minimal_generators", "all_minimal_generators"]
+
+
+def minimal_generators(
+    db: TransactionDatabase,
+    closed_mask: int,
+    support: int,
+    max_generator_size: int = 8,
+) -> List[int]:
+    """Minimal generators of one closed set.
+
+    ``support`` is the (known) support of ``closed_mask``.  The search
+    stops at ``max_generator_size`` items (on realistic data minimal
+    generators are small); if the guard cuts the search before any
+    generator is found, the closed set itself is returned as the
+    (trivially correct) generator.
+    """
+    items = itemset.to_indices(closed_mask)
+    generators: List[int] = []
+
+    # Level 1: single items are always free.
+    free: Dict[int, int] = {}
+    cover_cache: Dict[int, int] = {}
+    for item in items:
+        mask = 1 << item
+        cover = db.cover(mask)
+        item_support = itemset.size(cover)
+        if item_support == support:
+            generators.append(mask)
+        else:
+            free[mask] = item_support
+            cover_cache[mask] = cover
+
+    level = 2
+    while free and level <= max_generator_size:
+        next_free: Dict[int, int] = {}
+        next_covers: Dict[int, int] = {}
+        masks = sorted(free)
+        for index, left in enumerate(masks):
+            for right in masks[index + 1 :]:
+                candidate = left | right
+                if itemset.size(candidate) != level or candidate in next_free:
+                    continue
+                # Freeness needs every (level-1)-subset free with larger
+                # support; checking the two parents is necessary but the
+                # rest must be checked too.
+                if not _subsets_are_free(candidate, free):
+                    continue
+                cover = cover_cache[left] & cover_cache[right]
+                candidate_support = itemset.size(cover)
+                if candidate_support == support:
+                    # Free + equal support: a minimal generator.
+                    generators.append(candidate)
+                elif candidate_support > support and _is_free(
+                    candidate, candidate_support, free
+                ):
+                    next_free[candidate] = candidate_support
+                    next_covers[candidate] = cover
+        free = next_free
+        cover_cache = next_covers
+        level += 1
+
+    if not generators:
+        return [closed_mask]
+    return generators
+
+
+def _subsets_are_free(candidate: int, free: Dict[int, int]) -> bool:
+    """All one-item-removed subsets must be free (downward closure)."""
+    remaining = candidate
+    while remaining:
+        low = remaining & -remaining
+        if candidate ^ low not in free:
+            return False
+        remaining ^= low
+    return True
+
+
+def _is_free(candidate: int, candidate_support: int, free: Dict[int, int]) -> bool:
+    """Strictly smaller support than every one-item-removed subset."""
+    remaining = candidate
+    while remaining:
+        low = remaining & -remaining
+        if free[candidate ^ low] == candidate_support:
+            return False
+        remaining ^= low
+    return True
+
+
+def all_minimal_generators(
+    db: TransactionDatabase,
+    closed: MiningResult,
+    max_generator_size: int = 8,
+) -> Dict[int, List[int]]:
+    """Minimal generators for every closed set of a family.
+
+    Returns ``{closed mask: [generator masks]}``.
+    """
+    return {
+        mask: minimal_generators(db, mask, support, max_generator_size)
+        for mask, support in closed.items()
+    }

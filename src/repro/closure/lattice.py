@@ -1,0 +1,174 @@
+"""The (iceberg) concept lattice over the closed frequent item sets.
+
+Section 2.5 of the paper identifies the closed item sets with the
+Galois-closed elements of the connection between items and
+transactions.  Those elements, ordered by set inclusion, form a
+complete lattice — the *concept lattice* of formal concept analysis;
+restricted to a minimum support it is the *iceberg* lattice.  This
+module materialises that structure from any mining result:
+
+* covering (Hasse) edges between closed sets,
+* meets and joins computed through the closure operator,
+* level iteration and DOT export for visualisation.
+
+The lattice view is what turns a flat list of closed sets into the
+navigable hierarchy gene-expression analysts actually browse
+(specific signatures at the bottom, broad modules at the top).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..data import itemset
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+from . import galois
+
+__all__ = ["ConceptLattice"]
+
+
+class ConceptLattice:
+    """Hasse structure over a closed frequent family.
+
+    Build it from a mining result plus the database the result was
+    mined from (the database is needed for closure computations in
+    :meth:`meet` and :meth:`join`).
+    """
+
+    def __init__(self, db: TransactionDatabase, closed: MiningResult) -> None:
+        self._db = db
+        self._closed = closed
+        self._parents: Dict[int, List[int]] = {}
+        self._children: Dict[int, List[int]] = {}
+        self._build()
+
+    @classmethod
+    def from_database(
+        cls, db: TransactionDatabase, smin: int, algorithm: str = "ista"
+    ) -> "ConceptLattice":
+        """Mine ``db`` and build the lattice in one step."""
+        from ..mining import mine
+
+        return cls(db, mine(db, smin, algorithm=algorithm))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        """Compute covering edges.
+
+        A concept's *parents* are its minimal proper closed supersets.
+        Concepts are processed by ascending size; for each concept the
+        candidate supersets are filtered to minimal ones.  Quadratic in
+        the family size with small constants — lattices are an analysis
+        tool, not a mining inner loop.
+        """
+        masks = sorted(self._closed, key=itemset.size)
+        for mask in masks:
+            self._parents[mask] = []
+            self._children[mask] = []
+        for index, mask in enumerate(masks):
+            supersets = [
+                other
+                for other in masks[index + 1 :]
+                if mask != other and mask & ~other == 0
+            ]
+            minimal: List[int] = []
+            for candidate in supersets:  # already ordered by ascending size
+                # candidate is a cover unless it contains a smaller cover
+                if not any(kept & ~candidate == 0 for kept in minimal):
+                    minimal.append(candidate)
+            self._parents[mask] = minimal
+            for parent in minimal:
+                self._children[parent].append(mask)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._closed)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._closed
+
+    def support(self, mask: int) -> int:
+        """Support of a concept."""
+        return self._closed[mask]
+
+    def parents(self, mask: int) -> List[int]:
+        """Minimal proper closed supersets (upper covers by inclusion)."""
+        return list(self._parents[mask])
+
+    def children(self, mask: int) -> List[int]:
+        """Maximal proper closed subsets within the family."""
+        return list(self._children[mask])
+
+    def roots(self) -> List[int]:
+        """Concepts with no closed subset in the family (most general)."""
+        return [mask for mask in self._closed if not self._children[mask]]
+
+    def leaves(self) -> List[int]:
+        """Concepts with no closed superset in the family (most specific);
+        exactly the maximal frequent sets."""
+        return [mask for mask in self._closed if not self._parents[mask]]
+
+    def hasse_edges(self) -> Iterator[Tuple[int, int]]:
+        """All covering edges as ``(subset, superset)`` pairs."""
+        for mask, parents in self._parents.items():
+            for parent in parents:
+                yield mask, parent
+
+    def iter_levels(self) -> Iterator[List[int]]:
+        """Concepts grouped by item count, ascending."""
+        by_size: Dict[int, List[int]] = {}
+        for mask in self._closed:
+            by_size.setdefault(itemset.size(mask), []).append(mask)
+        for size in sorted(by_size):
+            yield by_size[size]
+
+    # ------------------------------------------------------------------
+    # Lattice operations
+    # ------------------------------------------------------------------
+
+    def join(self, a: int, b: int) -> Optional[int]:
+        """Least closed superset of both, ``None`` if it fell below smin.
+
+        In the full lattice ``join(A, B) = closure(A ∪ B)``.
+        """
+        joined = galois.closure(self._db, a | b)
+        return joined if joined in self._closed else None
+
+    def meet(self, a: int, b: int) -> Optional[int]:
+        """Greatest closed subset of both, ``None`` if none is in the family.
+
+        In the full lattice ``meet(A, B) = closure(A ∩ B)`` (the closure
+        of an intersection of closed sets stays inside both).
+        """
+        met = galois.closure(self._db, a & b)
+        if met & ~a or met & ~b:
+            # a & b had empty cover and closed to something bigger.
+            return None
+        return met if met in self._closed else None
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dot(self, max_label_items: int = 4) -> str:
+        """Graphviz DOT text of the Hasse diagram (edges point upward
+        from more general to more specific concepts)."""
+        labels = self._closed.item_labels
+        lines = ["digraph iceberg {", "  rankdir=BT;", "  node [shape=box];"]
+        for mask, support in self._closed.items():
+            shown = itemset.canonical_tuple(mask, labels)
+            text = ", ".join(str(x) for x in shown[:max_label_items])
+            if len(shown) > max_label_items:
+                text += f", … (+{len(shown) - max_label_items})"
+            lines.append(f'  n{mask} [label="{text}\\nsupp={support}"];')
+        for child, parent in self.hasse_edges():
+            lines.append(f"  n{child} -> n{parent};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Reference oracles and consistency checks.
+
+These functions are deliberately naive (exponential) transcriptions of
+the definitions in Section 2 of the paper.  They serve as ground truth
+in the test-suite: every optimised miner is differentially tested
+against them on small random databases.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Optional
+
+from ..data import itemset
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+from . import galois
+
+__all__ = [
+    "closed_frequent_bruteforce",
+    "all_frequent_bruteforce",
+    "maximal_frequent_bruteforce",
+    "reconstruct_support",
+    "check_closed_family",
+]
+
+
+def closed_frequent_bruteforce(db: TransactionDatabase, smin: int) -> MiningResult:
+    """All closed frequent item sets by the Section 2.4 characterisation.
+
+    Forms the intersection of every ``k``-subset of transactions for
+    ``k = smin .. n``, removes duplicates, and keeps an intersection iff
+    its true support reaches ``smin`` and it is closed.  Exponential in
+    the number of transactions — tests only.
+    """
+    if smin < 1:
+        raise ValueError(f"smin must be at least 1, got {smin}")
+    n = db.n_transactions
+    candidates = set()
+    for k in range(smin, n + 1):
+        for subset in combinations(range(n), k):
+            intersection = db.transactions[subset[0]]
+            for tid in subset[1:]:
+                intersection &= db.transactions[tid]
+                if not intersection:
+                    break
+            if intersection:
+                candidates.add(intersection)
+    supports: Dict[int, int] = {}
+    for candidate in candidates:
+        support = itemset.size(galois.cover(db, candidate))
+        if support >= smin and galois.is_closed(db, candidate):
+            supports[candidate] = support
+    return MiningResult(supports, db.item_labels, "oracle-closed", smin)
+
+
+def all_frequent_bruteforce(
+    db: TransactionDatabase, smin: int, max_items: int = 20
+) -> MiningResult:
+    """All (non-empty) frequent item sets by direct subset enumeration.
+
+    Guarded by ``max_items`` because it enumerates ``2^|B|`` candidates.
+    """
+    if smin < 1:
+        raise ValueError(f"smin must be at least 1, got {smin}")
+    if db.n_items > max_items:
+        raise ValueError(
+            f"item base of size {db.n_items} exceeds the brute-force guard "
+            f"({max_items}); this oracle is for tiny databases only"
+        )
+    supports: Dict[int, int] = {}
+    for mask in range(1, 1 << db.n_items):
+        support = itemset.size(galois.cover(db, mask))
+        if support >= smin:
+            supports[mask] = support
+    return MiningResult(supports, db.item_labels, "oracle-all", smin)
+
+
+def maximal_frequent_bruteforce(db: TransactionDatabase, smin: int) -> MiningResult:
+    """All maximal frequent item sets (via the closed family)."""
+    return closed_frequent_bruteforce(db, smin).maximal()
+
+
+def reconstruct_support(closed: MiningResult, mask: int) -> Optional[int]:
+    """Support of an arbitrary item set from the closed family.
+
+    Section 2.3: the support of a frequent item set is the maximum of
+    the supports of the closed sets containing it.  Returns ``None``
+    when no closed superset exists (the set is not frequent at the
+    family's threshold).
+    """
+    best: Optional[int] = None
+    for closed_mask, support in closed.items():
+        if mask & ~closed_mask == 0 and (best is None or support > best):
+            best = support
+    return best
+
+
+def check_closed_family(db: TransactionDatabase, result: MiningResult, smin: int) -> None:
+    """Assert that ``result`` is exactly the closed frequent family of ``db``.
+
+    Raises :class:`AssertionError` with a descriptive message on the
+    first violation.  Used by integration tests and by the benchmark
+    harness's ``--verify`` mode.
+    """
+    for mask, support in result.items():
+        true_support = itemset.size(galois.cover(db, mask))
+        if support != true_support:
+            raise AssertionError(
+                f"item set {itemset.to_indices(mask)}: reported support "
+                f"{support}, true support {true_support}"
+            )
+        if support < smin:
+            raise AssertionError(
+                f"item set {itemset.to_indices(mask)} reported with support "
+                f"{support} below smin={smin}"
+            )
+        if not galois.is_closed(db, mask):
+            raise AssertionError(
+                f"item set {itemset.to_indices(mask)} is not closed "
+                f"(closure is {itemset.to_indices(galois.closure(db, mask))})"
+            )
+    expected = closed_frequent_bruteforce(db, smin)
+    missing = [m for m in expected if m not in result]
+    if missing:
+        raise AssertionError(
+            f"{len(missing)} closed frequent item sets missing, e.g. "
+            f"{itemset.to_indices(missing[0])}"
+        )

@@ -1,0 +1,109 @@
+"""Shared plumbing for all miners: preprocessing and result finalisation.
+
+Every miner performs the same first pass the paper describes ("this is
+done by virtually all frequent item set mining algorithms anyway"):
+
+1. count item frequencies,
+2. drop items that cannot reach the minimum support,
+3. assign item codes in the requested order (ascending frequency by
+   default, Section 3.4),
+4. reorder transactions (increasing size by default, Section 3.4),
+5. drop empty transactions ("no empty transactions are ever kept").
+
+Dropping globally infrequent items never changes the closed frequent
+family: a closed frequent set cannot contain an infrequent item, and
+any item in the closure of a frequent set is at least as frequent as
+the set itself (see ``tests/integration/test_preprocessing.py``).
+
+Mining happens in the prepared coding; :func:`finalize` translates the
+result masks back to the caller's original item codes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Tuple
+
+from .data import itemset
+from .data.database import TransactionDatabase
+from .data.recode import reorder_transactions
+from .result import MiningResult
+
+__all__ = ["PreparedDatabase", "prepare_for_mining", "translate_mask", "finalize"]
+
+
+class PreparedDatabase(NamedTuple):
+    """A recoded database plus the map back to the original item codes."""
+
+    db: TransactionDatabase
+    code_map: List[int]  # prepared code -> original code
+
+
+def prepare_for_mining(
+    db: TransactionDatabase,
+    smin: int,
+    item_order: str = "frequency-ascending",
+    transaction_order: str = "size-ascending",
+    seed: int = 0,
+) -> PreparedDatabase:
+    """Apply the standard first pass; see module docstring."""
+    if smin < 1:
+        raise ValueError(f"smin must be at least 1, got {smin}")
+    supports = db.item_supports()
+    kept = [code for code in range(db.n_items) if supports[code] >= smin]
+    if item_order == "frequency-ascending":
+        kept.sort(key=lambda code: (supports[code], code))
+    elif item_order == "frequency-descending":
+        kept.sort(key=lambda code: (-supports[code], code))
+    elif item_order == "identity":
+        pass
+    elif item_order == "random":
+        import random
+
+        random.Random(seed).shuffle(kept)
+    else:
+        raise ValueError(f"unknown item order {item_order!r}")
+
+    new_code = {old: new for new, old in enumerate(kept)}
+    keep_mask = itemset.from_indices(kept)
+    masks = []
+    for transaction in db.transactions:
+        reduced = transaction & keep_mask
+        if not reduced:
+            continue
+        mask = 0
+        remaining = reduced
+        while remaining:
+            low = remaining & -remaining
+            mask |= 1 << new_code[low.bit_length() - 1]
+            remaining ^= low
+        masks.append(mask)
+    labels = [db.item_labels[old] for old in kept]
+    prepared = TransactionDatabase(masks, len(kept), labels)
+    prepared = reorder_transactions(prepared, transaction_order, seed)
+    return PreparedDatabase(prepared, kept)
+
+
+def translate_mask(mask: int, code_map: List[int]) -> int:
+    """Map a prepared-coding item set back to original item codes."""
+    result = 0
+    while mask:
+        low = mask & -mask
+        result |= 1 << code_map[low.bit_length() - 1]
+        mask ^= low
+    return result
+
+
+def finalize(
+    pairs: Iterable[Tuple[int, int]],
+    code_map: List[int],
+    original: TransactionDatabase,
+    algorithm: str,
+    smin: int,
+) -> MiningResult:
+    """Translate prepared-coding ``(mask, support)`` pairs into a result."""
+    return MiningResult.from_pairs(
+        ((translate_mask(mask, code_map), support) for mask, support in pairs),
+        original.item_labels,
+        algorithm,
+        smin,
+    )

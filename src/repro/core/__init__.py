@@ -1,0 +1,14 @@
+"""The paper's primary contribution: cumulative intersection mining."""
+
+from .cumulative import mine_cumulative
+from .incremental import IncrementalMiner
+from .ista import mine_ista
+from .prefix_tree import PrefixTree, PrefixTreeNode
+
+__all__ = [
+    "mine_cumulative",
+    "mine_ista",
+    "IncrementalMiner",
+    "PrefixTree",
+    "PrefixTreeNode",
+]

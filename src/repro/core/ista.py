@@ -1,0 +1,169 @@
+"""IsTa — Intersecting Transactions (Sections 3.2 / 3.3 of the paper).
+
+The cumulative intersection scheme: a prefix-tree repository holds the
+closed item sets of the processed part of the database; each new
+transaction is inserted and intersected with the whole repository in
+one combined pass (:class:`repro.core.prefix_tree.PrefixTree`).
+
+Beyond the plain scheme this implements the paper's two refinements:
+
+* **Item/transaction ordering** (Section 3.4): items are coded by
+  ascending frequency, transactions processed by increasing size, which
+  keeps the repository small while the early transactions stream by.
+* **Item elimination pruning** (Section 3.2): occurrence counters of
+  the *unprocessed* transactions decay as mining progresses; a
+  repository set with support ``x`` whose items include one with fewer
+  than ``smin - x`` remaining occurrences can never become frequent, so
+  the deficient items are removed from it ("we do not simply remove the
+  item set, but selectively remove items from it").  On the prefix tree
+  the removal is a splice: the deficient node disappears and its
+  children merge into its parent (taking the support maximum on
+  collisions, which stays a lower bound of the true support — the
+  reduced set either re-emerges as an intersection of enough
+  transactions, and then carries its exact support, or it dies at the
+  threshold, exactly as the paper argues).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common import finalize, prepare_for_mining
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+from ..stats import OperationCounters
+from .prefix_tree import PrefixTree, PrefixTreeNode
+
+__all__ = ["mine_ista"]
+
+
+def mine_ista(
+    db: TransactionDatabase,
+    smin: int,
+    item_order: str = "frequency-ascending",
+    transaction_order: str = "size-ascending",
+    prune: bool = True,
+    prune_interval: int = 4,
+    counters: Optional[OperationCounters] = None,
+) -> MiningResult:
+    """Mine all closed frequent item sets with the IsTa algorithm.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    smin:
+        Absolute minimum support (at least 1).
+    item_order, transaction_order:
+        Preprocessing orders, see :mod:`repro.data.recode`.
+    prune:
+        Enable item elimination pruning (on by default, as in the
+        paper's implementation).
+    prune_interval:
+        Run a repository pruning pass every this many transactions.
+    counters:
+        Optional :class:`~repro.stats.OperationCounters` to fill in.
+
+    Returns
+    -------
+    MiningResult
+        All closed frequent item sets with their exact supports, in the
+        original item coding of ``db``.
+    """
+    prepared, code_map = prepare_for_mining(
+        db, smin, item_order=item_order, transaction_order=transaction_order
+    )
+    tree = PrefixTree(counters)
+    transactions = prepared.transactions
+    n = len(transactions)
+
+    if not prune:
+        for transaction in transactions:
+            tree.add_transaction(transaction)
+        return finalize(tree.report(smin), code_map, db, "ista", smin)
+
+    # Remaining-occurrence counters over the unprocessed suffix.
+    remaining = [0] * prepared.n_items
+    for transaction in transactions:
+        mask = transaction
+        while mask:
+            low = mask & -mask
+            remaining[low.bit_length() - 1] += 1
+            mask ^= low
+
+    if prune_interval < 1:
+        raise ValueError(f"prune_interval must be positive, got {prune_interval}")
+    for index, transaction in enumerate(transactions):
+        tree.add_transaction(transaction)
+        mask = transaction
+        while mask:
+            low = mask & -mask
+            remaining[low.bit_length() - 1] -= 1
+            mask ^= low
+        if (index + 1) % prune_interval == 0 and index + 1 < n:
+            _prune_tree(tree, remaining, smin)
+    return finalize(tree.report(smin), code_map, db, "ista", smin)
+
+
+def _prune_tree(tree: PrefixTree, remaining: List[int], smin: int) -> None:
+    """One pruning pass: splice out nodes whose item cannot keep the set alive.
+
+    A node with support ``x`` whose own item ``i`` satisfies
+    ``x + remaining[i] < smin`` heads a subtree in which every set
+    contains ``i`` with even lower support, so none of those sets can
+    become frequent *with* ``i``.  The node is spliced out: its children
+    merge into its parent (support maximum on collisions).  The maximum
+    keeps the crucial witness property: if one of the merged nodes
+    carried the exact support of a set, the merged node still does,
+    which is what guarantees that closed sets re-emerging from later
+    intersections obtain their exact supports (see the module
+    docstring and ``tests/core/test_ista.py``).
+    """
+    counters = tree.counters
+    stack = [tree._root]
+    while stack:
+        parent = stack.pop()
+        # Splice deficient children until none remain.  Spliced-in
+        # grandchildren can themselves be deficient, hence the fixpoint
+        # loop rather than a single sweep.
+        changed = True
+        while changed:
+            changed = False
+            for item, child in list(parent.children.items()):
+                if child.supp + remaining[item] >= smin:
+                    continue
+                counters.items_eliminated += 1
+                del parent.children[item]
+                tree._n_nodes -= 1
+                for grandchild in child.children.values():
+                    existing = parent.children.get(grandchild.item)
+                    if existing is None:
+                        parent.children[grandchild.item] = grandchild
+                    else:
+                        _merge_nodes(existing, grandchild, tree)
+                changed = True
+        stack.extend(parent.children.values())
+
+
+def _merge_nodes(target: PrefixTreeNode, source: PrefixTreeNode, tree: PrefixTree) -> None:
+    """Merge ``source`` into ``target`` (same item): supports max, children union.
+
+    Both nodes now represent the same reduced item set; each stored
+    support counts transactions that contained one of the original
+    supersets, so the maximum remains a lower bound of the reduced
+    set's true support.  Iterative, because subtrees can be as deep as
+    the longest transaction.
+    """
+    stack = [(target, source)]
+    while stack:
+        into, from_ = stack.pop()
+        tree._n_nodes -= 1
+        if from_.supp > into.supp:
+            into.supp = from_.supp
+            into.step = from_.step
+        for grandchild in from_.children.values():
+            existing = into.children.get(grandchild.item)
+            if existing is None:
+                into.children[grandchild.item] = grandchild
+            else:
+                stack.append((existing, grandchild))

@@ -1,0 +1,255 @@
+"""The IsTa repository prefix tree (Figures 1-4 of the paper).
+
+The tree stores the family of closed item sets of the already-processed
+part of the database.  A node holds the *last* (smallest) item of the
+set it represents; the full set is the path from the root.  Items along
+any root-to-leaf path are strictly decreasing, which is what makes the
+``imin`` pruning of the intersection procedure sound: once the current
+node's item is not larger than the smallest item of the transaction,
+nothing deeper or further along the sibling list can intersect.
+
+Differences from the C original (Figure 1/2), none of which change
+behaviour:
+
+* children are held in a dict keyed by item instead of an ordered
+  sibling list — Python dicts give O(1) find-or-insert, which plays the
+  role of the C code's ordered sibling scan;
+* the recursive ``isect`` stays recursive (it is the hot loop, and on
+  CPython 3.11+ Python-to-Python calls no longer consume C stack), with
+  the recursion limit raised to the longest-transaction bound as the
+  tree grows;
+* the ``step`` update flag works exactly as in Figure 2: it marks nodes
+  whose support was already raised by the current transaction so that
+  the maximum over all generating intersections is taken, without ever
+  having to clear flags.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..stats import OperationCounters
+
+__all__ = ["PrefixTreeNode", "PrefixTree"]
+
+
+class PrefixTreeNode:
+    """One prefix tree node: ``(step, item, supp, children)`` as in Figure 1."""
+
+    __slots__ = ("item", "supp", "step", "children")
+
+    def __init__(self, item: int, supp: int = 0, step: int = 0) -> None:
+        self.item = item
+        self.supp = supp
+        self.step = step
+        self.children: Dict[int, "PrefixTreeNode"] = {}
+
+    def __repr__(self) -> str:
+        return f"PrefixTreeNode(item={self.item}, supp={self.supp})"
+
+
+class PrefixTree:
+    """Prefix tree over item codes, with in-place intersection merging."""
+
+    def __init__(self, counters: Optional[OperationCounters] = None) -> None:
+        self._root = PrefixTreeNode(item=-1)
+        self._step = 0
+        self._n_nodes = 0
+        self._depth_bound = 0
+        self.counters = counters if counters is not None else OperationCounters()
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes excluding the root."""
+        return self._n_nodes
+
+    @property
+    def step(self) -> int:
+        """Index (1-based) of the last processed transaction."""
+        return self._step
+
+    def find(self, mask: int) -> Optional[PrefixTreeNode]:
+        """Node representing ``mask``, or ``None`` — items walked descending."""
+        node = self._root
+        for item in _descending_items(mask):
+            node = node.children.get(item)
+            if node is None:
+                return None
+        return node
+
+    # ------------------------------------------------------------------
+    # The cumulative update (recursive relation (1) + Figure 2)
+    # ------------------------------------------------------------------
+
+    def add_transaction(self, mask: int) -> None:
+        """Process one transaction: insert its path, then merge intersections.
+
+        Implements one step of the recursive relation
+        ``C(T ∪ {t}) = C(T) ∪ {t} ∪ { s ∩ t : s ∈ C(T) }`` with supports
+        maintained through the step-flagged maximum rule of Figure 2.
+        Empty transactions are ignored (no empty sets are ever kept).
+        """
+        self._step += 1
+        if not mask:
+            return
+        # The intersection recursion can go as deep as the longest
+        # root-to-leaf path, which is bounded by the largest transaction
+        # seen so far (intersections are never longer than that).
+        size = mask.bit_count() if hasattr(mask, "bit_count") else bin(mask).count("1")
+        if size > self._depth_bound:
+            self._depth_bound = size
+        if self._depth_bound + 200 > sys.getrecursionlimit():
+            sys.setrecursionlimit(self._depth_bound + 1200)
+        self._insert_path(mask)
+        self._intersect(mask)
+        self.counters.observe_repository_size(self._n_nodes)
+
+    def _insert_path(self, mask: int) -> None:
+        """Add the transaction itself to the tree; new nodes get support 0.
+
+        Support 0 is not a placeholder trick: the subsequent intersection
+        pass finds the path via its self-intersection and raises it."""
+        node = self._root
+        for item in _descending_items(mask):
+            child = node.children.get(item)
+            if child is None:
+                child = PrefixTreeNode(item)
+                node.children[item] = child
+                self._n_nodes += 1
+                self.counters.nodes_created += 1
+            node = child
+
+    def _intersect(self, mask: int) -> None:
+        """Figure 2: intersect every stored set with ``mask``, merge in place.
+
+        Recursive like the C original; Python 3.11+ makes deep Python
+        recursion safe once the recursion limit is raised (the caller's
+        responsibility, see :meth:`add_transaction`).
+
+        Mutation-safety note: a sibling family is only ever mutated
+        while it is the *insertion position* of some frame, and the
+        insertion chain consists exactly of the nodes whose whole path
+        lies inside ``mask``.  A source node coincides with its
+        insertion position only in the self-descend case (``target is
+        node``), so only the root family and self-descend families need
+        to be snapshotted — everything else iterates the live dict.
+        """
+        step = self._step
+        imin = (mask & -mask).bit_length() - 1
+        counters = self.counters
+        # Hot loop: operation counts are accumulated in a mutable cell
+        # and flushed once per transaction (per-node attribute
+        # increments would dominate the Python runtime).
+        stats = [0, 0, 0, 0]  # visits, intersections, created, updates
+
+        def isect(sources, target) -> None:
+            for node in sources:
+                item = node.item
+                stats[0] += 1
+                if item < imin:
+                    # Nothing in this subtree can contribute: all items
+                    # below are < imin, hence not in mask.
+                    continue
+                if mask >> item & 1:
+                    # Item in the intersection: find or create the node
+                    # for the extended set under the insertion position.
+                    stats[1] += 1
+                    existing = target.children.get(item)
+                    if existing is None:
+                        existing = PrefixTreeNode(item, node.supp + 1, step)
+                        target.children[item] = existing
+                        stats[2] += 1
+                    else:
+                        if existing.step == step:
+                            existing.supp -= 1
+                        if existing.supp < node.supp:
+                            existing.supp = node.supp
+                        existing.supp += 1
+                        existing.step = step
+                        stats[3] += 1
+                    if item > imin and node.children:
+                        if existing is node:
+                            isect(list(node.children.values()), existing)
+                        else:
+                            isect(node.children.values(), existing)
+                elif item > imin and node.children:
+                    # Item not in the transaction: descend with the
+                    # insertion position unchanged.
+                    isect(node.children.values(), target)
+
+        root = self._root
+        isect(list(root.children.values()), root)
+        self._n_nodes += stats[2]
+        counters.node_visits += stats[0]
+        counters.intersections += stats[1]
+        counters.nodes_created += stats[2]
+        counters.support_updates += stats[3]
+
+    # ------------------------------------------------------------------
+    # Reporting (Figure 4)
+    # ------------------------------------------------------------------
+
+    def report(self, smin: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``(item set mask, support)`` for the closed frequent sets.
+
+        A node is reported iff its support reaches ``smin`` and no child
+        has the same support (a child with equal support witnesses a
+        superset with equal support, i.e. non-closedness).  The empty
+        set (root) is never reported.
+        """
+        if smin < 1:
+            raise ValueError(f"smin must be at least 1, got {smin}")
+        counters = self.counters
+        # Frames: (node, mask-so-far). Post-order is not needed: a node's
+        # closedness depends only on its direct children's supports.
+        stack = [(child, 1 << child.item) for child in self._root.children.values()]
+        while stack:
+            node, mask = stack.pop()
+            counters.node_visits += 1
+            max_child_supp = 0
+            for child in node.children.values():
+                if child.supp > max_child_supp:
+                    max_child_supp = child.supp
+                stack.append((child, mask | (1 << child.item)))
+            if node.supp >= smin and node.supp > max_child_supp:
+                counters.reports += 1
+                yield mask, node.supp
+
+    # ------------------------------------------------------------------
+    # Introspection (used by the Figure 3 tests and debugging)
+    # ------------------------------------------------------------------
+
+    def as_nested_dict(self) -> Dict[int, Tuple[int, dict]]:
+        """Structure snapshot: ``{item: (supp, children-dict)}`` recursively."""
+
+        def convert(node: PrefixTreeNode) -> Dict[int, Tuple[int, dict]]:
+            return {
+                child.item: (child.supp, convert(child))
+                for child in node.children.values()
+            }
+
+        return convert(self._root)
+
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path."""
+        best = 0
+        stack = [(child, 1) for child in self._root.children.values()]
+        while stack:
+            node, level = stack.pop()
+            if level > best:
+                best = level
+            stack.extend((child, level + 1) for child in node.children.values())
+        return best
+
+
+def _descending_items(mask: int) -> Iterator[int]:
+    """Items of ``mask`` from highest to lowest code (tree path order)."""
+    while mask:
+        item = mask.bit_length() - 1
+        yield item
+        mask ^= 1 << item

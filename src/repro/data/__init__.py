@@ -1,0 +1,21 @@
+"""Data substrate: item sets, transaction databases, orders, IO, transforms."""
+
+from .database import TransactionDatabase
+from .io import parse_fimi, read_fimi, write_fimi
+from .matrix import build_matrix, example_database
+from .recode import prepare, recode_items, reorder_transactions
+from .transforms import expression_to_database, transpose
+
+__all__ = [
+    "TransactionDatabase",
+    "parse_fimi",
+    "read_fimi",
+    "write_fimi",
+    "build_matrix",
+    "example_database",
+    "prepare",
+    "recode_items",
+    "reorder_transactions",
+    "expression_to_database",
+    "transpose",
+]

@@ -1,0 +1,185 @@
+"""ARFF import/export for transaction databases.
+
+The original Carpenter implementation shipped as a Weka module (the
+GEMini package the paper tried to benchmark against), so Weka's ARFF is
+the natural interchange format for this problem domain.  Two common
+encodings of transaction data are supported:
+
+* **binary/nominal attributes** — one attribute per item with values
+  ``{0, 1}`` (or ``{false, true}``); a transaction contains the items
+  whose value is 1/true;
+* **sparse instances** — ``{index value, ...}`` rows, the usual choice
+  for large item bases.
+
+Only the subset of ARFF needed for these encodings is implemented;
+numeric non-binary attributes are rejected with a clear error rather
+than silently discretised (use :mod:`repro.data.transforms` for
+thresholding real-valued matrices).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from .database import TransactionDatabase
+
+__all__ = ["read_arff", "write_arff", "parse_arff", "format_arff"]
+
+PathOrFile = Union[str, Path, TextIO]
+
+_TRUE_VALUES = {"1", "true", "t", "yes", "y"}
+_FALSE_VALUES = {"0", "false", "f", "no", "n", "?"}
+
+
+def parse_arff(text: str) -> TransactionDatabase:
+    """Parse ARFF text into a transaction database."""
+    attribute_names: List[str] = []
+    transactions: List[List[str]] = []
+    in_data = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        lowered = line.lower()
+        if not in_data:
+            if lowered.startswith("@relation"):
+                continue
+            if lowered.startswith("@attribute"):
+                attribute_names.append(_parse_attribute(line, line_number))
+                continue
+            if lowered.startswith("@data"):
+                if not attribute_names:
+                    raise ValueError("@data before any @attribute")
+                in_data = True
+                continue
+            raise ValueError(f"line {line_number}: unexpected header line {line!r}")
+        transactions.append(_parse_instance(line, attribute_names, line_number))
+    if not in_data:
+        raise ValueError("no @data section found")
+    return TransactionDatabase.from_iterable(transactions, item_order=attribute_names)
+
+
+def _parse_attribute(line: str, line_number: int) -> str:
+    """Extract the name of a binary/nominal attribute declaration."""
+    body = line[len("@attribute"):].strip()
+    if body.startswith("'"):
+        end = body.index("'", 1)
+        name, rest = body[1:end], body[end + 1 :].strip()
+    elif body.startswith('"'):
+        end = body.index('"', 1)
+        name, rest = body[1:end], body[end + 1 :].strip()
+    else:
+        parts = body.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"line {line_number}: malformed @attribute")
+        name, rest = parts
+    rest_lower = rest.lower()
+    if rest_lower.startswith("{"):
+        values = {value.strip().strip("'\"").lower() for value in rest.strip("{}").split(",")}
+        if not values <= (_TRUE_VALUES | _FALSE_VALUES):
+            raise ValueError(
+                f"line {line_number}: attribute {name!r} is not binary "
+                f"(values {sorted(values)}); threshold real data first"
+            )
+    elif rest_lower not in ("numeric", "integer", "real"):
+        raise ValueError(
+            f"line {line_number}: unsupported attribute type {rest!r}"
+        )
+    return name
+
+
+def _parse_instance(
+    line: str, attribute_names: List[str], line_number: int
+) -> List[str]:
+    """One @data row -> list of contained item names."""
+    if line.startswith("{"):
+        if not line.endswith("}"):
+            raise ValueError(f"line {line_number}: unterminated sparse instance")
+        body = line[1:-1].strip()
+        items = []
+        if body:
+            for entry in body.split(","):
+                parts = entry.split()
+                if len(parts) != 2:
+                    raise ValueError(
+                        f"line {line_number}: malformed sparse entry {entry!r}"
+                    )
+                index = int(parts[0])
+                if not 0 <= index < len(attribute_names):
+                    raise ValueError(
+                        f"line {line_number}: attribute index {index} out of range"
+                    )
+                if parts[1].lower() in _TRUE_VALUES:
+                    items.append(attribute_names[index])
+        return items
+    values = [value.strip() for value in line.split(",")]
+    if len(values) != len(attribute_names):
+        raise ValueError(
+            f"line {line_number}: expected {len(attribute_names)} values, "
+            f"got {len(values)}"
+        )
+    items = []
+    for name, value in zip(attribute_names, values):
+        lowered = value.lower().strip("'\"")
+        if lowered in _TRUE_VALUES:
+            items.append(name)
+        elif lowered not in _FALSE_VALUES:
+            raise ValueError(
+                f"line {line_number}: non-binary value {value!r} for {name!r}"
+            )
+    return items
+
+
+def read_arff(source: PathOrFile) -> TransactionDatabase:
+    """Read an ARFF file (binary nominal or sparse encoding)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return parse_arff(handle.read())
+    return parse_arff(source.read())
+
+
+def format_arff(
+    db: TransactionDatabase,
+    relation: str = "transactions",
+    sparse: bool = True,
+) -> str:
+    """Serialise a database to ARFF text.
+
+    ``sparse=True`` (default) writes ``{index 1, ...}`` instances —
+    appropriate for the wide item bases this package targets.
+    """
+    lines = [f"@relation {relation}", ""]
+    for label in db.item_labels:
+        lines.append(f"@attribute '{label}' {{0, 1}}")
+    lines.append("")
+    lines.append("@data")
+    for mask in db.transactions:
+        if sparse:
+            entries = []
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                entries.append(f"{low.bit_length() - 1} 1")
+                remaining ^= low
+            lines.append("{" + ", ".join(entries) + "}")
+        else:
+            lines.append(
+                ",".join("1" if mask >> i & 1 else "0" for i in range(db.n_items))
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_arff(
+    db: TransactionDatabase,
+    target: PathOrFile,
+    relation: str = "transactions",
+    sparse: bool = True,
+) -> None:
+    """Write a database in ARFF format."""
+    text = format_arff(db, relation, sparse)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)

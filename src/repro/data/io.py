@@ -1,0 +1,159 @@
+"""Reading and writing transaction databases and expression matrices.
+
+Two on-disk formats are supported:
+
+* **FIMI format** — the plain-text format of the FIMI workshop
+  repository that the paper benchmarks against: one transaction per
+  line, items separated by whitespace.  Items may be arbitrary tokens;
+  purely numeric files round-trip as integers.
+* **Expression matrices** — tab-separated numeric matrices with a
+  header row of condition names and a leading column of gene names, the
+  shape of the Hughes et al. compendium the paper mines.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Hashable, List, Sequence, TextIO, Tuple, Union
+
+import numpy as np
+
+from .database import TransactionDatabase
+
+__all__ = [
+    "read_fimi",
+    "write_fimi",
+    "parse_fimi",
+    "format_fimi",
+    "read_expression_matrix",
+    "write_expression_matrix",
+]
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open_for_read(source: PathOrFile):
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="utf-8"), True
+    return source, False
+
+
+def _open_for_write(target: PathOrFile):
+    if isinstance(target, (str, Path)):
+        return open(target, "w", encoding="utf-8"), True
+    return target, False
+
+
+def parse_fimi(text: str) -> TransactionDatabase:
+    """Parse FIMI-format text into a database.
+
+    Blank lines are empty transactions (kept: the miners must cope with
+    them).  Tokens that all look like integers are converted to ``int``
+    labels so numeric files round-trip.
+
+    >>> db = parse_fimi("1 2 3\\n2 3\\n")
+    >>> db.n_transactions
+    2
+    """
+    return read_fimi(_io.StringIO(text))
+
+
+def read_fimi(source: PathOrFile) -> TransactionDatabase:
+    """Read a FIMI-format transaction file."""
+    handle, should_close = _open_for_read(source)
+    try:
+        rows: List[List[str]] = []
+        for line in handle:
+            stripped = line.strip()
+            rows.append(stripped.split() if stripped else [])
+    finally:
+        if should_close:
+            handle.close()
+    all_numeric = all(token.lstrip("-").isdigit() for row in rows for token in row)
+    if all_numeric:
+        typed_rows: List[List[Hashable]] = [[int(token) for token in row] for row in rows]
+        order = sorted({token for row in typed_rows for token in row})
+    else:
+        typed_rows = [list(row) for row in rows]
+        order = sorted({token for row in typed_rows for token in row}, key=str)
+    # Deduplicate within a transaction while keeping the bag semantics
+    # across transactions (a FIMI line is a set).
+    return TransactionDatabase.from_iterable(typed_rows, item_order=order)
+
+
+def format_fimi(db: TransactionDatabase) -> str:
+    """Serialise a database to FIMI text (items in code order per line)."""
+    lines = []
+    for transaction in db.transactions:
+        labels = db.decode(transaction)
+        lines.append(" ".join(str(label) for label in labels))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_fimi(db: TransactionDatabase, target: PathOrFile) -> None:
+    """Write a database in FIMI format."""
+    handle, should_close = _open_for_write(target)
+    try:
+        handle.write(format_fimi(db))
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_expression_matrix(
+    source: PathOrFile,
+) -> Tuple[np.ndarray, List[str], List[str]]:
+    """Read a tab-separated expression matrix.
+
+    Returns ``(values, gene_names, condition_names)`` where ``values``
+    has shape ``(n_genes, n_conditions)``.
+    """
+    handle, should_close = _open_for_read(source)
+    try:
+        header = handle.readline().rstrip("\n")
+        if not header:
+            raise ValueError("expression matrix file is empty")
+        condition_names = header.split("\t")[1:]
+        gene_names: List[str] = []
+        rows: List[List[float]] = []
+        for line_number, line in enumerate(handle, start=2):
+            stripped = line.rstrip("\n")
+            if not stripped:
+                continue
+            fields = stripped.split("\t")
+            if len(fields) != len(condition_names) + 1:
+                raise ValueError(
+                    f"line {line_number}: expected {len(condition_names) + 1} "
+                    f"fields, got {len(fields)}"
+                )
+            gene_names.append(fields[0])
+            rows.append([float(field) for field in fields[1:]])
+    finally:
+        if should_close:
+            handle.close()
+    values = np.array(rows, dtype=float) if rows else np.empty((0, len(condition_names)))
+    return values, gene_names, condition_names
+
+
+def write_expression_matrix(
+    values: np.ndarray,
+    gene_names: Sequence[str],
+    condition_names: Sequence[str],
+    target: PathOrFile,
+) -> None:
+    """Write an expression matrix in the format of :func:`read_expression_matrix`."""
+    values = np.asarray(values, dtype=float)
+    if values.shape != (len(gene_names), len(condition_names)):
+        raise ValueError(
+            f"matrix shape {values.shape} does not match "
+            f"{len(gene_names)} genes x {len(condition_names)} conditions"
+        )
+    handle, should_close = _open_for_write(target)
+    try:
+        handle.write("gene\t" + "\t".join(condition_names) + "\n")
+        for name, row in zip(gene_names, values):
+            handle.write(name + "\t" + "\t".join(f"{v:.6g}" for v in row) + "\n")
+    finally:
+        if should_close:
+            handle.close()

@@ -1,0 +1,124 @@
+"""Database and matrix transforms used to build the paper's workloads.
+
+* :func:`transpose` — swap the roles of items and transactions.  The
+  paper uses this twice: genes-as-transactions versus genes-as-items on
+  the expression data (Section 4), and the transposed BMS-WebView-1
+  click-stream data (Figure 8).
+* :func:`binarize_expression` — the ±0.2 log-expression discretisation
+  rule: values above the upper threshold become an "over-expressed"
+  item, values below the lower threshold an "under-expressed" item,
+  values in between produce nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .database import TransactionDatabase
+
+__all__ = [
+    "transpose",
+    "binarize_expression",
+    "expression_to_database",
+]
+
+
+def transpose(db: TransactionDatabase) -> TransactionDatabase:
+    """Exchange items and transactions.
+
+    Transaction ``k`` of the result contains item ``j`` iff transaction
+    ``j`` of the input contains item ``k``.  Labels of the new items are
+    the old transaction indices; labels of the old items become the
+    identity of the new transactions and are therefore dropped.
+
+    The operation is an involution up to labels:
+    ``transpose(transpose(db))`` has the same bitmask rows as ``db``.
+    """
+    # The vertical representation *is* the transposed horizontal one.
+    rows = db.vertical()
+    return TransactionDatabase(
+        list(rows), db.n_transactions, list(range(db.n_transactions))
+    )
+
+
+def binarize_expression(
+    values: np.ndarray,
+    upper: float = 0.2,
+    lower: float = -0.2,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply the paper's discretisation rule to a log-expression matrix.
+
+    Returns a pair of boolean matrices ``(over, under)`` of the same
+    shape as ``values``: ``over[g, c]`` is true iff gene ``g`` is
+    over-expressed under condition ``c`` (value > ``upper``), and
+    ``under[g, c]`` iff it is under-expressed (value < ``lower``).
+    """
+    if lower >= upper:
+        raise ValueError(f"lower threshold {lower} must be below upper {upper}")
+    values = np.asarray(values, dtype=float)
+    return values > upper, values < lower
+
+
+def expression_to_database(
+    values: np.ndarray,
+    gene_names: Sequence[str] = None,
+    condition_names: Sequence[str] = None,
+    upper: float = 0.2,
+    lower: float = -0.2,
+    orientation: str = "genes-as-transactions",
+) -> TransactionDatabase:
+    """Turn a log-expression matrix into a transaction database.
+
+    Two orientations, as in Section 4 of the paper:
+
+    * ``"genes-as-transactions"`` — each gene is a transaction; the
+      items are ``(condition, "+")`` / ``(condition, "-")`` pairs,
+      i.e. relationships among experimental conditions are mined.
+      (Many transactions, few items.)
+    * ``"conditions-as-transactions"`` — the transposed view: each
+      condition is a transaction over ``(gene, "+")`` / ``(gene, "-")``
+      items.  (Few transactions, very many items — the regime the
+      intersection algorithms target.)
+    """
+    values = np.asarray(values, dtype=float)
+    n_genes, n_conditions = values.shape
+    if gene_names is None:
+        gene_names = [f"g{i}" for i in range(n_genes)]
+    if condition_names is None:
+        condition_names = [f"c{j}" for j in range(n_conditions)]
+    if len(gene_names) != n_genes or len(condition_names) != n_conditions:
+        raise ValueError("name lists do not match the matrix shape")
+    over, under = binarize_expression(values, upper, lower)
+
+    if orientation == "genes-as-transactions":
+        labels: List[object] = [(name, "+") for name in condition_names]
+        labels += [(name, "-") for name in condition_names]
+        transactions = []
+        for g in range(n_genes):
+            row = []
+            for c in range(n_conditions):
+                if over[g, c]:
+                    row.append((condition_names[c], "+"))
+                elif under[g, c]:
+                    row.append((condition_names[c], "-"))
+            transactions.append(row)
+        return TransactionDatabase.from_iterable(transactions, item_order=labels)
+    if orientation == "conditions-as-transactions":
+        labels = [(name, "+") for name in gene_names]
+        labels += [(name, "-") for name in gene_names]
+        transactions = []
+        for c in range(n_conditions):
+            row = []
+            for g in range(n_genes):
+                if over[g, c]:
+                    row.append((gene_names[g], "+"))
+                elif under[g, c]:
+                    row.append((gene_names[g], "-"))
+            transactions.append(row)
+        return TransactionDatabase.from_iterable(transactions, item_order=labels)
+    raise ValueError(
+        f"unknown orientation {orientation!r}; expected 'genes-as-transactions' "
+        f"or 'conditions-as-transactions'"
+    )

@@ -1,0 +1,58 @@
+"""Workload generators mirroring the paper's four evaluation data sets.
+
+Every generator is deterministic given its ``seed`` and scales through
+explicit size parameters; :func:`load` provides a registry keyed by the
+names the paper's figures use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..data.database import TransactionDatabase
+from .basket import quest_baskets
+from .gene_expression import (
+    expression_database,
+    ncbi60_like,
+    synthetic_expression_matrix,
+    yeast_compendium,
+)
+from .thrombin import thrombin_like
+from .webview import webview_clicks, webview_transposed
+
+__all__ = [
+    "DATASETS",
+    "load",
+    "yeast_compendium",
+    "ncbi60_like",
+    "thrombin_like",
+    "webview_clicks",
+    "webview_transposed",
+    "quest_baskets",
+    "synthetic_expression_matrix",
+    "expression_database",
+]
+
+#: Registry of named workloads (the paper's figure data sets + the
+#: standard-benchmark regime used by the crossover ablation).
+DATASETS: Dict[str, Callable[..., TransactionDatabase]] = {
+    "yeast": yeast_compendium,
+    "ncbi60": ncbi60_like,
+    "thrombin": thrombin_like,
+    "webview-tpo": webview_transposed,
+    "webview": webview_clicks,
+    "baskets": quest_baskets,
+}
+
+
+def load(name: str, **options) -> TransactionDatabase:
+    """Instantiate a registered workload by name.
+
+    >>> db = load("ncbi60", n_genes=50, n_cell_lines=10)
+    >>> db.n_transactions
+    10
+    """
+    generator = DATASETS.get(name)
+    if generator is None:
+        raise ValueError(f"unknown data set {name!r}; available: {sorted(DATASETS)}")
+    return generator(**options)

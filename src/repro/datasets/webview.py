@@ -1,0 +1,94 @@
+"""BMS-WebView-1-shaped click-stream workload (Figure 8).
+
+BMS-WebView-1 (KDD Cup 2000) records click-stream sessions of a
+leg-care web shop: tens of thousands of short sessions over a few
+hundred product detail pages, with strongly skewed page popularity.
+The paper mines its *transpose* — pages as transactions, sessions as
+items — to obtain another "few transactions, very many items" data set.
+
+:func:`webview_clicks` generates the untransposed sessions (Zipfian
+page popularity, short geometric session lengths, plus a handful of
+popular navigation paths that make sessions overlap);
+:func:`webview_transposed` applies the same transpose operator the
+paper used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..data.database import TransactionDatabase
+from ..data.transforms import transpose
+
+__all__ = ["webview_clicks", "webview_transposed"]
+
+
+def webview_clicks(
+    n_sessions: int = 3000,
+    n_pages: int = 300,
+    mean_session_length: float = 2.5,
+    zipf_exponent: float = 1.0,
+    n_paths: int = 40,
+    path_length: int = 4,
+    seed: int = 3,
+) -> TransactionDatabase:
+    """Generate click-stream sessions.
+
+    Each session draws a geometric number of pages from a Zipfian
+    popularity distribution; with probability 1/3 it additionally
+    follows one of ``n_paths`` fixed navigation paths (consecutive page
+    groups browsed together), which is what creates the co-occurrence
+    structure the original data exhibits.
+    """
+    if n_sessions < 1 or n_pages < 1:
+        raise ValueError("n_sessions and n_pages must be positive")
+    if mean_session_length <= 0:
+        raise ValueError("mean_session_length must be positive")
+    rng = random.Random(seed)
+    weights = [(rank + 1.0) ** -zipf_exponent for rank in range(n_pages)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def draw_page() -> int:
+        u = rng.random()
+        low, high = 0, n_pages - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < u:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    paths = [
+        [rng.randrange(n_pages) for _ in range(path_length)] for _ in range(n_paths)
+    ]
+    stop_probability = 1.0 / mean_session_length
+    transactions: List[List[int]] = []
+    for _ in range(n_sessions):
+        pages = set()
+        while True:
+            pages.add(draw_page())
+            if rng.random() < stop_probability:
+                break
+        if paths and rng.random() < 1.0 / 3.0:
+            pages.update(paths[rng.randrange(n_paths)])
+        transactions.append(sorted(pages))
+    return TransactionDatabase.from_iterable(
+        transactions, item_order=list(range(n_pages))
+    )
+
+
+def webview_transposed(
+    n_sessions: int = 3000,
+    n_pages: int = 300,
+    seed: int = 3,
+    **options,
+) -> TransactionDatabase:
+    """The transposed click data of Figure 8: pages as transactions."""
+    return transpose(webview_clicks(n_sessions, n_pages, seed=seed, **options))

@@ -1,0 +1,16 @@
+"""Item set enumeration baselines: Apriori, Eclat, FP-growth, LCM."""
+
+from .apriori import mine_apriori
+from .eclat import mine_eclat
+from .fpgrowth import FPTree, mine_fpgrowth
+from .lcm import mine_lcm
+from .sam import mine_sam
+
+__all__ = [
+    "mine_apriori",
+    "mine_eclat",
+    "mine_fpgrowth",
+    "mine_lcm",
+    "mine_sam",
+    "FPTree",
+]

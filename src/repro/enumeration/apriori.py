@@ -1,0 +1,112 @@
+"""Apriori [2, 1] — breadth-first candidate generation and pruning.
+
+The original level-wise scheme: frequent ``k``-sets are joined into
+``(k+1)``-candidates, candidates with an infrequent ``k``-subset are
+pruned, and the survivors are counted against the database.  Support
+counting uses per-candidate tid-mask intersections (the "Apriori-TID"
+flavour), which keeps this reference implementation short and exact.
+
+Apriori is not part of the paper's benchmark line-up; it is included as
+the classic representative of the candidate-enumeration family the
+introduction contrasts with, and as a mid-size testing oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..common import finalize, prepare_for_mining
+from ..data import itemset
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+from ..stats import OperationCounters
+
+__all__ = ["mine_apriori"]
+
+
+def mine_apriori(
+    db: TransactionDatabase,
+    smin: int,
+    target: str = "all",
+    counters: Optional[OperationCounters] = None,
+) -> MiningResult:
+    """Mine frequent item sets level-wise.
+
+    ``target`` is ``"all"`` (default), ``"closed"`` or ``"maximal"``;
+    the latter two post-filter the full family, which is the textbook
+    (and expensive) way — the point of this miner is clarity, not speed.
+    """
+    if target not in ("all", "closed", "maximal"):
+        raise ValueError(f"unknown target {target!r}")
+    prepared, code_map = prepare_for_mining(
+        db, smin, item_order="identity", transaction_order="identity"
+    )
+    if counters is None:
+        counters = OperationCounters()
+
+    tid_masks = prepared.vertical()
+    level: Dict[int, int] = {}
+    for item in range(prepared.n_items):
+        tids = tid_masks[item]
+        support = itemset.size(tids)
+        if support >= smin:
+            level[1 << item] = tids
+
+    all_pairs: List[tuple] = []
+    while level:
+        for mask, tids in level.items():
+            all_pairs.append((mask, itemset.size(tids)))
+            counters.reports += 1
+        level = _next_level(level, smin, counters)
+
+    result = finalize(all_pairs, code_map, db, "apriori", smin)
+    if target == "closed":
+        result = _closed_filter(result)
+    elif target == "maximal":
+        result = result.maximal()
+        result.algorithm = "apriori-maximal"
+    return result
+
+
+def _next_level(level: Dict[int, int], smin: int, counters: OperationCounters) -> Dict[int, int]:
+    """Join step + prune step + counting for one Apriori level."""
+    masks = sorted(level)
+    size = itemset.size(masks[0]) if masks else 0
+    candidates: Dict[int, int] = {}
+    for i, left in enumerate(masks):
+        for right in masks[i + 1 :]:
+            counters.recursion_calls += 1
+            union = left | right
+            if itemset.size(union) != size + 1 or union in candidates:
+                continue
+            # Prune: every size-k subset must be frequent.
+            remaining = union
+            pruned = False
+            while remaining:
+                low = remaining & -remaining
+                counters.containment_checks += 1
+                if union ^ low not in level:
+                    pruned = True
+                    break
+                remaining ^= low
+            if pruned:
+                continue
+            counters.intersections += 1
+            tids = level[left] & level[right]
+            if itemset.size(tids) >= smin:
+                candidates[union] = tids
+    return candidates
+
+
+def _closed_filter(result: MiningResult) -> MiningResult:
+    """Keep sets with no proper superset of equal support (textbook filter)."""
+    by_support: Dict[int, List[int]] = {}
+    for mask, support in result.items():
+        by_support.setdefault(support, []).append(mask)
+    closed = {}
+    for mask, support in result.items():
+        bucket = by_support[support]
+        if not any(other != mask and mask & ~other == 0 for other in bucket):
+            closed[mask] = support
+    out = MiningResult(closed, result.item_labels, "apriori-closed", result.smin)
+    return out

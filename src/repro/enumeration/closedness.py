@@ -1,0 +1,61 @@
+"""Support-bucketed closed-set store for enumeration miners.
+
+Both FP-close and the closed variant of Eclat (the CHARM scheme) decide
+closedness through a subsumption check: a candidate set ``X`` with
+support ``s`` is *not* closed iff some already-found closed set with
+the same support contains it.  With the divide-and-conquer item order
+used by all enumeration miners here (branch items in ascending code
+order, extensions strictly above the branch item) the check is sound,
+because any closure item *below* the current branch was handled in an
+earlier, fully-explored branch, and any closure item *above* it is a
+perfect extension that the miners absorb into the candidate before the
+check (see ``repro/enumeration/eclat.py``).
+
+Buckets are keyed by support, so only sets of exactly the candidate's
+support are scanned — the same idea as the two-level CFI-tree index of
+FPclose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from ..stats import OperationCounters
+
+__all__ = ["ClosedSetStore"]
+
+
+class ClosedSetStore:
+    """Closed sets found so far, bucketed by support."""
+
+    __slots__ = ("_buckets", "counters")
+
+    def __init__(self, counters: OperationCounters) -> None:
+        self._buckets: Dict[int, List[int]] = {}
+        self.counters = counters
+
+    def subsumed(self, mask: int, support: int) -> bool:
+        """Is there a stored superset of ``mask`` with the same support?"""
+        bucket = self._buckets.get(support)
+        if not bucket:
+            return False
+        counters = self.counters
+        for stored in bucket:
+            counters.containment_checks += 1
+            if mask & ~stored == 0:
+                return True
+        return False
+
+    def add(self, mask: int, support: int) -> None:
+        """Store a set the caller has established to be closed."""
+        self._buckets.setdefault(support, []).append(mask)
+        self.counters.observe_repository_size(len(self))
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """All stored ``(mask, support)`` pairs."""
+        for support, bucket in self._buckets.items():
+            for mask in bucket:
+                yield mask, support

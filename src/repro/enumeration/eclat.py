@@ -1,0 +1,143 @@
+"""Eclat [22] — depth-first search on a vertical representation.
+
+The divide-and-conquer scheme of Section 2.2 of the paper, with the
+database held vertically: each item carries the bitmask of the indices
+of the transactions containing it, and extending a prefix by an item is
+one AND of tid masks.
+
+Three targets:
+
+* ``"all"`` — every frequent item set (plain recursion);
+* ``"closed"`` — the CHARM scheme: perfect extensions are absorbed
+  into the prefix, and a support-bucketed subsumption check against the
+  already-found closed sets prunes non-closed prefixes together with
+  their entire subtrees;
+* ``"maximal"`` — closed sets filtered to maximal ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..common import finalize, prepare_for_mining
+from ..data import itemset
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+from ..stats import OperationCounters
+from .closedness import ClosedSetStore
+
+__all__ = ["mine_eclat"]
+
+
+def mine_eclat(
+    db: TransactionDatabase,
+    smin: int,
+    target: str = "closed",
+    item_order: str = "frequency-ascending",
+    counters: Optional[OperationCounters] = None,
+) -> MiningResult:
+    """Mine frequent item sets with Eclat.
+
+    ``target`` is one of ``"all"``, ``"closed"``, ``"maximal"``.
+    """
+    if target not in ("all", "closed", "maximal"):
+        raise ValueError(f"unknown target {target!r}")
+    prepared, code_map = prepare_for_mining(
+        db, smin, item_order=item_order, transaction_order="identity"
+    )
+    if counters is None:
+        counters = OperationCounters()
+
+    tid_masks = prepared.vertical()
+    n_items = prepared.n_items
+    items = [
+        (code, tid_masks[code])
+        for code in range(n_items)
+        if itemset.size(tid_masks[code]) >= smin
+    ]
+
+    if target == "all":
+        pairs: List[Tuple[int, int]] = []
+        _mine_all(items, pairs, smin, counters)
+        result = finalize(pairs, code_map, db, "eclat", smin)
+    else:
+        store = ClosedSetStore(counters)
+        _mine_closed(items, store, smin, counters)
+        result = finalize(store.pairs(), code_map, db, "eclat-closed", smin)
+        if target == "maximal":
+            result = result.maximal()
+            result.algorithm = "eclat-maximal"
+    return result
+
+
+def _mine_all(
+    items: List[Tuple[int, int]],
+    pairs: List[Tuple[int, int]],
+    smin: int,
+    counters: OperationCounters,
+) -> None:
+    """Plain Eclat: stack of (prefix mask, candidate extension list)."""
+    stack = [(0, items)]
+    while stack:
+        prefix, extensions = stack.pop()
+        for index, (item, tids) in enumerate(extensions):
+            counters.recursion_calls += 1
+            support = itemset.size(tids)
+            mask = prefix | (1 << item)
+            pairs.append((mask, support))
+            counters.reports += 1
+            narrowed = []
+            for other, other_tids in extensions[index + 1 :]:
+                counters.intersections += 1
+                joint = tids & other_tids
+                if itemset.size(joint) >= smin:
+                    narrowed.append((other, joint))
+            if narrowed:
+                stack.append((mask, narrowed))
+
+
+def _mine_closed(
+    items: List[Tuple[int, int]],
+    store: ClosedSetStore,
+    smin: int,
+    counters: OperationCounters,
+) -> None:
+    """CHARM-style closed mining.
+
+    Iterative depth-first search with *resumable* frames: a branch's
+    whole subtree must be explored before its right siblings, because
+    the subsumption check relies on all closed supersets reachable
+    through earlier items having been stored already.
+    """
+    stack: List[List] = [[0, items, 0]]
+    while stack:
+        frame = stack[-1]
+        current, extensions, index = frame
+        if index >= len(extensions):
+            stack.pop()
+            continue
+        frame[2] = index + 1
+        item, tids = extensions[index]
+        counters.recursion_calls += 1
+        support = itemset.size(tids)
+        candidate = current | (1 << item)
+        # Absorb perfect extensions: any later item whose tid mask
+        # covers this prefix's belongs to the closure.  Items that
+        # are not perfect extensions stay extension candidates.
+        narrowed = []
+        for other, other_tids in extensions[index + 1 :]:
+            counters.intersections += 1
+            joint = tids & other_tids
+            if joint == tids:
+                candidate |= 1 << other
+            elif itemset.size(joint) >= smin:
+                narrowed.append((other, joint))
+        counters.containment_checks += 1
+        if store.subsumed(candidate, support):
+            # The closure contains an item from an earlier branch;
+            # every set in this subtree is likewise non-closed.
+            continue
+        store.add(candidate, support)
+        counters.reports += 1
+        if narrowed:
+            stack.append([candidate, narrowed, 0])

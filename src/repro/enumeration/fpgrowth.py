@@ -1,0 +1,245 @@
+"""FP-growth [11] and FP-close [9, 10].
+
+The FP-tree combines a compressed horizontal representation (a prefix
+tree of transactions, most frequent item on top) with a vertical one
+(per-item node links across branches) — the hybrid the paper describes
+in Section 2.2.  Mining proceeds bottom-up through the header table:
+for each item, the conditional pattern base is collected via the node
+links, perfect extensions are detected as items whose conditional count
+equals the prefix support, and a conditional FP-tree drives the
+recursion.
+
+``target="closed"`` adds the FPclose machinery: perfect extensions are
+absorbed into the prefix and a support-bucketed subsumption check
+against already-found closed sets prunes non-closed prefixes with their
+entire subtrees (see :mod:`repro.enumeration.closedness` for why the
+processing order makes that sound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common import finalize, prepare_for_mining
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+from ..stats import OperationCounters
+from .closedness import ClosedSetStore
+
+__all__ = ["mine_fpgrowth", "FPTree"]
+
+
+class _FPNode:
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: int, parent: Optional["_FPNode"]) -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[int, "_FPNode"] = {}
+        self.link: Optional["_FPNode"] = None
+
+
+class FPTree:
+    """An FP-tree over prepared item codes.
+
+    Paths store items in *descending* code order (prepared code grows
+    with frequency, so the most frequent item is nearest the root);
+    the header table maps each item to its total count and the head of
+    its node-link chain.
+    """
+
+    __slots__ = ("root", "header", "counts", "counters")
+
+    def __init__(self, counters: OperationCounters) -> None:
+        self.root = _FPNode(-1, None)
+        self.header: Dict[int, _FPNode] = {}
+        self.counts: Dict[int, int] = {}
+        self.counters = counters
+
+    @classmethod
+    def build(
+        cls,
+        weighted_transactions: List[Tuple[int, int]],
+        smin: int,
+        counters: OperationCounters,
+    ) -> "FPTree":
+        """Build a tree from ``(item mask, multiplicity)`` pairs.
+
+        Items with total weighted count below ``smin`` are dropped
+        (they can never appear in a frequent set of this branch).
+        """
+        totals: Dict[int, int] = {}
+        for mask, weight in weighted_transactions:
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                item = low.bit_length() - 1
+                totals[item] = totals.get(item, 0) + weight
+                remaining ^= low
+        keep = {item for item, count in totals.items() if count >= smin}
+        tree = cls(counters)
+        tree.counts = {item: totals[item] for item in keep}
+        for mask, weight in weighted_transactions:
+            items = [
+                item for item in _descending_items(mask) if item in keep
+            ]
+            tree._insert(items, weight)
+        return tree
+
+    def _insert(self, items: List[int], weight: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FPNode(item, node)
+                node.children[item] = child
+                child.link = self.header.get(item)
+                self.header[item] = child
+                self.counters.nodes_created += 1
+            child.count += weight
+            node = child
+
+    def pattern_base(self, item: int) -> List[Tuple[int, int]]:
+        """Conditional pattern base of ``item``: ``(path mask, count)``."""
+        paths = []
+        node = self.header.get(item)
+        while node is not None:
+            self.counters.node_visits += 1
+            if node.count:
+                mask = 0
+                ancestor = node.parent
+                while ancestor is not None and ancestor.item >= 0:
+                    mask |= 1 << ancestor.item
+                    ancestor = ancestor.parent
+                if mask:
+                    paths.append((mask, node.count))
+            node = node.link
+        return paths
+
+
+def mine_fpgrowth(
+    db: TransactionDatabase,
+    smin: int,
+    target: str = "closed",
+    item_order: str = "frequency-ascending",
+    counters: Optional[OperationCounters] = None,
+) -> MiningResult:
+    """Mine frequent item sets with FP-growth / FP-close.
+
+    ``target`` is one of ``"all"``, ``"closed"``, ``"maximal"``.
+    """
+    if target not in ("all", "closed", "maximal"):
+        raise ValueError(f"unknown target {target!r}")
+    prepared, code_map = prepare_for_mining(
+        db, smin, item_order=item_order, transaction_order="identity"
+    )
+    if counters is None:
+        counters = OperationCounters()
+
+    weighted = [(mask, 1) for mask in prepared.transactions if mask]
+    tree = FPTree.build(weighted, smin, counters)
+
+    if target == "all":
+        pairs: List[Tuple[int, int]] = []
+        _mine_all(tree, smin, pairs, counters)
+        return finalize(pairs, code_map, db, "fpgrowth", smin)
+
+    store = ClosedSetStore(counters)
+    _mine_closed(tree, smin, store, counters)
+    result = finalize(store.pairs(), code_map, db, "fpclose", smin)
+    if target == "maximal":
+        result = result.maximal()
+        result.algorithm = "fpmax"
+    return result
+
+
+def _mine_all(
+    tree: FPTree,
+    smin: int,
+    pairs: List[Tuple[int, int]],
+    counters: OperationCounters,
+) -> None:
+    """Plain FP-growth: every frequent item set, no closedness logic."""
+    stack = [(tree, 0)]
+    while stack:
+        current, suffix = stack.pop()
+        for item in sorted(current.counts):
+            counters.recursion_calls += 1
+            support = current.counts[item]
+            candidate = suffix | (1 << item)
+            pairs.append((candidate, support))
+            counters.reports += 1
+            base = current.pattern_base(item)
+            if base:
+                conditional = FPTree.build(base, smin, counters)
+                if conditional.counts:
+                    stack.append((conditional, candidate))
+
+
+def _mine_closed(
+    tree: FPTree,
+    smin: int,
+    store: ClosedSetStore,
+    counters: OperationCounters,
+) -> None:
+    """FPclose: perfect-extension absorption + subsumption pruning.
+
+    Resumable stack frames keep strict depth-first order (a branch's
+    subtree completes before its right siblings), which the
+    subsumption check requires.
+    """
+    stack: List[List] = [[tree, 0, sorted(tree.counts), 0]]
+    while stack:
+        frame = stack[-1]
+        current, suffix, order, index = frame
+        if index >= len(order):
+            stack.pop()
+            continue
+        frame[3] = index + 1
+        item = order[index]
+        counters.recursion_calls += 1
+        support = current.counts[item]
+        candidate = suffix | (1 << item)
+
+        base = current.pattern_base(item)
+        # Perfect extensions: items occurring in every transaction of
+        # the conditional database (conditional count == support).
+        conditional_counts: Dict[int, int] = {}
+        for mask, weight in base:
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                other = low.bit_length() - 1
+                conditional_counts[other] = conditional_counts.get(other, 0) + weight
+                remaining ^= low
+        perfect = 0
+        for other, count in conditional_counts.items():
+            if count == support:
+                perfect |= 1 << other
+        candidate |= perfect
+
+        counters.containment_checks += 1
+        if store.subsumed(candidate, support):
+            # Closure reaches into an earlier branch: neither this
+            # prefix nor anything below it can be closed.
+            continue
+        store.add(candidate, support)
+        counters.reports += 1
+
+        if perfect:
+            base = [(mask & ~perfect, weight) for mask, weight in base]
+        base = [(mask, weight) for mask, weight in base if mask]
+        if base:
+            conditional = FPTree.build(base, smin, counters)
+            if conditional.counts:
+                stack.append([conditional, candidate, sorted(conditional.counts), 0])
+
+
+def _descending_items(mask: int) -> List[int]:
+    items = []
+    while mask:
+        item = mask.bit_length() - 1
+        items.append(item)
+        mask ^= 1 << item
+    return items

@@ -1,0 +1,96 @@
+"""LCM [20, 21] — closed set enumeration via prefix-preserving closure.
+
+LCM walks the closed sets directly: from a closed set ``P`` with core
+item ``core``, every extension item ``e > core`` not in ``P`` yields a
+candidate ``Q = closure(P + e)``; ``Q`` is accepted iff the closure did
+not add any item below ``e`` that ``P`` lacked (the *prefix-preserving*
+condition).  Every closed set has exactly one generating parent under
+this rule, so the search needs neither a repository nor duplicate
+checks — the property that made LCM the FIMI'04 best implementation.
+
+Closures are computed by intersecting the covering transactions
+(single bitmask ANDs here), the honest Python counterpart of LCM's
+occurrence-deliver machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..common import finalize, prepare_for_mining
+from ..data import itemset
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+from ..stats import OperationCounters
+
+__all__ = ["mine_lcm"]
+
+
+def mine_lcm(
+    db: TransactionDatabase,
+    smin: int,
+    item_order: str = "frequency-ascending",
+    counters: Optional[OperationCounters] = None,
+) -> MiningResult:
+    """Mine all closed frequent item sets with LCM."""
+    prepared, code_map = prepare_for_mining(
+        db, smin, item_order=item_order, transaction_order="identity"
+    )
+    if counters is None:
+        counters = OperationCounters()
+    transactions = prepared.transactions
+    n = len(transactions)
+    if n == 0 or smin > n:
+        return finalize((), code_map, db, "lcm", smin)
+
+    tid_masks = prepared.vertical()
+    all_tids = (1 << n) - 1
+    pairs: List[Tuple[int, int]] = []
+
+    root = _closure(transactions, all_tids, counters)
+    if root:
+        pairs.append((root, n))
+        counters.reports += 1
+
+    # Frames: (closed set P, cover tid mask, core item).  Order of
+    # exploration is irrelevant — each closed set has a unique parent.
+    stack: List[Tuple[int, int, int]] = [(root, all_tids, -1)]
+    while stack:
+        closed_set, cover, core = stack.pop()
+        counters.recursion_calls += 1
+        for item in range(core + 1, prepared.n_items):
+            if closed_set >> item & 1:
+                continue
+            counters.intersections += 1
+            new_cover = cover & tid_masks[item]
+            support = itemset.size(new_cover)
+            if support < smin:
+                continue
+            candidate = _closure(transactions, new_cover, counters)
+            # Prefix-preserving check: the closure must not reach below
+            # ``item`` beyond what the parent already had.
+            lower = (1 << item) - 1
+            counters.containment_checks += 1
+            if candidate & lower != closed_set & lower:
+                continue
+            pairs.append((candidate, support))
+            counters.reports += 1
+            stack.append((candidate, new_cover, item))
+
+    return finalize(pairs, code_map, db, "lcm", smin)
+
+
+def _closure(
+    transactions: List[int], cover: int, counters: OperationCounters
+) -> int:
+    """Intersection of the transactions indexed by ``cover``."""
+    result = -1  # all-ones: neutral element, masked down by the first AND
+    remaining = cover
+    while remaining:
+        low = remaining & -remaining
+        counters.intersections += 1
+        result &= transactions[low.bit_length() - 1]
+        if not result:
+            break
+        remaining ^= low
+    return result if result != -1 else 0

@@ -1,0 +1,180 @@
+"""SaM — the Split and Merge algorithm [3].
+
+Borgelt's SaM drives the Section 2.2 divide-and-conquer scheme with the
+simplest conceivable data structure: a list of (transaction, weight)
+pairs.  The *split* step pulls out the transactions containing the
+current item (their suffixes become the conditional database), the
+*merge* step folds those suffixes back into the remainder for the
+exclude branch, collapsing duplicates by summing weights — which is why
+the representation keeps shrinking as the recursion deepens.
+
+The paper cites SaM as the purely horizontal representative of the
+enumeration family (Section 2.2); it is included here to complete that
+spectrum: Eclat (purely vertical), FP-growth (hybrid), SaM (purely
+horizontal).
+
+Closed and maximal targets use the same perfect-extension absorption
+plus subsumption check as the other enumeration miners (see
+:mod:`repro.enumeration.closedness`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..common import finalize, prepare_for_mining
+from ..data.database import TransactionDatabase
+from ..result import MiningResult
+from ..stats import OperationCounters
+from .closedness import ClosedSetStore
+
+__all__ = ["mine_sam"]
+
+
+def mine_sam(
+    db: TransactionDatabase,
+    smin: int,
+    target: str = "closed",
+    item_order: str = "frequency-ascending",
+    counters: Optional[OperationCounters] = None,
+) -> MiningResult:
+    """Mine frequent item sets with SaM.
+
+    ``target`` is one of ``"all"``, ``"closed"``, ``"maximal"``.
+    """
+    if target not in ("all", "closed", "maximal"):
+        raise ValueError(f"unknown target {target!r}")
+    prepared, code_map = prepare_for_mining(
+        db, smin, item_order=item_order, transaction_order="identity"
+    )
+    if counters is None:
+        counters = OperationCounters()
+
+    # The working representation: {transaction mask: weight}, duplicates
+    # already merged.  Splitting always takes the *highest* item code,
+    # so extension items of a branch are strictly smaller — the same
+    # divide order as the other miners, which the closed-target
+    # subsumption check relies on.
+    weighted: Dict[int, int] = {}
+    for mask in prepared.transactions:
+        if mask:
+            weighted[mask] = weighted.get(mask, 0) + 1
+
+    if target == "all":
+        pairs: List[Tuple[int, int]] = []
+        _sam_all(weighted, 0, smin, pairs, counters)
+        return finalize(pairs, code_map, db, "sam", smin)
+
+    store = ClosedSetStore(counters)
+    _sam_closed(weighted, 0, smin, store, counters)
+    result = finalize(store.pairs(), code_map, db, "sam-closed", smin)
+    if target == "maximal":
+        result = result.maximal()
+        result.algorithm = "sam-maximal"
+    return result
+
+
+def _split(
+    weighted: Dict[int, int], counters: OperationCounters
+) -> Tuple[int, Dict[int, int], Dict[int, int], int]:
+    """Split off the highest item: (item, conditional, remainder, support)."""
+    item = max(mask.bit_length() for mask in weighted) - 1
+    bit = 1 << item
+    conditional: Dict[int, int] = {}
+    remainder: Dict[int, int] = {}
+    support = 0
+    for mask, weight in weighted.items():
+        counters.node_visits += 1
+        if mask & bit:
+            support += weight
+            suffix = mask ^ bit
+            if suffix:
+                conditional[suffix] = conditional.get(suffix, 0) + weight
+        else:
+            remainder[mask] = remainder.get(mask, 0) + weight
+    return item, conditional, remainder, support
+
+
+def _merge(
+    into: Dict[int, int], source: Dict[int, int], counters: OperationCounters
+) -> Dict[int, int]:
+    """Fold the conditional suffixes back for the exclude branch."""
+    for mask, weight in source.items():
+        counters.support_updates += 1
+        into[mask] = into.get(mask, 0) + weight
+    return into
+
+
+def _sam_all(
+    weighted: Dict[int, int],
+    prefix: int,
+    smin: int,
+    pairs: List[Tuple[int, int]],
+    counters: OperationCounters,
+) -> None:
+    """Split-and-merge recursion reporting every frequent set."""
+    stack: List[Tuple[Dict[int, int], int]] = [(weighted, prefix)]
+    while stack:
+        work, current = stack.pop()
+        while work:
+            counters.recursion_calls += 1
+            item, conditional, remainder, support = _split(work, counters)
+            if support >= smin:
+                pairs.append((current | (1 << item), support))
+                counters.reports += 1
+                if conditional:
+                    stack.append((dict(conditional), current | (1 << item)))
+            work = _merge(remainder, conditional, counters)
+
+
+def _sam_closed(
+    weighted: Dict[int, int],
+    prefix: int,
+    smin: int,
+    store: ClosedSetStore,
+    counters: OperationCounters,
+) -> None:
+    """Closed-target SaM: resumable depth-first frames (subtree before
+    right siblings, required by the subsumption check)."""
+    stack: List[List] = [[weighted, prefix]]
+    while stack:
+        frame = stack[-1]
+        work, current = frame
+        if not work:
+            stack.pop()
+            continue
+        counters.recursion_calls += 1
+        item, conditional, remainder, support = _split(work, counters)
+        frame[0] = _merge(remainder, conditional, counters)
+        if support < smin:
+            continue
+        candidate = current | (1 << item)
+        # Perfect extensions: items occurring in every conditional
+        # transaction (weighted count equals the branch support).
+        conditional_counts: Dict[int, int] = {}
+        for mask, weight in conditional.items():
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                other = low.bit_length() - 1
+                conditional_counts[other] = conditional_counts.get(other, 0) + weight
+                remaining ^= low
+        perfect = 0
+        for other, count in conditional_counts.items():
+            if count == support:
+                perfect |= 1 << other
+        candidate |= perfect
+
+        counters.containment_checks += 1
+        if store.subsumed(candidate, support):
+            continue
+        store.add(candidate, support)
+        counters.reports += 1
+        if conditional:
+            reduced: Dict[int, int] = {}
+            for mask, weight in conditional.items():
+                mask &= ~perfect
+                if mask:
+                    reduced[mask] = reduced.get(mask, 0) + weight
+            if reduced:
+                stack.append([reduced, candidate])

@@ -1,0 +1,147 @@
+"""Unified mining front door.
+
+:func:`mine` dispatches to any of the implemented algorithms by name,
+so examples, tests and the benchmark harness can sweep over algorithms
+uniformly:
+
+>>> from repro.data import TransactionDatabase
+>>> from repro.mining import mine
+>>> db = TransactionDatabase.from_iterable([["a", "b"], ["a", "b"], ["b"]])
+>>> mine(db, smin=2, algorithm="ista").labeled()
+[(('b',), 3), (('a', 'b'), 2)]
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from .carpenter import mine_carpenter_lists, mine_carpenter_table, mine_cobbler
+from .core import mine_cumulative, mine_ista
+from .data.database import TransactionDatabase
+from .enumeration import mine_apriori, mine_eclat, mine_fpgrowth, mine_lcm, mine_sam
+from .result import MiningResult
+from .stats import OperationCounters
+
+__all__ = [
+    "mine",
+    "choose_algorithm",
+    "ALGORITHMS",
+    "INTERSECTION_ALGORITHMS",
+    "ENUMERATION_ALGORITHMS",
+]
+
+#: Algorithms of the intersection family (the paper's Section 3), plus
+#: Cobbler, which starts in that family and may switch mid-search.
+INTERSECTION_ALGORITHMS = (
+    "ista",
+    "cumulative-flat",
+    "carpenter-lists",
+    "carpenter-table",
+    "cobbler",
+)
+
+#: Algorithms of the item set enumeration family (the paper's Section 2.2).
+ENUMERATION_ALGORITHMS = ("apriori", "eclat", "fpgrowth", "lcm", "sam")
+
+#: All mining entry points, keyed by their public name.
+ALGORITHMS: Dict[str, Callable[..., MiningResult]] = {
+    "ista": mine_ista,
+    "cumulative-flat": mine_cumulative,
+    "carpenter-lists": mine_carpenter_lists,
+    "carpenter-table": mine_carpenter_table,
+    "cobbler": mine_cobbler,
+    "apriori": mine_apriori,
+    "eclat": mine_eclat,
+    "fpgrowth": mine_fpgrowth,
+    "lcm": mine_lcm,
+    "sam": mine_sam,
+}
+
+#: Algorithms whose native output is the closed family only.
+_CLOSED_ONLY = set(INTERSECTION_ALGORITHMS) | {"lcm"}
+
+
+def choose_algorithm(db: TransactionDatabase, target: str = "closed") -> str:
+    """Pick an algorithm from the database shape (the paper's conclusion).
+
+    The intersection approach "is the method of choice for data sets
+    with few transactions and (very) many items"; candidate enumeration
+    wins in the classic many-transactions regime.  The boundary used
+    here — item base at least twice the transaction count — is where
+    the crossovers of the reproduction's own sweeps fall.  ``target``
+    matters because the intersection miners cannot produce target
+    ``"all"``.
+    """
+    if target == "all":
+        return "fpgrowth"
+    if db.n_items >= 2 * db.n_transactions:
+        return "ista"
+    return "lcm"
+
+
+def mine(
+    db: TransactionDatabase,
+    smin: float,
+    algorithm: str = "ista",
+    target: str = "closed",
+    counters: Optional[OperationCounters] = None,
+    **options,
+) -> MiningResult:
+    """Mine frequent item sets.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    smin:
+        Minimum support.  An ``int >= 1`` is an absolute transaction
+        count; a ``float`` in ``(0, 1)`` is the relative form the paper
+        notes is equivalent (fraction of the transactions, rounded up).
+    algorithm:
+        One of :data:`ALGORITHMS`.
+    target:
+        ``"closed"`` (default), ``"maximal"``, or ``"all"``.  The
+        intersection algorithms and LCM produce closed sets natively;
+        for them ``"maximal"`` filters the closed family and ``"all"``
+        is rejected (use an enumeration algorithm).
+    counters:
+        Optional :class:`~repro.stats.OperationCounters` to fill in.
+    options:
+        Algorithm-specific keyword options (e.g. ``prune=False`` for
+        IsTa, ``repository_kind="hash"`` for Carpenter).
+
+    Returns
+    -------
+    MiningResult
+    """
+    if algorithm == "auto":
+        algorithm = choose_algorithm(db, target)
+    miner = ALGORITHMS.get(algorithm)
+    if miner is None:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; available: "
+            f"{sorted(ALGORITHMS)} or 'auto'"
+        )
+    if target not in ("all", "closed", "maximal"):
+        raise ValueError(f"unknown target {target!r}")
+    if isinstance(smin, float):
+        if not 0.0 < smin < 1.0:
+            raise ValueError(
+                f"relative minimum support must be in (0, 1), got {smin}; "
+                f"pass an int for absolute support"
+            )
+        smin = max(1, math.ceil(smin * db.n_transactions))
+
+    if algorithm in _CLOSED_ONLY:
+        if target == "all":
+            raise ValueError(
+                f"{algorithm!r} mines closed sets only; use an enumeration "
+                f"algorithm ({', '.join(ENUMERATION_ALGORITHMS)}) for target='all'"
+            )
+        result = miner(db, smin, counters=counters, **options)
+        if target == "maximal":
+            result = result.maximal()
+            result.algorithm = f"{algorithm}-maximal"
+        return result
+    return miner(db, smin, target=target, counters=counters, **options)

@@ -1,0 +1,166 @@
+"""Result container shared by every miner.
+
+A :class:`MiningResult` is an immutable mapping from item sets (bitmask
+integers) to their supports, remembering the item labels of the database
+it was mined from so results can be displayed and exported in user
+terms.  All miners return this type, which makes differential testing
+("every algorithm yields the same family") a single equality check.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .data import itemset
+
+__all__ = ["MiningResult"]
+
+
+class MiningResult(Mapping[int, int]):
+    """Mapping ``item set bitmask -> support``.
+
+    Iteration order is canonical: ascending set size, then ascending
+    bitmask — so printed output is stable across algorithms and runs.
+    """
+
+    __slots__ = ("_supports", "item_labels", "algorithm", "smin")
+
+    def __init__(
+        self,
+        supports: Mapping[int, int],
+        item_labels: Optional[Sequence[Hashable]] = None,
+        algorithm: str = "",
+        smin: int = 1,
+    ) -> None:
+        for mask, support in supports.items():
+            if mask < 0:
+                raise ValueError(f"negative item set mask {mask}")
+            if support < 1:
+                raise ValueError(
+                    f"support of {itemset.to_indices(mask)} is {support}; "
+                    f"reported supports must be positive"
+                )
+        self._supports: Dict[int, int] = dict(supports)
+        self.item_labels = list(item_labels) if item_labels is not None else None
+        self.algorithm = algorithm
+        self.smin = smin
+
+    # -- Mapping interface ---------------------------------------------
+
+    def __getitem__(self, mask: int) -> int:
+        return self._supports[mask]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._supports, key=lambda m: (itemset.size(m), m)))
+
+    def __len__(self) -> int:
+        return len(self._supports)
+
+    def __contains__(self, mask: object) -> bool:
+        return mask in self._supports
+
+    def __eq__(self, other: object) -> bool:
+        """Equality is purely on the (item set, support) family."""
+        if isinstance(other, MiningResult):
+            return self._supports == other._supports
+        if isinstance(other, Mapping):
+            return self._supports == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        head = f"MiningResult({len(self._supports)} item sets"
+        if self.algorithm:
+            head += f", algorithm={self.algorithm!r}"
+        return head + ")"
+
+    # -- Constructors ----------------------------------------------------
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[int, int]],
+        item_labels: Optional[Sequence[Hashable]] = None,
+        algorithm: str = "",
+        smin: int = 1,
+    ) -> "MiningResult":
+        """Build from ``(mask, support)`` pairs; duplicate masks must agree."""
+        supports: Dict[int, int] = {}
+        for mask, support in pairs:
+            previous = supports.get(mask)
+            if previous is not None and previous != support:
+                raise ValueError(
+                    f"conflicting supports {previous} and {support} for item "
+                    f"set {itemset.to_indices(mask)}"
+                )
+            supports[mask] = support
+        return cls(supports, item_labels, algorithm, smin)
+
+    # -- Views -----------------------------------------------------------
+
+    def support_of(self, mask: int, default: Optional[int] = None) -> Optional[int]:
+        """Support of an item set, ``default`` if not present."""
+        return self._supports.get(mask, default)
+
+    def masks(self) -> List[int]:
+        """Item set bitmasks in canonical order."""
+        return list(self)
+
+    def labeled(self) -> List[Tuple[Tuple[Hashable, ...], int]]:
+        """``(items-as-labels, support)`` pairs in canonical order."""
+        labels = self.item_labels
+        return [(itemset.canonical_tuple(mask, labels), self._supports[mask]) for mask in self]
+
+    def as_frozensets(self) -> Dict[frozenset, int]:
+        """Label-level view keyed by ``frozenset`` — convenient for asserts."""
+        labels = self.item_labels
+        return {
+            frozenset(itemset.canonical_tuple(mask, labels)): support
+            for mask, support in self._supports.items()
+        }
+
+    def restrict_support(self, smin: int) -> "MiningResult":
+        """Sub-family with support at least ``smin``."""
+        return MiningResult(
+            {m: s for m, s in self._supports.items() if s >= smin},
+            self.item_labels,
+            self.algorithm,
+            smin,
+        )
+
+    def maximal(self) -> "MiningResult":
+        """Restrict to maximal sets (no proper superset in the family)."""
+        masks = sorted(self._supports, key=itemset.size, reverse=True)
+        kept: List[int] = []
+        for mask in masks:
+            if not any(mask != other and mask & ~other == 0 for other in kept):
+                kept.append(mask)
+        return MiningResult(
+            {m: self._supports[m] for m in kept},
+            self.item_labels,
+            self.algorithm,
+            self.smin,
+        )
+
+    def total_size(self) -> int:
+        """Total number of items across all sets (output volume measure)."""
+        return sum(itemset.size(mask) for mask in self._supports)
+
+    def to_lines(self, with_support: bool = True) -> List[str]:
+        """FIMI-style output lines, e.g. ``"a c e (4)"``."""
+        lines = []
+        for labels, support in self.labeled():
+            text = " ".join(str(label) for label in labels)
+            if with_support:
+                text += f" ({support})"
+            lines.append(text)
+        return lines

@@ -1,0 +1,199 @@
+"""Association rule induction from closed frequent item sets.
+
+The paper's introduction motivates frequent item set mining through
+association rules; this module closes that loop.  Because closed sets
+preserve all support information (Section 2.3), the support of *any*
+frequent item set — and hence the confidence and lift of any rule over
+frequent sets — can be reconstructed as the maximum support of its
+closed supersets.  Rules are generated directly from the closed family
+without re-mining.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional
+
+from .data import itemset
+from .data.database import TransactionDatabase
+from .result import MiningResult
+
+__all__ = [
+    "AssociationRule",
+    "support_of",
+    "generate_rules",
+    "generate_nonredundant_rules",
+    "rule_measures",
+]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A rule ``antecedent -> consequent`` with its quality measures."""
+
+    antecedent: int
+    consequent: int
+    support: int            # absolute support of antecedent + consequent
+    confidence: float       # support(A + C) / support(A)
+    lift: float             # confidence / (support(C) / n)
+
+    def labeled(self, labels: Optional[List[Hashable]] = None) -> str:
+        """Human-readable form, e.g. ``"a, b -> c (supp=4, conf=0.80)"``."""
+        left = ", ".join(str(x) for x in itemset.canonical_tuple(self.antecedent, labels))
+        right = ", ".join(str(x) for x in itemset.canonical_tuple(self.consequent, labels))
+        return (
+            f"{left} -> {right} "
+            f"(supp={self.support}, conf={self.confidence:.2f}, lift={self.lift:.2f})"
+        )
+
+
+def support_of(closed: MiningResult, mask: int, n_transactions: Optional[int] = None) -> Optional[int]:
+    """Support of an arbitrary item set, reconstructed from the closed family.
+
+    The empty set's support is ``n_transactions`` when given.  Returns
+    ``None`` for sets that are not frequent at the family's threshold.
+    """
+    if mask == 0:
+        return n_transactions
+    best: Optional[int] = None
+    for closed_mask, support in closed.items():
+        if mask & ~closed_mask == 0 and (best is None or support > best):
+            best = support
+    return best
+
+
+def generate_rules(
+    closed: MiningResult,
+    n_transactions: int,
+    min_confidence: float = 0.8,
+    max_consequent_items: int = 1,
+) -> Iterator[AssociationRule]:
+    """Generate association rules from a closed frequent family.
+
+    For every closed set ``Z`` and every non-empty consequent
+    ``C ⊆ Z`` with at most ``max_consequent_items`` items, the rule
+    ``Z − C -> C`` is emitted when its confidence reaches
+    ``min_confidence``.  Restricting generation to closed sets loses
+    nothing: a rule over a non-closed set has the same support and
+    confidence as the corresponding rule over its closure's
+    sub-structure, and downstream consumers deduplicate by measure
+    anyway.  Rules are yielded in no particular order.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    if n_transactions < 1:
+        raise ValueError(f"n_transactions must be positive, got {n_transactions}")
+    for mask, support in closed.items():
+        items = itemset.to_indices(mask)
+        if len(items) < 2:
+            continue
+        for consequent in _consequents(items, max_consequent_items):
+            antecedent = mask & ~consequent
+            antecedent_support = support_of(closed, antecedent, n_transactions)
+            if not antecedent_support:
+                continue
+            confidence = support / antecedent_support
+            if confidence < min_confidence:
+                continue
+            consequent_support = support_of(closed, consequent, n_transactions)
+            if not consequent_support:
+                continue
+            lift = confidence / (consequent_support / n_transactions)
+            yield AssociationRule(antecedent, consequent, support, confidence, lift)
+
+
+def _consequents(items: List[int], max_items: int) -> Iterator[int]:
+    """Non-empty consequent masks with at most ``max_items`` members."""
+    from itertools import combinations
+
+    for size in range(1, min(max_items, len(items) - 1) + 1):
+        for combo in combinations(items, size):
+            yield itemset.from_indices(combo)
+
+
+def rule_measures(
+    rule: AssociationRule,
+    closed: MiningResult,
+    n_transactions: int,
+) -> Dict[str, float]:
+    """Extended quality measures of a rule.
+
+    Returns support (relative), confidence, lift, plus:
+
+    * **leverage** — ``P(A,C) − P(A)·P(C)`` (difference from
+      independence on the probability scale);
+    * **conviction** — ``(1 − P(C)) / (1 − confidence)``
+      (``inf`` for exact rules);
+    * **jaccard** — ``supp(A∪C) / (supp(A) + supp(C) − supp(A∪C))``.
+    """
+    antecedent_support = support_of(closed, rule.antecedent, n_transactions)
+    consequent_support = support_of(closed, rule.consequent, n_transactions)
+    if not antecedent_support or not consequent_support:
+        raise ValueError("rule references sets outside the closed family")
+    p_joint = rule.support / n_transactions
+    p_antecedent = antecedent_support / n_transactions
+    p_consequent = consequent_support / n_transactions
+    conviction = (
+        math.inf
+        if rule.confidence >= 1.0
+        else (1.0 - p_consequent) / (1.0 - rule.confidence)
+    )
+    return {
+        "support": p_joint,
+        "confidence": rule.confidence,
+        "lift": rule.lift,
+        "leverage": p_joint - p_antecedent * p_consequent,
+        "conviction": conviction,
+        "jaccard": rule.support
+        / (antecedent_support + consequent_support - rule.support),
+    }
+
+
+def generate_nonredundant_rules(
+    db: TransactionDatabase,
+    closed: MiningResult,
+    min_confidence: float = 0.8,
+    max_generator_size: int = 6,
+) -> Iterator[AssociationRule]:
+    """The min-max basis: minimal antecedents, maximal consequents.
+
+    For every closed set ``C`` and every *minimal generator* ``G`` of a
+    closed subset ``C' ⊆ C``, the rule ``G -> C − G`` summarises all
+    rules between those support levels: any other rule with the same
+    closure pair has a larger antecedent or a smaller consequent with
+    identical support and confidence.  Emitting only these gives the
+    classic non-redundant ("min-max") rule basis.
+
+    Exact rules (confidence 1) arise from generators of ``C`` itself;
+    approximate rules from generators of proper closed subsets.
+    """
+    from .closure.generators import all_minimal_generators
+
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    n = db.n_transactions
+    generators = all_minimal_generators(db, closed, max_generator_size)
+    closed_masks = list(closed)
+    for target in closed_masks:
+        target_support = closed[target]
+        for source in closed_masks:
+            # Antecedent closures must be subsets (same set allowed:
+            # that yields the exact rules).
+            if source & ~target:
+                continue
+            source_support = closed[source]
+            confidence = target_support / source_support
+            if confidence < min_confidence:
+                continue
+            for generator in generators[source]:
+                consequent = target & ~generator
+                if not consequent:
+                    continue
+                consequent_support = support_of(closed, consequent, n)
+                if not consequent_support:
+                    continue
+                lift = confidence / (consequent_support / n)
+                yield AssociationRule(
+                    generator, consequent, target_support, confidence, lift
+                )

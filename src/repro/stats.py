@@ -1,0 +1,64 @@
+"""Operation counters shared by all miners.
+
+Wall-clock comparisons between pure-Python re-implementations and the
+paper's C programs are dominated by the interpreter's constant factor.
+The counters in this class measure the *algorithmic* work instead —
+intersections formed, repository nodes visited and created, containment
+checks performed — which is what actually separates the methods in the
+paper's figures.  Every miner accepts an optional
+:class:`OperationCounters` and increments the relevant fields, and the
+benchmark harness reports them next to the timings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["OperationCounters"]
+
+_FIELDS = (
+    "intersections",       # item set (or tid set) intersections formed
+    "node_visits",         # repository / FP-tree / search-tree nodes visited
+    "nodes_created",       # repository / tree nodes allocated
+    "support_updates",     # support counter updates
+    "containment_checks",  # subset / repository-membership tests
+    "recursion_calls",     # search-tree recursion steps
+    "items_eliminated",    # items removed by the remaining-count bound
+    "reports",             # item sets reported
+    "repository_peak",     # largest repository size observed (gauge, not sum)
+)
+
+
+class OperationCounters:
+    """Mutable bundle of named operation counts."""
+
+    __slots__ = _FIELDS
+
+    def __init__(self) -> None:
+        for field in _FIELDS:
+            setattr(self, field, 0)
+
+    def observe_repository_size(self, current_size: int) -> None:
+        """Track the peak repository size (a gauge, kept as the maximum)."""
+        if current_size > self.repository_peak:
+            self.repository_peak = current_size
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return {field: getattr(self, field) for field in _FIELDS}
+
+    def __iadd__(self, other: "OperationCounters") -> "OperationCounters":
+        for field in _FIELDS:
+            if field == "repository_peak":
+                self.observe_repository_size(other.repository_peak)
+            else:
+                setattr(self, field, getattr(self, field) + getattr(other, field))
+        return self
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{field}={getattr(self, field)}"
+            for field in _FIELDS
+            if getattr(self, field)
+        )
+        return f"OperationCounters({parts})"

@@ -1,0 +1,47 @@
+"""Tests for the figure specifications."""
+
+import pytest
+
+from repro.bench.figures import FIGURES, run_figure
+
+
+class TestSpecs:
+    def test_all_paper_figures_present(self):
+        names = set(FIGURES)
+        assert {"fig5-yeast", "fig6-ncbi60", "fig7-thrombin", "fig8-webview"} <= names
+
+    def test_specs_are_complete(self):
+        for spec in FIGURES.values():
+            assert spec.paper_exhibit
+            assert spec.expected_shape
+            assert len(spec.smin_values) >= 3
+            assert len(spec.algorithms) >= 2
+
+    def test_build_database_scales(self):
+        spec = FIGURES["fig6-ncbi60"]
+        small = spec.build_database(scale=0.1)
+        full = spec.build_database(scale=1.0)
+        assert small.n_transactions < full.n_transactions
+
+    def test_scaled_smin_tracks_transaction_scaling(self):
+        spec = FIGURES["fig6-ncbi60"]
+        scaled = spec.scaled_smin(0.5)
+        assert max(scaled) <= max(spec.smin_values) * 0.5 + 1
+
+
+class TestRunFigure:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            run_figure("fig99")
+
+    def test_tiny_scaled_run(self):
+        """A heavily scaled-down fig6 completes end to end."""
+        sweep = run_figure("fig6-ncbi60", scale=0.15, time_limit=20.0)
+        assert sweep.dataset == "fig6-ncbi60"
+        assert len(sweep.cells) == len(sweep.smin_values) * len(sweep.algorithms)
+
+    def test_algorithm_override(self):
+        sweep = run_figure(
+            "fig6-ncbi60", scale=0.15, algorithms=("ista",), time_limit=20.0
+        )
+        assert sweep.algorithms == ["ista"]

@@ -1,0 +1,89 @@
+"""Tests for the benchmark harness."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import Measurement, SweepResult, run_sweep
+
+from ..conftest import db_from_strings
+
+
+@pytest.fixture
+def db():
+    return db_from_strings(["abc", "abd", "acd", "bcd", "ab", "cd"])
+
+
+class TestRunSweep:
+    def test_basic_sweep(self, db):
+        sweep = run_sweep(db, [1, 2, 3], ["ista", "lcm"], dataset="toy")
+        assert sweep.smin_values == [3, 2, 1]
+        for algorithm in ("ista", "lcm"):
+            for smin in (1, 2, 3):
+                cell = sweep.get(algorithm, smin)
+                assert cell is not None
+                assert cell.seconds >= 0.0
+                assert cell.n_closed > 0
+
+    def test_results_consistent_across_algorithms(self, db):
+        sweep = run_sweep(db, [2], ["ista", "carpenter-table", "fpgrowth"])
+        counts = {alg: sweep.get(alg, 2).n_closed for alg in sweep.algorithms}
+        assert len(set(counts.values())) == 1
+
+    def test_verify_mode(self, db):
+        run_sweep(db, [1, 2], ["ista"], verify=True)
+
+    def test_time_limit_skips_lower_supports(self, db):
+        sweep = run_sweep(db, [3, 1], ["ista"], time_limit=0.0)
+        assert not sweep.get("ista", 3).skipped  # first cell always runs
+        assert sweep.get("ista", 1).skipped
+
+    def test_algorithm_options_forwarded(self, db):
+        sweep = run_sweep(
+            db, [2], ["ista"], algorithm_options={"ista": {"prune": False}}
+        )
+        assert sweep.get("ista", 2).n_closed > 0
+
+    def test_invalid_repeats_rejected(self, db):
+        with pytest.raises(ValueError):
+            run_sweep(db, [1], ["ista"], repeats=0)
+
+
+class TestSweepResultViews:
+    @pytest.fixture
+    def sweep(self, db):
+        return run_sweep(db, [1, 2], ["ista", "lcm"], dataset="toy")
+
+    def test_series(self, sweep):
+        series = sweep.series("ista")
+        assert len(series) == 2
+        assert all(value is not None for value in series)
+
+    def test_winner_returns_an_algorithm(self, sweep):
+        assert sweep.winner(1) in ("ista", "lcm")
+
+    def test_crossover(self, sweep):
+        # with both finishing everywhere, crossover is defined whenever
+        # one of them is faster at some support
+        result = sweep.crossover("ista", "lcm")
+        assert result is None or result in (1, 2)
+
+    def test_format_table_variants(self, sweep):
+        for value in ("seconds", "log", "closed", "intersections"):
+            table = sweep.format_table(value)
+            assert "smin" in table
+            assert "ista" in table
+
+    def test_format_table_marks_skipped(self, db):
+        sweep = run_sweep(db, [3, 1], ["ista"], time_limit=0.0)
+        assert "--" in sweep.format_table()
+
+
+class TestMeasurement:
+    def test_log_seconds(self):
+        cell = Measurement("x", 1, 10.0, 5, {})
+        assert cell.log_seconds == pytest.approx(1.0)
+
+    def test_log_of_zero_is_minus_inf(self):
+        cell = Measurement("x", 1, 0.0, 5, {})
+        assert cell.log_seconds == -math.inf

@@ -1,0 +1,58 @@
+"""Tests for the terminal figure renderer."""
+
+import pytest
+
+from repro.bench.harness import Measurement, SweepResult
+from repro.bench.plotting import MARKERS, render_figure
+
+
+def make_sweep():
+    sweep = SweepResult("toy", [8, 4, 2], ["fast", "slow"])
+    timings = {
+        ("fast", 8): 0.01, ("fast", 4): 0.02, ("fast", 2): 0.05,
+        ("slow", 8): 0.02, ("slow", 4): 1.0,
+    }
+    for (algorithm, smin), seconds in timings.items():
+        sweep.cells[(algorithm, smin)] = Measurement(algorithm, smin, seconds, 1, {})
+    sweep.cells[("slow", 2)] = Measurement("slow", 2, float("inf"), 0, {}, skipped=True)
+    return sweep
+
+
+class TestRenderFigure:
+    def test_contains_axes_and_legend(self):
+        chart = render_figure(make_sweep())
+        assert "log10" in chart
+        assert f"{MARKERS[0]}=fast" in chart
+        assert f"{MARKERS[1]}=slow" in chart
+
+    def test_markers_plotted(self):
+        chart = render_figure(make_sweep())
+        assert MARKERS[0] in chart
+        assert MARKERS[1] in chart
+
+    def test_skipped_cells_truncate_curve(self):
+        """The slow curve has one fewer plotted support than the sweep."""
+        chart = render_figure(make_sweep())
+        # slow appears at 2 supports only; fast at 3 — so fast has at
+        # least as many marker occurrences
+        assert chart.count(MARKERS[0]) >= chart.count(MARKERS[1])
+
+    def test_support_labels_present(self):
+        chart = render_figure(make_sweep())
+        for smin in (8, 4, 2):
+            assert str(smin) in chart
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            render_figure(make_sweep(), width=4)
+
+    def test_empty_sweep(self):
+        sweep = SweepResult("empty", [2], ["x"])
+        sweep.cells[("x", 2)] = Measurement("x", 2, float("inf"), 0, {}, skipped=True)
+        assert render_figure(sweep) == "(no measurements)"
+
+    def test_flat_series_does_not_crash(self):
+        sweep = SweepResult("flat", [4, 2], ["a"])
+        for smin in (4, 2):
+            sweep.cells[("a", smin)] = Measurement("a", smin, 1.0, 1, {})
+        assert "a" in render_figure(sweep)

@@ -1,0 +1,74 @@
+"""Tests for Cobbler (row/column enumeration switching)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carpenter.cobbler import mine_cobbler
+from repro.closure.verify import closed_frequent_bruteforce
+from repro.data.database import TransactionDatabase
+from repro.stats import OperationCounters
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestCorrectness:
+    @settings(deadline=None, max_examples=50)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_against_oracle(self, db, smin):
+        assert mine_cobbler(db, smin) == closed_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=30)
+    @given(small_databases, st.integers(min_value=1, max_value=4))
+    def test_switch_policy_is_transparent(self, db, smin):
+        """Pure rows, pure columns, and every hand-over point in between
+        must produce the same family."""
+        expected = dict(mine_cobbler(db, smin, switch_ratio=float("inf")))
+        for ratio, min_rows in ((0.0, 1), (0.5, 1), (1.0, 2), (2.0, 4)):
+            got = dict(
+                mine_cobbler(db, smin, switch_ratio=ratio, min_rows_to_switch=min_rows)
+            )
+            assert got == expected, (ratio, min_rows)
+
+    def test_regression_seeded_case(self):
+        """The root-seeding bug: the sub-root closure must not subsume its
+        own generating branch (fixed; kept as a regression case)."""
+        rows = [
+            [1, 2, 3, 4], [0, 1, 2, 3, 6, 7], [0, 2, 3, 6], [1, 2, 4, 5, 7],
+            [1, 3, 4, 5, 6, 7], [0, 1, 2, 3, 4, 5, 7], [2, 3, 7], [1, 2, 3, 4, 5, 6],
+        ]
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(8)))
+        expected = closed_frequent_bruteforce(db, 1)
+        assert mine_cobbler(db, 1, min_rows_to_switch=2) == expected
+
+
+class TestBehaviour:
+    def test_pure_column_mode_switches_immediately(self):
+        db = db_from_strings(["abc", "abd", "acd", "bcd"])
+        counters = OperationCounters()
+        result = mine_cobbler(
+            db, 2, switch_ratio=0.0, min_rows_to_switch=1, counters=counters
+        )
+        # No row recursion at all: one column phase solves everything.
+        assert counters.recursion_calls > 0
+        assert len(result) > 0
+
+    def test_invalid_switch_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            mine_cobbler(db_from_strings(["ab"]), 1, switch_ratio=-1.0)
+
+    def test_empty_database(self):
+        assert len(mine_cobbler(TransactionDatabase([], 0), 1)) == 0
+
+    def test_smin_above_n(self):
+        db = db_from_strings(["ab"])
+        assert len(mine_cobbler(db, 2)) == 0
+
+    def test_table1_example(self, table1_db):
+        for smin in (1, 3, 5):
+            expected = closed_frequent_bruteforce(table1_db, smin)
+            assert mine_cobbler(table1_db, smin) == expected

@@ -1,0 +1,73 @@
+"""Tests for list-based Carpenter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.carpenter.list_based import mine_carpenter_lists
+from repro.closure.verify import check_closed_family, closed_frequent_bruteforce
+from repro.data.database import TransactionDatabase
+from repro.stats import OperationCounters
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestCorrectness:
+    @settings(deadline=None, max_examples=50)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_against_oracle(self, db, smin):
+        assert mine_carpenter_lists(db, smin) == closed_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=30)
+    @given(small_databases, st.integers(min_value=1, max_value=4))
+    def test_optimisations_are_transparent(self, db, smin):
+        expected = dict(mine_carpenter_lists(db, smin))
+        for repository_kind in ("hash", "prefix-tree"):
+            for eliminate in (True, False):
+                for perfect in (True, False):
+                    got = dict(
+                        mine_carpenter_lists(
+                            db,
+                            smin,
+                            repository_kind=repository_kind,
+                            eliminate_items=eliminate,
+                            perfect_extension=perfect,
+                        )
+                    )
+                    assert got == expected
+
+
+class TestBehaviour:
+    def test_table1_example(self, table1_db):
+        for smin in (1, 2, 3, 4):
+            result = mine_carpenter_lists(table1_db, smin)
+            check_closed_family(table1_db, result, smin)
+
+    def test_empty_database(self):
+        assert len(mine_carpenter_lists(TransactionDatabase([], 0), 1)) == 0
+
+    def test_smin_above_n_gives_empty(self):
+        db = db_from_strings(["ab", "ab"])
+        assert len(mine_carpenter_lists(db, 5)) == 0
+
+    def test_duplicate_transactions(self):
+        db = db_from_strings(["abc", "abc", "abc"])
+        assert mine_carpenter_lists(db, 2).as_frozensets() == {frozenset("abc"): 3}
+
+    def test_counters_populated(self):
+        db = db_from_strings(["abc", "abd", "acd"])
+        counters = OperationCounters()
+        mine_carpenter_lists(db, 2, counters=counters)
+        assert counters.recursion_calls > 0
+        assert counters.intersections > 0
+
+    def test_elimination_counts_items(self):
+        # item z appears once; at smin 2 it must be eliminated somewhere
+        db = db_from_strings(["abz", "ab", "ab"])
+        counters = OperationCounters()
+        result = mine_carpenter_lists(db, 2, counters=counters)
+        assert result.as_frozensets() == {frozenset("ab"): 3}

@@ -1,0 +1,71 @@
+"""Tests for the Carpenter repository backends."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.carpenter.repository import (
+    HashRepository,
+    PrefixTreeRepository,
+    make_repository,
+)
+
+masks = st.integers(min_value=1, max_value=(1 << 12) - 1)
+
+
+class TestBackendsAgree:
+    @given(st.lists(masks, max_size=40), st.lists(masks, max_size=20))
+    def test_membership_identical(self, stored, queries):
+        hash_repo = HashRepository()
+        tree_repo = PrefixTreeRepository(12)
+        for mask in stored:
+            hash_repo.add(mask)
+            tree_repo.add(mask)
+        assert len(hash_repo) == len(tree_repo)
+        for query in queries + stored:
+            assert (query in hash_repo) == (query in tree_repo)
+
+
+class TestPrefixTreeRepository:
+    def test_empty_contains_nothing(self):
+        repo = PrefixTreeRepository(8)
+        assert 0b1 not in repo
+        assert len(repo) == 0
+
+    def test_prefix_is_not_member(self):
+        """Storing {a,b,c} must not make its path prefixes members."""
+        repo = PrefixTreeRepository(8)
+        repo.add(0b111)
+        assert 0b111 in repo
+        assert 0b100 not in repo  # path prefix (descending order: 2, 1, 0)
+        assert 0b110 not in repo
+        assert 0b011 not in repo  # subset but not a path prefix
+
+    def test_duplicate_add_idempotent(self):
+        repo = PrefixTreeRepository(4)
+        repo.add(0b101)
+        repo.add(0b101)
+        assert len(repo) == 1
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixTreeRepository(4).add(0)
+
+    def test_empty_query_is_false(self):
+        repo = PrefixTreeRepository(4)
+        repo.add(0b1)
+        assert 0 not in repo
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixTreeRepository(-1)
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert isinstance(make_repository("hash", 4), HashRepository)
+        assert isinstance(make_repository("prefix-tree", 4), PrefixTreeRepository)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown repository kind"):
+            make_repository("btree", 4)

@@ -1,0 +1,101 @@
+"""Property tests for the Galois connection layer (Sections 2.4 / 2.5)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import itemset
+from repro.data.database import TransactionDatabase
+from repro.closure import galois
+
+N_ITEMS = 6
+MAX_TRANSACTIONS = 7
+
+databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << N_ITEMS) - 1),
+    min_size=1,
+    max_size=MAX_TRANSACTIONS,
+).map(lambda masks: TransactionDatabase(masks, N_ITEMS))
+
+item_masks = st.integers(min_value=0, max_value=(1 << N_ITEMS) - 1)
+
+
+def tid_masks(db):
+    return st.integers(min_value=0, max_value=(1 << db.n_transactions) - 1)
+
+
+class TestGaloisConnection:
+    @given(databases, item_masks)
+    def test_adjunction(self, db, items):
+        """K ⊆ f(I)  ⟺  I ⊆ g(K) — checked over all tid sets."""
+        f_items = galois.cover(db, items)
+        for tids in range(1 << db.n_transactions):
+            lhs = itemset.is_subset(tids, f_items)
+            rhs = itemset.is_subset(items, galois.intersection_of(db, tids))
+            assert lhs == rhs
+
+    @given(databases, item_masks, item_masks)
+    def test_cover_antitone(self, db, a, b):
+        if itemset.is_subset(a, b):
+            assert itemset.is_subset(galois.cover(db, b), galois.cover(db, a))
+
+    @given(databases)
+    def test_cover_of_empty_set_is_all_transactions(self, db):
+        assert galois.cover(db, 0) == galois.all_tids(db)
+
+
+class TestClosureOperator:
+    @given(databases, item_masks)
+    def test_extensive(self, db, items):
+        assert itemset.is_subset(items, galois.closure(db, items))
+
+    @given(databases, item_masks)
+    def test_idempotent(self, db, items):
+        once = galois.closure(db, items)
+        assert galois.closure(db, once) == once
+
+    @given(databases, item_masks, item_masks)
+    def test_monotone(self, db, a, b):
+        if itemset.is_subset(a, b):
+            assert itemset.is_subset(galois.closure(db, a), galois.closure(db, b))
+
+    @given(databases, item_masks)
+    def test_closure_preserves_support(self, db, items):
+        assert galois.cover(db, galois.closure(db, items)) == galois.cover(db, items)
+
+    @given(databases, item_masks)
+    def test_is_closed_definition(self, db, items):
+        assert galois.is_closed(db, items) == (galois.closure(db, items) == items)
+
+
+class TestTidClosure:
+    @given(databases)
+    def test_tid_closure_idempotent(self, db):
+        for tids in range(1 << db.n_transactions):
+            once = galois.tid_closure(db, tids)
+            assert galois.tid_closure(db, once) == once
+
+    @given(databases)
+    def test_bijection_between_closed_families(self, db):
+        """f restricted to closed item sets is a bijection onto closed tid sets
+        — the Section 2.5 result that justifies intersection mining."""
+        closed_items = {
+            mask
+            for mask in range(1 << db.n_items)
+            if galois.is_closed(db, mask)
+        }
+        closed_tids = {
+            tids
+            for tids in range(1 << db.n_transactions)
+            if galois.is_tid_closed(db, tids)
+        }
+        image = {galois.cover(db, mask) for mask in closed_items}
+        assert image == closed_tids
+        # Injectivity: distinct closed item sets have distinct covers.
+        assert len(image) == len(closed_items)
+
+    @given(databases)
+    def test_every_transaction_intersection_is_closed(self, db):
+        """g(K) is closed for every non-empty K (what makes IsTa sound)."""
+        for tids in range(1, 1 << db.n_transactions):
+            intersection = galois.intersection_of(db, tids)
+            assert galois.is_closed(db, intersection)

@@ -1,0 +1,115 @@
+"""Tests for the concept lattice layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.lattice import ConceptLattice
+from repro.closure.verify import closed_frequent_bruteforce
+from repro.data import itemset
+from repro.data.database import TransactionDatabase
+from repro.mining import mine
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=1, max_value=(1 << 6) - 1), min_size=1, max_size=8
+).map(lambda masks: TransactionDatabase(masks, 6))
+
+
+@pytest.fixture
+def lattice():
+    db = db_from_strings(["abc", "abd", "acd", "bcd", "ab", "cd"])
+    return db, ConceptLattice.from_database(db, smin=2)
+
+
+class TestStructure:
+    def test_size_matches_family(self, lattice):
+        db, lat = lattice
+        assert len(lat) == len(mine(db, 2))
+
+    def test_edges_respect_inclusion(self, lattice):
+        _, lat = lattice
+        for child, parent in lat.hasse_edges():
+            assert itemset.is_subset(child, parent)
+            assert child != parent
+
+    def test_edges_are_covers(self, lattice):
+        """No closed set strictly between the endpoints of an edge."""
+        _, lat = lattice
+        concepts = [mask for level in lat.iter_levels() for mask in level]
+        for child, parent in lat.hasse_edges():
+            for middle in concepts:
+                if middle in (child, parent):
+                    continue
+                between = itemset.is_subset(child, middle) and itemset.is_subset(
+                    middle, parent
+                )
+                assert not between, (child, middle, parent)
+
+    def test_parents_children_are_inverse(self, lattice):
+        _, lat = lattice
+        for child, parent in lat.hasse_edges():
+            assert child in lat.children(parent)
+            assert parent in lat.parents(child)
+
+    def test_leaves_are_maximal_sets(self, lattice):
+        db, lat = lattice
+        maximal = set(mine(db, 2, target="maximal"))
+        assert set(lat.leaves()) == maximal
+
+    def test_supports_monotone_along_edges(self, lattice):
+        _, lat = lattice
+        for child, parent in lat.hasse_edges():
+            assert lat.support(child) >= lat.support(parent)
+
+    @settings(deadline=None, max_examples=25)
+    @given(small_databases, st.integers(min_value=1, max_value=4))
+    def test_every_non_root_concept_has_a_parent_path_to_a_leaf(self, db, smin):
+        closed = closed_frequent_bruteforce(db, smin)
+        lat = ConceptLattice(db, closed)
+        leaves = set(lat.leaves())
+        for mask in closed:
+            walk = mask
+            seen = 0
+            while walk not in leaves:
+                parents = lat.parents(walk)
+                assert parents, walk
+                walk = parents[0]
+                seen += 1
+                assert seen <= len(closed)
+
+
+class TestOperations:
+    def test_join(self, lattice):
+        db, lat = lattice
+        a, b = db.encode("a"), db.encode("b")
+        joined = lat.join(a, b)
+        assert joined is not None
+        assert itemset.is_subset(a | b, joined)
+
+    def test_meet(self, lattice):
+        db, lat = lattice
+        ab, cd = db.encode("ab"), db.encode("ac")
+        met = lat.meet(ab, cd)
+        assert met is not None
+        assert itemset.is_subset(met, ab)
+        assert itemset.is_subset(met, cd)
+
+    def test_join_below_threshold_is_none(self):
+        db = db_from_strings(["ab", "ab", "cd", "cd"])
+        lat = ConceptLattice.from_database(db, smin=2)
+        assert lat.join(db.encode("ab"), db.encode("cd")) is None
+
+
+class TestExport:
+    def test_to_dot_mentions_every_concept(self, lattice):
+        _, lat = lattice
+        dot = lat.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.count("label=") == len(lat)
+
+    def test_long_labels_truncated(self):
+        db = db_from_strings(["abcdefgh", "abcdefgh"])
+        lat = ConceptLattice.from_database(db, smin=1)
+        assert "…" in lat.to_dot(max_label_items=3)

@@ -1,0 +1,143 @@
+"""Tests for the brute-force oracles and consistency checks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.closure import galois
+from repro.closure.verify import (
+    all_frequent_bruteforce,
+    check_closed_family,
+    closed_frequent_bruteforce,
+    maximal_frequent_bruteforce,
+    reconstruct_support,
+)
+from repro.data import itemset
+from repro.data.database import TransactionDatabase
+from repro.result import MiningResult
+
+from ..conftest import db_from_strings, make_random_db
+
+
+class TestClosedOracle:
+    def test_known_example(self):
+        """Figure 3's database, closed sets worked out by hand."""
+        db = db_from_strings(["eca", "edb", "dcba"])
+        closed = closed_frequent_bruteforce(db, 1).as_frozensets()
+        assert closed == {
+            frozenset("e"): 2,
+            frozenset("eca"): 1,
+            frozenset("edb"): 1,
+            frozenset("dcba"): 1,
+            frozenset("db"): 2,
+            frozenset("ca"): 2,
+        }
+
+    def test_smin_filters(self):
+        db = db_from_strings(["eca", "edb", "dcba"])
+        closed = closed_frequent_bruteforce(db, 2).as_frozensets()
+        assert set(closed) == {frozenset("e"), frozenset("db"), frozenset("ca")}
+
+    def test_every_reported_set_is_closed_and_support_exact(self):
+        for seed in range(20):
+            db = make_random_db(seed)
+            for smin in (1, 2, 3):
+                result = closed_frequent_bruteforce(db, smin)
+                for mask, support in result.items():
+                    assert galois.is_closed(db, mask)
+                    assert itemset.size(galois.cover(db, mask)) == support
+                    assert support >= smin
+
+    def test_invalid_smin_rejected(self):
+        db = db_from_strings(["ab"])
+        with pytest.raises(ValueError):
+            closed_frequent_bruteforce(db, 0)
+
+
+class TestAllFrequentOracle:
+    def test_counts_on_small_example(self):
+        db = db_from_strings(["ab", "ab", "b"])
+        result = all_frequent_bruteforce(db, 2).as_frozensets()
+        assert result == {
+            frozenset("a"): 2,
+            frozenset("b"): 3,
+            frozenset("ab"): 2,
+        }
+
+    def test_guard_against_large_item_bases(self):
+        db = TransactionDatabase([0] * 3, n_items=25)
+        with pytest.raises(ValueError, match="guard"):
+            all_frequent_bruteforce(db, 1)
+
+    def test_closed_family_is_subset_of_frequent_family(self):
+        for seed in range(10):
+            db = make_random_db(seed, max_items=6)
+            frequent = all_frequent_bruteforce(db, 2)
+            closed = closed_frequent_bruteforce(db, 2)
+            for mask, support in closed.items():
+                assert frequent.support_of(mask) == support
+
+
+class TestMaximalOracle:
+    def test_maximal_subset_of_closed(self):
+        for seed in range(10):
+            db = make_random_db(seed)
+            closed = closed_frequent_bruteforce(db, 2)
+            maximal = maximal_frequent_bruteforce(db, 2)
+            for mask in maximal:
+                assert mask in closed
+                # no proper frequent superset
+                assert not any(
+                    other != mask and itemset.is_subset(mask, other) for other in closed
+                )
+
+
+class TestSupportReconstruction:
+    @given(st.integers(min_value=0, max_value=60))
+    def test_every_frequent_set_reconstructs_exactly(self, seed):
+        db = make_random_db(seed, max_items=6)
+        smin = 2
+        closed = closed_frequent_bruteforce(db, smin)
+        frequent = all_frequent_bruteforce(db, smin)
+        for mask, support in frequent.items():
+            assert reconstruct_support(closed, mask) == support
+
+    def test_infrequent_set_gives_none(self):
+        db = db_from_strings(["a", "b"])
+        closed = closed_frequent_bruteforce(db, 1)
+        missing = itemset.from_indices([0, 1])  # {a, b} never co-occurs
+        assert reconstruct_support(closed, missing) is None
+
+
+class TestCheckClosedFamily:
+    def test_accepts_correct_family(self):
+        db = db_from_strings(["eca", "edb", "dcba"])
+        check_closed_family(db, closed_frequent_bruteforce(db, 1), 1)
+
+    def test_rejects_wrong_support(self):
+        db = db_from_strings(["ab", "ab"])
+        bogus = MiningResult({db.encode("ab"): 1}, db.item_labels)
+        with pytest.raises(AssertionError, match="true support"):
+            check_closed_family(db, bogus, 1)
+
+    def test_rejects_non_closed_set(self):
+        db = db_from_strings(["ab", "ab"])
+        bogus = MiningResult(
+            {db.encode("a"): 2, db.encode("ab"): 2}, db.item_labels
+        )
+        with pytest.raises(AssertionError, match="not closed"):
+            check_closed_family(db, bogus, 1)
+
+    def test_rejects_missing_set(self):
+        db = db_from_strings(["ab", "ab"])
+        bogus = MiningResult({db.encode("ab"): 2}, db.item_labels)
+        # {a,b} is the only closed set here — remove nothing; instead drop it
+        empty = MiningResult({}, db.item_labels)
+        with pytest.raises(AssertionError, match="missing"):
+            check_closed_family(db, empty, 1)
+
+    def test_rejects_below_threshold_report(self):
+        db = db_from_strings(["ab", "ab", "c"])
+        bogus = MiningResult({db.encode("c"): 1, db.encode("ab"): 2}, db.item_labels)
+        with pytest.raises(AssertionError, match="below smin"):
+            check_closed_family(db, bogus, 2)

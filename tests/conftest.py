@@ -1,0 +1,58 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.data.matrix import example_database
+
+#: Every algorithm that natively produces the closed family.
+CLOSED_ALGORITHMS = (
+    "ista",
+    "cumulative-flat",
+    "carpenter-lists",
+    "carpenter-table",
+    "cobbler",
+    "eclat",
+    "fpgrowth",
+    "lcm",
+    "sam",
+)
+
+
+def make_random_db(
+    seed: int,
+    max_transactions: int = 10,
+    max_items: int = 8,
+    density: float = 0.5,
+) -> TransactionDatabase:
+    """Deterministic random database for differential tests."""
+    rng = random.Random(seed)
+    n = rng.randint(1, max_transactions)
+    m = rng.randint(1, max_items)
+    rows = [
+        [item for item in range(m) if rng.random() < density] for _ in range(n)
+    ]
+    return TransactionDatabase.from_iterable(rows, item_order=list(range(m)))
+
+
+def db_from_strings(rows: Sequence[str]) -> TransactionDatabase:
+    """Database from strings of single-character items, e.g. ["abc", "bd"]."""
+    items = sorted({ch for row in rows for ch in row})
+    return TransactionDatabase.from_iterable([list(row) for row in rows], item_order=items)
+
+
+@pytest.fixture
+def table1_db() -> TransactionDatabase:
+    """The paper's Table 1 example database."""
+    return example_database()
+
+
+@pytest.fixture
+def figure3_db() -> TransactionDatabase:
+    """The paper's Figure 3 example: transactions {eca, edb, dcba}."""
+    return db_from_strings(["eca", "edb", "dcba"])

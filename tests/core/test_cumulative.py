@@ -1,0 +1,72 @@
+"""Tests for the flat cumulative miner (the [14] baseline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import closed_frequent_bruteforce
+from repro.core.cumulative import mine_cumulative
+from repro.core.ista import mine_ista
+from repro.data.database import TransactionDatabase
+from repro.stats import OperationCounters
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestCorrectness:
+    @settings(deadline=None, max_examples=50)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_against_oracle(self, db, smin):
+        assert mine_cumulative(db, smin) == closed_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_pruned_variant_agrees(self, db, smin):
+        plain = dict(mine_cumulative(db, smin))
+        for interval in (1, 3):
+            pruned = dict(mine_cumulative(db, smin, prune=True, prune_interval=interval))
+            assert pruned == plain
+
+    @settings(deadline=None, max_examples=30)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_agrees_with_ista(self, db, smin):
+        """Flat repository and prefix tree are two views of one recursion."""
+        assert mine_cumulative(db, smin) == mine_ista(db, smin)
+
+
+class TestBehaviour:
+    def test_figure3_example(self, figure3_db):
+        result = mine_cumulative(figure3_db, 1).as_frozensets()
+        assert result[frozenset("e")] == 2
+        assert result[frozenset("db")] == 2
+        assert len(result) == 6
+
+    def test_empty_database(self):
+        assert len(mine_cumulative(TransactionDatabase([], 0), 1)) == 0
+
+    def test_invalid_prune_interval(self):
+        db = db_from_strings(["ab"])
+        with pytest.raises(ValueError):
+            mine_cumulative(db, 1, prune=True, prune_interval=0)
+
+    def test_repository_peak_tracked(self):
+        db = db_from_strings(["abc", "abd", "cd"])
+        counters = OperationCounters()
+        mine_cumulative(db, 1, counters=counters)
+        assert counters.repository_peak >= 3
+        assert counters.intersections > 0
+
+    def test_pruning_shrinks_repository(self):
+        rows = ["abcdef", "abcdeg", "fgh", "gh", "h", "h", "h", "h"]
+        db = db_from_strings(rows)
+        smin = 4
+        plain = OperationCounters()
+        pruned = OperationCounters()
+        a = mine_cumulative(db, smin, counters=plain)
+        b = mine_cumulative(db, smin, prune=True, prune_interval=1, counters=pruned)
+        assert a == b
+        assert pruned.repository_peak <= plain.repository_peak

@@ -1,0 +1,107 @@
+"""Tests for the online/incremental miner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import closed_frequent_bruteforce
+from repro.core.incremental import IncrementalMiner
+from repro.data.database import TransactionDatabase
+
+
+class TestOnlineSemantics:
+    def test_docstring_example(self):
+        miner = IncrementalMiner()
+        miner.add(["a", "b"])
+        miner.add(["a", "b", "c"])
+        miner.add(["b", "c"])
+        assert miner.closed_sets(smin=2) == {
+            ("a", "b"): 2,
+            ("b",): 3,
+            ("b", "c"): 2,
+        }
+
+    def test_answers_valid_after_every_step(self):
+        rows = [["a", "b"], ["b", "c"], ["a", "b", "c"], ["c"], ["a", "b"]]
+        miner = IncrementalMiner()
+        for k in range(1, len(rows) + 1):
+            miner = IncrementalMiner()
+            miner.extend(rows[:k])
+            db = TransactionDatabase.from_iterable(rows[:k])
+            expected = {
+                tuple(sorted(labels)): supp
+                for labels, supp in closed_frequent_bruteforce(db, 1)
+                .as_frozensets()
+                .items()
+            }
+            got = {tuple(sorted(k2)): v for k2, v in miner.closed_sets(1).items()}
+            assert got == expected, k
+
+    def test_single_miner_reused_across_steps(self):
+        """The same miner instance must stay consistent as it grows."""
+        rows = [["x"], ["x", "y"], ["y", "z"], ["x", "z"]]
+        miner = IncrementalMiner()
+        for index, row in enumerate(rows):
+            miner.add(row)
+            db = TransactionDatabase.from_iterable(rows[: index + 1])
+            expected = closed_frequent_bruteforce(db, 1).as_frozensets()
+            got = {frozenset(k): v for k, v in miner.closed_sets(1).items()}
+            assert got == expected
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=6),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_random_streams(self, rows, smin):
+        miner = IncrementalMiner()
+        miner.extend(rows)
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(7)))
+        expected = {
+            tuple(sorted(labels)): supp
+            for labels, supp in closed_frequent_bruteforce(db, smin)
+            .as_frozensets()
+            .items()
+        }
+        assert miner.closed_sets(smin) == expected
+
+
+class TestQueries:
+    @pytest.fixture
+    def miner(self):
+        miner = IncrementalMiner()
+        miner.extend([["a", "b"], ["a", "b", "c"], ["a"]])
+        return miner
+
+    def test_counts(self, miner):
+        assert miner.n_transactions == 3
+        assert miner.n_items == 3
+        assert miner.repository_size > 0
+
+    def test_support_of(self, miner):
+        assert miner.support_of(["a"]) == 3
+        assert miner.support_of(["a", "b"]) == 2
+        assert miner.support_of(["a", "b", "c"]) == 1
+
+    def test_support_of_unseen_item(self, miner):
+        assert miner.support_of(["zzz"]) == 0
+
+    def test_support_of_infrequent_combination(self):
+        miner = IncrementalMiner()
+        miner.extend([["a"], ["b"]])
+        assert miner.support_of(["a", "b"]) == 0
+
+    def test_invalid_smin(self, miner):
+        with pytest.raises(ValueError):
+            miner.closed_sets(0)
+
+    def test_empty_transaction_counted_but_silent(self):
+        miner = IncrementalMiner()
+        miner.add([])
+        miner.add(["a"])
+        assert miner.n_transactions == 2
+        assert miner.closed_sets(1) == {("a",): 1}

@@ -1,0 +1,148 @@
+"""Tests for the IsTa prefix tree — including a replay of Figure 3."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import itemset
+from repro.core.prefix_tree import PrefixTree
+
+# Item codes for the Figure 3 example: a=0, b=1, c=2, d=3, e=4.
+A, B, C, D, E = (1 << i for i in range(5))
+
+
+def add_all(tree, masks):
+    for mask in masks:
+        tree.add_transaction(mask)
+
+
+class TestFigure3:
+    """Replays the worked example of Figure 3 state by state."""
+
+    def test_step_1_first_transaction(self):
+        tree = PrefixTree()
+        tree.add_transaction(E | C | A)
+        # "1:" — a single path e(1) -> c(1) -> a(1).
+        assert tree.as_nested_dict() == {4: (1, {2: (1, {0: (1, {})})})}
+
+    def test_step_2_overlap_on_e(self):
+        tree = PrefixTree()
+        add_all(tree, [E | C | A, E | D | B])
+        # "2:" — e's support rises to 2; d(1)->b(1) appears next to c(1)->a(1).
+        assert tree.as_nested_dict() == {
+            4: (2, {2: (1, {0: (1, {})}), 3: (1, {1: (1, {})})})
+        }
+
+    def test_step_3_1_path_inserted_with_support_zero(self):
+        tree = PrefixTree()
+        add_all(tree, [E | C | A, E | D | B])
+        tree._step += 1
+        tree._insert_path(D | C | B | A)
+        # "3.1:" — the new path d->c->b->a exists with support 0 everywhere.
+        nested = tree.as_nested_dict()
+        assert nested[3] == (0, {2: (0, {1: (0, {0: (0, {})})})})
+
+    def test_step_3_final_tree(self):
+        tree = PrefixTree()
+        add_all(tree, [E | C | A, E | D | B, D | C | B | A])
+        # "3.3:" — intersections {d,b} and {c,a} present with support 2.
+        assert tree.as_nested_dict() == {
+            4: (2, {2: (1, {0: (1, {})}), 3: (1, {1: (1, {})})}),
+            3: (2, {2: (1, {1: (1, {0: (1, {})})}), 1: (2, {})}),
+            2: (2, {0: (2, {})}),
+        }
+
+    def test_report_smin_1(self):
+        tree = PrefixTree()
+        add_all(tree, [E | C | A, E | D | B, D | C | B | A])
+        reported = dict(tree.report(1))
+        assert reported == {
+            E: 2,
+            E | C | A: 1,
+            E | D | B: 1,
+            D | C | B | A: 1,
+            D | B: 2,
+            C | A: 2,
+        }
+
+    def test_report_smin_2(self):
+        tree = PrefixTree()
+        add_all(tree, [E | C | A, E | D | B, D | C | B | A])
+        assert dict(tree.report(2)) == {E: 2, D | B: 2, C | A: 2}
+
+
+class TestBasicBehaviour:
+    def test_empty_tree_reports_nothing(self):
+        assert list(PrefixTree().report(1)) == []
+
+    def test_empty_transaction_is_ignored(self):
+        tree = PrefixTree()
+        tree.add_transaction(0)
+        assert tree.n_nodes == 0
+        assert tree.step == 1
+
+    def test_duplicate_transaction_counts_twice(self):
+        tree = PrefixTree()
+        add_all(tree, [A | B, A | B])
+        assert dict(tree.report(1)) == {A | B: 2}
+
+    def test_subset_transaction_updates_superset_path(self):
+        tree = PrefixTree()
+        add_all(tree, [A | B | C, A | B])
+        assert dict(tree.report(1)) == {A | B | C: 1, A | B: 2}
+
+    def test_report_rejects_bad_smin(self):
+        with pytest.raises(ValueError):
+            list(PrefixTree().report(0))
+
+    def test_find_returns_nodes_on_paths(self):
+        tree = PrefixTree()
+        tree.add_transaction(A | C)
+        assert tree.find(A | C).supp == 1
+        assert tree.find(C).supp == 1  # prefix node
+        assert tree.find(A) is None  # not a rooted path
+        assert tree.find(B) is None
+
+    def test_node_count_tracks_insertions(self):
+        tree = PrefixTree()
+        tree.add_transaction(A | B)
+        assert tree.n_nodes == 2
+        tree.add_transaction(C)
+        assert tree.n_nodes == 3
+
+    def test_depth(self):
+        tree = PrefixTree()
+        assert tree.depth() == 0
+        tree.add_transaction(A | B | C | D)
+        assert tree.depth() == 4
+
+    def test_deep_transaction_no_recursion_error(self):
+        """Gene-expression transactions can hold thousands of items; the
+        explicit-stack implementation must not hit the recursion limit."""
+        tree = PrefixTree()
+        wide = (1 << 3000) - 1
+        tree.add_transaction(wide)
+        tree.add_transaction(wide >> 1)
+        reported = dict(tree.report(1))
+        assert reported[wide] == 1
+        assert reported[wide >> 1] == 2
+
+
+class TestAgainstOracle:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=(1 << 7) - 1), min_size=1, max_size=9
+        )
+    )
+    def test_tree_matches_definition_of_closed_sets(self, masks):
+        """Every tree report equals the brute-force closed family."""
+        from repro.closure.verify import closed_frequent_bruteforce
+        from repro.data.database import TransactionDatabase
+
+        db = TransactionDatabase(list(masks), 7)
+        tree = PrefixTree()
+        add_all(tree, masks)
+        for smin in (1, 2, len(masks)):
+            expected = dict(closed_frequent_bruteforce(db, smin))
+            assert dict(tree.report(smin)) == expected

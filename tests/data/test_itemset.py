@@ -1,0 +1,108 @@
+"""Unit tests for the bitmask item set kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import itemset
+
+item_sets = st.frozensets(st.integers(min_value=0, max_value=200), max_size=30)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert itemset.EMPTY == 0
+        assert itemset.from_indices([]) == 0
+        assert itemset.to_indices(0) == []
+
+    def test_singleton(self):
+        assert itemset.singleton(0) == 1
+        assert itemset.singleton(5) == 32
+
+    def test_singleton_negative_rejected(self):
+        with pytest.raises(ValueError):
+            itemset.singleton(-1)
+
+    def test_from_indices_duplicates_collapse(self):
+        assert itemset.from_indices([1, 1, 1]) == itemset.singleton(1)
+
+    def test_from_indices_negative_rejected(self):
+        with pytest.raises(ValueError):
+            itemset.from_indices([0, -3])
+
+    @given(item_sets)
+    def test_roundtrip(self, items):
+        mask = itemset.from_indices(items)
+        assert set(itemset.to_indices(mask)) == set(items)
+
+    @given(item_sets)
+    def test_to_indices_sorted(self, items):
+        mask = itemset.from_indices(items)
+        out = itemset.to_indices(mask)
+        assert out == sorted(out)
+
+
+class TestQueries:
+    @given(item_sets)
+    def test_size(self, items):
+        assert itemset.size(itemset.from_indices(items)) == len(items)
+
+    @given(item_sets, st.integers(min_value=0, max_value=200))
+    def test_contains(self, items, item):
+        mask = itemset.from_indices(items)
+        assert itemset.contains(mask, item) == (item in items)
+
+    @given(item_sets, item_sets)
+    def test_is_subset_matches_set_semantics(self, a, b):
+        assert itemset.is_subset(
+            itemset.from_indices(a), itemset.from_indices(b)
+        ) == a.issubset(b)
+
+    def test_lowest_highest(self):
+        mask = itemset.from_indices([3, 7, 11])
+        assert itemset.lowest_item(mask) == 3
+        assert itemset.highest_item(mask) == 11
+
+    def test_lowest_highest_empty_raises(self):
+        with pytest.raises(ValueError):
+            itemset.lowest_item(0)
+        with pytest.raises(ValueError):
+            itemset.highest_item(0)
+
+    def test_iter_indices_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(itemset.iter_indices(-1))
+
+
+class TestAlgebra:
+    @given(st.lists(item_sets, min_size=1, max_size=6))
+    def test_intersect_all(self, sets):
+        masks = [itemset.from_indices(s) for s in sets]
+        expected = set(sets[0])
+        for s in sets[1:]:
+            expected &= s
+        assert itemset.intersect_all(masks) == itemset.from_indices(expected)
+
+    def test_intersect_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            itemset.intersect_all([])
+
+    @given(st.lists(item_sets, max_size=6))
+    def test_union_all(self, sets):
+        masks = [itemset.from_indices(s) for s in sets]
+        expected = set().union(*sets) if sets else set()
+        assert itemset.union_all(masks) == itemset.from_indices(expected)
+
+    @given(item_sets, st.integers(min_value=0, max_value=200))
+    def test_without(self, items, item):
+        mask = itemset.from_indices(items)
+        assert itemset.without(mask, item) == itemset.from_indices(items - {item})
+
+
+class TestCanonicalTuple:
+    def test_without_labels(self):
+        assert itemset.canonical_tuple(itemset.from_indices([2, 0])) == (0, 2)
+
+    def test_with_labels(self):
+        labels = ["a", "b", "c"]
+        assert itemset.canonical_tuple(itemset.from_indices([2, 0]), labels) == ("a", "c")

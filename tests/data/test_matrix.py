@@ -1,0 +1,90 @@
+"""Tests for the table-based Carpenter matrix — including the exact Table 1."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.database import TransactionDatabase
+from repro.data.matrix import build_matrix, example_database, remaining_counts
+
+#: The matrix printed in Table 1 of the paper (rows t1..t8, columns a..e).
+TABLE_1 = [
+    [4, 5, 5, 0, 0],
+    [3, 0, 0, 6, 3],
+    [0, 4, 4, 5, 0],
+    [2, 3, 3, 4, 0],
+    [0, 2, 2, 0, 0],
+    [1, 1, 0, 3, 0],
+    [0, 0, 0, 2, 2],
+    [0, 0, 1, 1, 1],
+]
+
+transaction_lists = st.lists(
+    st.lists(st.integers(min_value=0, max_value=5), max_size=6), max_size=8
+)
+
+
+class TestTable1:
+    def test_example_database_matches_paper(self):
+        db = example_database()
+        assert db.as_sets() == [
+            ("a", "b", "c"),
+            ("a", "d", "e"),
+            ("b", "c", "d"),
+            ("a", "b", "c", "d"),
+            ("b", "c"),
+            ("a", "b", "d"),
+            ("d", "e"),
+            ("c", "d", "e"),
+        ]
+
+    def test_matrix_equals_published_table(self):
+        matrix = build_matrix(example_database())
+        assert matrix.tolist() == TABLE_1
+
+
+class TestMatrixProperties:
+    @given(transaction_lists)
+    def test_zero_iff_absent(self, rows):
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(6)))
+        matrix = build_matrix(db)
+        for k, row in enumerate(rows):
+            for item in range(6):
+                assert (matrix[k, item] == 0) == (item not in row)
+
+    @given(transaction_lists)
+    def test_entries_count_remaining_occurrences(self, rows):
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(6)))
+        matrix = build_matrix(db)
+        for k, row in enumerate(rows):
+            for item in set(row):
+                expected = sum(1 for later in rows[k:] if item in later)
+                assert matrix[k, item] == expected
+
+    @given(transaction_lists)
+    def test_first_row_entries_equal_item_supports(self, rows):
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(6)))
+        matrix = build_matrix(db)
+        supports = db.item_supports()
+        if rows:
+            for item in set(rows[0]):
+                assert matrix[0, item] == supports[item]
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], 3)
+        assert build_matrix(db).shape == (0, 3)
+
+
+class TestRemainingCounts:
+    @given(transaction_lists, st.integers(min_value=0, max_value=8))
+    def test_counts_match_direct_enumeration(self, rows, start):
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(6)))
+        start = min(start, len(rows))
+        counts = remaining_counts(db, start)
+        for item in range(6):
+            expected = sum(1 for row in rows[start:] if item in row)
+            assert counts[item] == expected
+
+    def test_start_zero_equals_item_supports(self):
+        db = example_database()
+        assert remaining_counts(db, 0) == db.item_supports()

@@ -1,0 +1,104 @@
+"""Unit tests for item coding and transaction processing orders (Section 3.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data import itemset
+from repro.data.database import TransactionDatabase
+from repro.data.recode import (
+    ITEM_ORDERS,
+    TRANSACTION_ORDERS,
+    item_order_permutation,
+    prepare,
+    recode_items,
+    reorder_transactions,
+    transaction_order_permutation,
+)
+
+
+@pytest.fixture
+def db():
+    # supports: a=3, b=1, c=2, d=2
+    return TransactionDatabase.from_iterable(
+        [["a", "b"], ["a", "c"], ["a", "c", "d"], ["d"]],
+        item_order=["a", "b", "c", "d"],
+    )
+
+
+class TestItemOrders:
+    def test_frequency_ascending_gives_rarest_code_zero(self, db):
+        recoded = recode_items(db, "frequency-ascending")
+        # b (supp 1) -> 0; c, d (supp 2, tie by old code) -> 1, 2; a -> 3
+        assert recoded.item_labels == ["b", "c", "d", "a"]
+
+    def test_frequency_descending(self, db):
+        recoded = recode_items(db, "frequency-descending")
+        assert recoded.item_labels == ["a", "c", "d", "b"]
+
+    def test_identity_returns_same_object(self, db):
+        assert recode_items(db, "identity") is db
+
+    def test_random_is_permutation_and_deterministic(self, db):
+        perm1 = item_order_permutation(db, "random", seed=7)
+        perm2 = item_order_permutation(db, "random", seed=7)
+        assert perm1 == perm2
+        assert sorted(perm1) == list(range(db.n_items))
+
+    def test_unknown_order_rejected(self, db):
+        with pytest.raises(ValueError, match="unknown item order"):
+            recode_items(db, "bogus")
+
+    @given(st.sampled_from(ITEM_ORDERS))
+    def test_recoding_preserves_transaction_contents(self, order):
+        db = TransactionDatabase.from_iterable(
+            [["a", "b"], ["b", "c"], ["c"]], item_order=["a", "b", "c"]
+        )
+        recoded = recode_items(db, order, seed=3)
+        originals = {frozenset(t) for t in db.as_sets()}
+        recodeds = {frozenset(t) for t in recoded.as_sets()}
+        assert originals == recodeds
+
+
+class TestTransactionOrders:
+    def test_size_ascending(self, db):
+        ordered = reorder_transactions(db, "size-ascending")
+        assert ordered.transaction_sizes() == sorted(db.transaction_sizes())
+
+    def test_size_descending(self, db):
+        ordered = reorder_transactions(db, "size-descending")
+        assert ordered.transaction_sizes() == sorted(db.transaction_sizes(), reverse=True)
+
+    def test_identity_returns_same_object(self, db):
+        assert reorder_transactions(db, "identity") is db
+
+    def test_random_is_permutation(self, db):
+        tids = transaction_order_permutation(db, "random", seed=5)
+        assert sorted(tids) == list(range(db.n_transactions))
+
+    def test_lexicographic_ties_use_descending_items(self):
+        db = TransactionDatabase.from_iterable(
+            [["b", "c"], ["a", "c"]], item_order=["a", "b", "c"]
+        )
+        ordered = reorder_transactions(db, "lexicographic")
+        # both have max item c; next items a < b, so {a, c} first
+        assert ordered.as_sets()[0] == ("a", "c")
+
+    def test_unknown_order_rejected(self, db):
+        with pytest.raises(ValueError, match="unknown transaction order"):
+            reorder_transactions(db, "bogus")
+
+    @given(st.sampled_from(TRANSACTION_ORDERS))
+    def test_reordering_is_a_permutation_of_transactions(self, order):
+        db = TransactionDatabase.from_iterable(
+            [["a"], ["a", "b"], [], ["b", "c"]], item_order=["a", "b", "c"]
+        )
+        ordered = reorder_transactions(db, order, seed=1)
+        assert sorted(ordered.transactions) == sorted(db.transactions)
+
+
+class TestPrepare:
+    def test_prepare_combines_both_orders(self, db):
+        prepared = prepare(db)
+        assert prepared.transaction_sizes() == sorted(db.transaction_sizes())
+        assert prepared.item_labels == ["b", "c", "d", "a"]

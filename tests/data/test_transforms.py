@@ -1,0 +1,106 @@
+"""Unit tests for transpose and expression discretisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.database import TransactionDatabase
+from repro.data.transforms import (
+    binarize_expression,
+    expression_to_database,
+    transpose,
+)
+
+transaction_lists = st.lists(
+    st.lists(st.integers(min_value=0, max_value=6), max_size=6), max_size=8
+)
+
+
+class TestTranspose:
+    def test_simple_case(self):
+        db = TransactionDatabase.from_iterable(
+            [["a", "b"], ["b"]], item_order=["a", "b"]
+        )
+        transposed = transpose(db)
+        # item "a" -> transaction {0}; item "b" -> transaction {0, 1}
+        assert transposed.n_transactions == 2
+        assert transposed.transactions == [0b01, 0b11]
+
+    @given(transaction_lists)
+    def test_double_transpose_restores_masks(self, rows):
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(7)))
+        back = transpose(transpose(db))
+        assert back.transactions == db.transactions
+
+    @given(transaction_lists)
+    def test_membership_is_mirrored(self, rows):
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(7)))
+        transposed = transpose(db)
+        for tid, row in enumerate(rows):
+            for item in set(row):
+                assert transposed.transactions[item] >> tid & 1
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], 0)
+        assert transpose(db).n_transactions == 0
+
+
+class TestBinarize:
+    def test_thresholds(self):
+        values = np.array([[0.3, -0.3, 0.1]])
+        over, under = binarize_expression(values)
+        assert over.tolist() == [[True, False, False]]
+        assert under.tolist() == [[False, True, False]]
+
+    def test_boundary_values_are_neutral(self):
+        over, under = binarize_expression(np.array([[0.2, -0.2]]))
+        assert not over.any()
+        assert not under.any()
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="below"):
+            binarize_expression(np.zeros((1, 1)), upper=-0.1, lower=0.1)
+
+
+class TestExpressionToDatabase:
+    @pytest.fixture
+    def values(self):
+        # gene 0: over in c0, under in c1; gene 1: over in c1
+        return np.array([[0.5, -0.5], [0.0, 0.4]])
+
+    def test_genes_as_transactions(self, values):
+        db = expression_to_database(values, orientation="genes-as-transactions")
+        assert db.n_transactions == 2
+        assert db.as_sets()[0] == (("c0", "+"), ("c1", "-"))
+        assert db.as_sets()[1] == (("c1", "+"),)
+
+    def test_conditions_as_transactions(self, values):
+        db = expression_to_database(values, orientation="conditions-as-transactions")
+        assert db.n_transactions == 2
+        assert db.as_sets()[0] == (("g0", "+"),)
+        assert set(db.as_sets()[1]) == {("g0", "-"), ("g1", "+")}
+
+    def test_duality(self, values):
+        """The two orientations are transposes up to item identity."""
+        genes = expression_to_database(values, orientation="genes-as-transactions")
+        conditions = expression_to_database(values, orientation="conditions-as-transactions")
+        total_genes = sum(len(t) for t in genes.as_sets())
+        total_conditions = sum(len(t) for t in conditions.as_sets())
+        assert total_genes == total_conditions
+
+    def test_unknown_orientation_rejected(self, values):
+        with pytest.raises(ValueError, match="unknown orientation"):
+            expression_to_database(values, orientation="sideways")
+
+    def test_custom_names(self, values):
+        db = expression_to_database(
+            values,
+            gene_names=["tp53", "brca1"],
+            orientation="conditions-as-transactions",
+        )
+        assert ("tp53", "+") in db.as_sets()[0]
+
+    def test_name_length_mismatch_rejected(self, values):
+        with pytest.raises(ValueError, match="name lists"):
+            expression_to_database(values, gene_names=["only-one"])

@@ -1,0 +1,58 @@
+"""Tests for the market-basket generator and the dataset registry."""
+
+import pytest
+
+from repro.datasets import DATASETS, load
+from repro.datasets.basket import quest_baskets
+
+
+class TestQuestBaskets:
+    def test_shape(self):
+        db = quest_baskets(n_transactions=100, n_items=40)
+        assert db.n_transactions == 100
+        assert db.n_items == 40
+
+    def test_deterministic(self):
+        a = quest_baskets(n_transactions=50, n_items=30, seed=11)
+        b = quest_baskets(n_transactions=50, n_items=30, seed=11)
+        assert a.transactions == b.transactions
+
+    def test_transaction_lengths_near_target(self):
+        db = quest_baskets(n_transactions=500, n_items=100, mean_transaction_length=10)
+        sizes = db.transaction_sizes()
+        assert 5 < sum(sizes) / len(sizes) < 20
+
+    def test_terminates_with_tiny_pattern_pool(self):
+        """Regression: a pattern pool smaller than the wanted length must
+        not loop forever."""
+        db = quest_baskets(
+            n_transactions=50, n_items=50, n_patterns=1,
+            mean_pattern_length=1.0, mean_transaction_length=30.0, seed=0,
+        )
+        assert db.n_transactions == 50
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            quest_baskets(n_transactions=0)
+        with pytest.raises(ValueError):
+            quest_baskets(corruption=1.0)
+
+
+class TestRegistry:
+    def test_all_names_load(self):
+        small = {
+            "yeast": dict(n_genes=30, n_conditions=10),
+            "ncbi60": dict(n_genes=30, n_cell_lines=8, n_tissues=2),
+            "thrombin": dict(n_records=8, n_features=2600),
+            "webview-tpo": dict(n_sessions=30, n_pages=10),
+            "webview": dict(n_sessions=30, n_pages=10),
+            "baskets": dict(n_transactions=20, n_items=15),
+        }
+        assert set(small) == set(DATASETS)
+        for name, options in small.items():
+            db = load(name, **options)
+            assert db.n_transactions > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown data set"):
+            load("mystery")

@@ -1,0 +1,69 @@
+"""Calibration guards for the benchmark workloads.
+
+The figure sweeps only say something if the generated data keeps its
+regime (shape) and a non-trivial closed structure.  These tests pin the
+*scaled-down* workloads' properties so that generator changes that
+would silently hollow out the benchmarks fail loudly here.
+"""
+
+from repro.analysis import profile_database
+from repro.datasets import (
+    ncbi60_like,
+    quest_baskets,
+    thrombin_like,
+    webview_transposed,
+    yeast_compendium,
+)
+from repro.mining import mine
+
+
+class TestRegimes:
+    def test_yeast_is_wide(self):
+        db = yeast_compendium(n_genes=400, n_conditions=60)
+        profile = profile_database(db)
+        assert profile.favours_intersection
+        assert profile.n_transactions == 60
+
+    def test_ncbi60_is_wide_and_blocky(self):
+        db = ncbi60_like(n_genes=200, n_cell_lines=20, n_tissues=4)
+        profile = profile_database(db)
+        assert profile.favours_intersection
+        # tissue blocks make transactions long relative to the noise rate
+        assert profile.mean_transaction_size > 10
+
+    def test_thrombin_is_wide_and_sparse_tailed(self):
+        db = thrombin_like(n_records=16, n_features=800, group_size=12)
+        assert profile_database(db).favours_intersection
+
+    def test_webview_transposed_is_wide(self):
+        db = webview_transposed(n_sessions=200, n_pages=40)
+        assert profile_database(db).favours_intersection
+
+    def test_baskets_is_tall(self):
+        db = quest_baskets(n_transactions=200, n_items=40)
+        assert not profile_database(db).favours_intersection
+
+
+class TestClosedStructure:
+    """Each scaled workload must yield a non-trivial closed family —
+    a near-empty family would make the benchmark cells meaningless."""
+
+    def test_yeast_structure(self):
+        db = yeast_compendium(n_genes=400, n_conditions=60)
+        assert len(mine(db, max(2, 60 // 30), algorithm="lcm")) >= 20
+
+    def test_ncbi60_structure(self):
+        db = ncbi60_like(n_genes=200, n_cell_lines=20, n_tissues=4)
+        assert len(mine(db, 14, algorithm="ista")) >= 10
+
+    def test_thrombin_structure(self):
+        db = thrombin_like(n_records=16, n_features=800, group_size=12)
+        assert len(mine(db, 6, algorithm="ista")) >= 10
+
+    def test_webview_structure(self):
+        db = webview_transposed(n_sessions=200, n_pages=40)
+        assert len(mine(db, 2, algorithm="ista")) >= 20
+
+    def test_baskets_structure(self):
+        db = quest_baskets(n_transactions=200, n_items=40)
+        assert len(mine(db, 20, algorithm="fpgrowth")) >= 10

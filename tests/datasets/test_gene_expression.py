@@ -1,0 +1,109 @@
+"""Tests for the gene-expression workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.gene_expression import (
+    expression_database,
+    ncbi60_like,
+    synthetic_expression_matrix,
+    tissue_panel_matrix,
+    yeast_compendium,
+)
+
+
+class TestSyntheticMatrix:
+    def test_shape(self):
+        values = synthetic_expression_matrix(50, 20, seed=0)
+        assert values.shape == (50, 20)
+
+    def test_deterministic_given_seed(self):
+        a = synthetic_expression_matrix(30, 10, seed=7)
+        b = synthetic_expression_matrix(30, 10, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_expression_matrix(30, 10, seed=1)
+        b = synthetic_expression_matrix(30, 10, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_modules_create_signal(self):
+        quiet = synthetic_expression_matrix(100, 30, n_modules=0, noise_sd=0.05, seed=3)
+        loud = synthetic_expression_matrix(
+            100, 30, n_modules=10, module_gene_frac=0.3,
+            module_condition_frac=0.5, noise_sd=0.05, seed=3,
+        )
+        assert (np.abs(loud) > 0.2).sum() > (np.abs(quiet) > 0.2).sum()
+
+    def test_per_module_sign_gives_consistent_direction(self):
+        values = synthetic_expression_matrix(
+            40, 20, n_modules=1, module_gene_frac=1.0, module_condition_frac=1.0,
+            signal=1.0, noise_sd=0.01, module_sign="per-module", seed=4,
+        )
+        # Whole matrix shifted one way: all entries share a sign.
+        assert (values > 0.5).all() or (values < -0.5).all()
+
+    def test_baseline_genes_shift_whole_rows(self):
+        values = synthetic_expression_matrix(
+            50, 30, n_modules=0, baseline_frac=1.0, baseline_shift=1.0,
+            baseline_spread=0.0, noise_sd=0.01, seed=5,
+        )
+        assert (np.abs(values) > 0.5).all()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_genes": 0, "n_conditions": 5},
+            {"n_genes": 5, "n_conditions": 5, "module_gene_frac": 0.0},
+            {"n_genes": 5, "n_conditions": 5, "baseline_frac": 1.5},
+            {"n_genes": 5, "n_conditions": 5, "module_sign": "sideways"},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            synthetic_expression_matrix(**kwargs)
+
+
+class TestTissuePanel:
+    def test_shape_and_determinism(self):
+        a = tissue_panel_matrix(40, 12, n_tissues=3, seed=0)
+        b = tissue_panel_matrix(40, 12, n_tissues=3, seed=0)
+        assert a.shape == (40, 12)
+        np.testing.assert_array_equal(a, b)
+
+    def test_signature_genes_block_structure(self):
+        values = tissue_panel_matrix(
+            20, 12, n_tissues=2, signature_frac=1.0, signature_prob=1.0,
+            signal=1.0, noise_sd=0.01, seed=1,
+        )
+        # With probability 1 every signature gene is shifted in every
+        # tissue, one direction per gene: row-wise constant sign.
+        signs = np.sign(values)
+        assert (signs == signs[:, :1]).all()
+
+    def test_invalid_tissue_count_rejected(self):
+        with pytest.raises(ValueError):
+            tissue_panel_matrix(10, 5, n_tissues=6)
+
+
+class TestWorkloads:
+    def test_yeast_shape(self):
+        db = yeast_compendium(n_genes=200, n_conditions=40)
+        assert db.n_transactions == 40
+        assert db.n_items == 400  # one +/- item pair per gene
+
+    def test_yeast_genes_as_transactions_orientation(self):
+        db = yeast_compendium(
+            n_genes=50, n_conditions=10, orientation="genes-as-transactions"
+        )
+        assert db.n_transactions == 50
+
+    def test_ncbi60_shape(self):
+        db = ncbi60_like(n_genes=100, n_cell_lines=12, n_tissues=3)
+        assert db.n_transactions == 12
+        assert db.n_items == 200
+
+    def test_expression_database_thresholds(self):
+        values = np.array([[0.5, -0.5, 0.0]])
+        db = expression_database(values, orientation="genes-as-transactions")
+        assert sum(db.transaction_sizes()) == 2

@@ -1,0 +1,49 @@
+"""Tests for the thrombin-shaped workload generator."""
+
+import pytest
+
+from repro.datasets.thrombin import thrombin_like
+
+
+class TestThrombinLike:
+    def test_shape(self):
+        db = thrombin_like(n_records=16, n_features=800, group_size=15)
+        assert db.n_transactions == 16
+        assert db.n_items == 800
+
+    def test_deterministic(self):
+        a = thrombin_like(n_records=8, n_features=600, group_size=10, seed=5)
+        b = thrombin_like(n_records=8, n_features=600, group_size=10, seed=5)
+        assert a.transactions == b.transactions
+
+    def test_scaffold_features_occur_in_blocks(self):
+        db = thrombin_like(
+            n_records=20, n_features=600, n_popular_groups=2, n_rare_groups=0,
+            group_size=10, tail_rate=0.0, seed=1,
+        )
+        # Features of one group share identical covers.
+        vertical = db.vertical()
+        for group in range(2):
+            covers = {vertical[group * 10 + offset] for offset in range(10)}
+            assert len(covers) == 1
+
+    def test_popular_groups_reach_high_support(self):
+        db = thrombin_like(
+            n_records=64, n_features=2600, popular_range=(0.9, 0.95), seed=2
+        )
+        supports = db.item_supports()
+        assert max(supports) >= 48
+
+    def test_tail_features_are_sparse(self):
+        db = thrombin_like(n_records=64, n_features=4000, tail_rate=0.005, seed=3)
+        tail_start = (14 + 26) * 60
+        tail_supports = db.item_supports()[tail_start:]
+        assert max(tail_supports, default=0) <= 5
+
+    def test_blocks_exceeding_feature_base_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            thrombin_like(n_features=100, group_size=60)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            thrombin_like(n_records=0)

@@ -1,0 +1,47 @@
+"""Tests for the click-stream workload generator."""
+
+import pytest
+
+from repro.data.transforms import transpose
+from repro.datasets.webview import webview_clicks, webview_transposed
+
+
+class TestClicks:
+    def test_shape(self):
+        db = webview_clicks(n_sessions=100, n_pages=50)
+        assert db.n_transactions == 100
+        assert db.n_items <= 50
+
+    def test_deterministic(self):
+        a = webview_clicks(n_sessions=50, n_pages=30, seed=9)
+        b = webview_clicks(n_sessions=50, n_pages=30, seed=9)
+        assert a.transactions == b.transactions
+
+    def test_sessions_are_short_on_average(self):
+        db = webview_clicks(n_sessions=500, n_pages=100, mean_session_length=2.5)
+        sizes = db.transaction_sizes()
+        assert 1.0 < sum(sizes) / len(sizes) < 8.0
+
+    def test_zipf_head_is_popular(self):
+        db = webview_clicks(n_sessions=1000, n_pages=100, n_paths=0)
+        supports = db.item_supports()
+        # page 0 is the Zipf head; it must dominate the median page
+        assert supports[0] > 5 * sorted(supports)[50]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            webview_clicks(n_sessions=0)
+        with pytest.raises(ValueError):
+            webview_clicks(mean_session_length=0.0)
+
+
+class TestTransposed:
+    def test_is_the_transpose(self):
+        clicks = webview_clicks(n_sessions=40, n_pages=20, seed=2)
+        transposed = webview_transposed(n_sessions=40, n_pages=20, seed=2)
+        assert transpose(clicks).transactions == transposed.transactions
+
+    def test_many_items_few_transactions(self):
+        db = webview_transposed(n_sessions=400, n_pages=50)
+        assert db.n_transactions <= 50
+        assert db.n_items == 400

@@ -1,0 +1,65 @@
+"""Tests for the level-wise Apriori reference implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import (
+    all_frequent_bruteforce,
+    closed_frequent_bruteforce,
+    maximal_frequent_bruteforce,
+)
+from repro.data.database import TransactionDatabase
+from repro.enumeration.apriori import mine_apriori
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 6) - 1), min_size=1, max_size=8
+).map(lambda masks: TransactionDatabase(masks, 6))
+
+
+class TestCorrectness:
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=4))
+    def test_all_matches_oracle(self, db, smin):
+        assert mine_apriori(db, smin) == all_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=25)
+    @given(small_databases, st.integers(min_value=1, max_value=4))
+    def test_closed_matches_oracle(self, db, smin):
+        assert mine_apriori(db, smin, target="closed") == closed_frequent_bruteforce(
+            db, smin
+        )
+
+    @settings(deadline=None, max_examples=20)
+    @given(small_databases, st.integers(min_value=1, max_value=4))
+    def test_maximal_matches_oracle(self, db, smin):
+        assert mine_apriori(db, smin, target="maximal") == maximal_frequent_bruteforce(
+            db, smin
+        )
+
+
+class TestBehaviour:
+    def test_textbook_example(self):
+        db = db_from_strings(["ab", "ab", "abc", "c"])
+        result = mine_apriori(db, 2).as_frozensets()
+        assert result == {
+            frozenset("a"): 3,
+            frozenset("b"): 3,
+            frozenset("c"): 2,
+            frozenset("ab"): 3,
+        }
+
+    def test_empty_database(self):
+        assert len(mine_apriori(TransactionDatabase([], 0), 1)) == 0
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            mine_apriori(db_from_strings(["a"]), 1, target="weird")
+
+    def test_levels_terminate(self):
+        """A database whose longest frequent set spans all items."""
+        db = db_from_strings(["abcd", "abcd"])
+        result = mine_apriori(db, 2)
+        assert len(result) == 15  # all non-empty subsets of {a,b,c,d}

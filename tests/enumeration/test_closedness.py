@@ -1,0 +1,59 @@
+"""Tests for the support-bucketed closed-set store."""
+
+from repro.enumeration.closedness import ClosedSetStore
+from repro.stats import OperationCounters
+
+
+def make_store():
+    return ClosedSetStore(OperationCounters())
+
+
+class TestSubsumption:
+    def test_empty_store_subsumes_nothing(self):
+        assert not make_store().subsumed(0b1, 1)
+
+    def test_superset_with_same_support_subsumes(self):
+        store = make_store()
+        store.add(0b111, 4)
+        assert store.subsumed(0b101, 4)
+        assert store.subsumed(0b111, 4)
+
+    def test_different_support_does_not_subsume(self):
+        store = make_store()
+        store.add(0b111, 4)
+        assert not store.subsumed(0b101, 3)
+        assert not store.subsumed(0b101, 5)
+
+    def test_non_superset_does_not_subsume(self):
+        store = make_store()
+        store.add(0b011, 4)
+        assert not store.subsumed(0b101, 4)
+
+
+class TestStorage:
+    def test_len_counts_all_buckets(self):
+        store = make_store()
+        store.add(0b1, 1)
+        store.add(0b10, 1)
+        store.add(0b100, 2)
+        assert len(store) == 3
+
+    def test_pairs_returns_everything(self):
+        store = make_store()
+        store.add(0b1, 1)
+        store.add(0b10, 2)
+        assert sorted(store.pairs()) == [(0b1, 1), (0b10, 2)]
+
+    def test_containment_checks_counted(self):
+        counters = OperationCounters()
+        store = ClosedSetStore(counters)
+        store.add(0b1, 1)
+        store.subsumed(0b1, 1)
+        assert counters.containment_checks >= 1
+
+    def test_repository_peak_tracked(self):
+        counters = OperationCounters()
+        store = ClosedSetStore(counters)
+        store.add(0b1, 1)
+        store.add(0b10, 1)
+        assert counters.repository_peak == 2

@@ -1,0 +1,76 @@
+"""Tests for Eclat (all / closed / maximal targets)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import (
+    all_frequent_bruteforce,
+    closed_frequent_bruteforce,
+    maximal_frequent_bruteforce,
+)
+from repro.data.database import TransactionDatabase
+from repro.enumeration.eclat import mine_eclat
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestTargets:
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_all_matches_oracle(self, db, smin):
+        assert mine_eclat(db, smin, target="all") == all_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_closed_matches_oracle(self, db, smin):
+        assert mine_eclat(db, smin, target="closed") == closed_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=30)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_maximal_matches_oracle(self, db, smin):
+        assert mine_eclat(db, smin, target="maximal") == maximal_frequent_bruteforce(db, smin)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            mine_eclat(db_from_strings(["ab"]), 1, target="weird")
+
+
+class TestClosedSubsumption:
+    def test_perfect_extension_absorbed(self):
+        """b is a perfect extension of a: {a} alone must not be reported."""
+        db = db_from_strings(["ab", "ab", "b"])
+        result = mine_eclat(db, 1, target="closed").as_frozensets()
+        assert result == {frozenset("ab"): 2, frozenset("b"): 3}
+
+    def test_earlier_branch_subsumes(self):
+        """The closure of a later-branch prefix reaches into an earlier
+        branch; the subsumption check must drop it."""
+        db = db_from_strings(["ab", "ab", "ac"])
+        result = mine_eclat(db, 1, target="closed").as_frozensets()
+        # {b} is not closed (always occurs with a).
+        assert frozenset("b") not in result
+        assert result[frozenset("ab")] == 2
+
+    def test_full_support_items_collapse_to_root_closure(self):
+        db = db_from_strings(["abx", "aby", "abz"])
+        result = mine_eclat(db, 3, target="closed").as_frozensets()
+        assert result == {frozenset("ab"): 3}
+
+
+class TestEdgeCases:
+    def test_empty_database(self):
+        assert len(mine_eclat(TransactionDatabase([], 0), 1)) == 0
+
+    def test_all_infrequent(self):
+        db = db_from_strings(["a", "b"])
+        assert len(mine_eclat(db, 2)) == 0
+
+    def test_algorithm_label(self):
+        db = db_from_strings(["ab"])
+        assert mine_eclat(db, 1, target="closed").algorithm == "eclat-closed"
+        assert mine_eclat(db, 1, target="maximal").algorithm == "eclat-maximal"

@@ -1,0 +1,91 @@
+"""Tests for FP-growth / FP-close and the FP-tree structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import (
+    all_frequent_bruteforce,
+    closed_frequent_bruteforce,
+    maximal_frequent_bruteforce,
+)
+from repro.data.database import TransactionDatabase
+from repro.enumeration.fpgrowth import FPTree, mine_fpgrowth
+from repro.stats import OperationCounters
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestFPTree:
+    def test_shared_prefix_compresses(self):
+        counters = OperationCounters()
+        # Two identical transactions: one path, counts of 2.
+        tree = FPTree.build([(0b11, 1), (0b11, 1)], smin=1, counters=counters)
+        assert counters.nodes_created == 2
+        assert tree.counts == {0: 2, 1: 2}
+
+    def test_infrequent_items_dropped_at_build(self):
+        counters = OperationCounters()
+        tree = FPTree.build([(0b11, 1), (0b01, 1)], smin=2, counters=counters)
+        assert tree.counts == {0: 2}
+
+    def test_pattern_base_collects_weighted_paths(self):
+        counters = OperationCounters()
+        tree = FPTree.build([(0b111, 2), (0b101, 1)], smin=1, counters=counters)
+        base = dict(tree.pattern_base(0))
+        # item 0's prefixes: {2,1} with weight 2 and {2} with weight 1
+        assert base == {0b110: 2, 0b100: 1}
+
+    def test_pattern_base_of_root_level_item_is_empty(self):
+        counters = OperationCounters()
+        tree = FPTree.build([(0b100, 1)], smin=1, counters=counters)
+        assert tree.pattern_base(2) == []
+
+
+class TestTargets:
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_all_matches_oracle(self, db, smin):
+        assert mine_fpgrowth(db, smin, target="all") == all_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_closed_matches_oracle(self, db, smin):
+        assert mine_fpgrowth(db, smin, target="closed") == closed_frequent_bruteforce(
+            db, smin
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_maximal_matches_oracle(self, db, smin):
+        assert mine_fpgrowth(db, smin, target="maximal") == maximal_frequent_bruteforce(
+            db, smin
+        )
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            mine_fpgrowth(db_from_strings(["ab"]), 1, target="weird")
+
+
+class TestEdgeCases:
+    def test_empty_database(self):
+        assert len(mine_fpgrowth(TransactionDatabase([], 0), 1)) == 0
+
+    def test_single_item(self):
+        db = db_from_strings(["a", "a"])
+        assert mine_fpgrowth(db, 2).as_frozensets() == {frozenset("a"): 2}
+
+    def test_perfect_extensions_absorbed_in_closed_mode(self):
+        db = db_from_strings(["abc", "abc", "ab"])
+        result = mine_fpgrowth(db, 2, target="closed").as_frozensets()
+        assert result == {frozenset("abc"): 2, frozenset("ab"): 3}
+
+    def test_algorithm_labels(self):
+        db = db_from_strings(["ab"])
+        assert mine_fpgrowth(db, 1, target="all").algorithm == "fpgrowth"
+        assert mine_fpgrowth(db, 1, target="closed").algorithm == "fpclose"
+        assert mine_fpgrowth(db, 1, target="maximal").algorithm == "fpmax"

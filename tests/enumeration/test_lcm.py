@@ -1,0 +1,59 @@
+"""Tests for LCM (prefix-preserving closure extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import closed_frequent_bruteforce
+from repro.data.database import TransactionDatabase
+from repro.enumeration.lcm import mine_lcm
+from repro.stats import OperationCounters
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestCorrectness:
+    @settings(deadline=None, max_examples=60)
+    @given(small_databases, st.integers(min_value=1, max_value=6))
+    def test_against_oracle(self, db, smin):
+        assert mine_lcm(db, smin) == closed_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=25)
+    @given(small_databases, st.integers(min_value=1, max_value=4))
+    def test_item_order_is_transparent(self, db, smin):
+        expected = dict(mine_lcm(db, smin))
+        for order in ("frequency-descending", "identity"):
+            assert dict(mine_lcm(db, smin, item_order=order)) == expected
+
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_no_duplicates_generated(self, db, smin):
+        """Each closed set has a unique ppc parent — LCM's defining property
+        means the reports counter equals the result size."""
+        counters = OperationCounters()
+        result = mine_lcm(db, smin, counters=counters)
+        assert counters.reports == len(result)
+
+
+class TestEdgeCases:
+    def test_empty_database(self):
+        assert len(mine_lcm(TransactionDatabase([], 0), 1)) == 0
+
+    def test_smin_above_n(self):
+        db = db_from_strings(["ab"])
+        assert len(mine_lcm(db, 2)) == 0
+
+    def test_root_closure_reported(self):
+        """Items common to all transactions form the root closed set."""
+        db = db_from_strings(["abx", "aby"])
+        result = mine_lcm(db, 2).as_frozensets()
+        assert result == {frozenset("ab"): 2}
+
+    def test_figure3_example(self, figure3_db):
+        result = mine_lcm(figure3_db, 1).as_frozensets()
+        assert len(result) == 6
+        assert result[frozenset("ca")] == 2

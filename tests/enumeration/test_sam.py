@@ -1,0 +1,64 @@
+"""Tests for SaM (split and merge)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import (
+    all_frequent_bruteforce,
+    closed_frequent_bruteforce,
+    maximal_frequent_bruteforce,
+)
+from repro.data.database import TransactionDatabase
+from repro.enumeration.sam import mine_sam
+from repro.stats import OperationCounters
+
+from ..conftest import db_from_strings
+
+small_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestTargets:
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_all_matches_oracle(self, db, smin):
+        assert mine_sam(db, smin, target="all") == all_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=40)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_closed_matches_oracle(self, db, smin):
+        assert mine_sam(db, smin, target="closed") == closed_frequent_bruteforce(db, smin)
+
+    @settings(deadline=None, max_examples=25)
+    @given(small_databases, st.integers(min_value=1, max_value=5))
+    def test_maximal_matches_oracle(self, db, smin):
+        assert mine_sam(db, smin, target="maximal") == maximal_frequent_bruteforce(db, smin)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            mine_sam(db_from_strings(["ab"]), 1, target="weird")
+
+
+class TestSplitMergeMechanics:
+    def test_duplicate_transactions_merge_into_weights(self):
+        """Identical transactions collapse: the working list shrinks."""
+        db = db_from_strings(["abc"] * 5 + ["ab"] * 3)
+        counters = OperationCounters()
+        result = mine_sam(db, 1, target="all", counters=counters)
+        assert result.as_frozensets()[frozenset("abc")] == 5
+        assert result.as_frozensets()[frozenset("ab")] == 8
+
+    def test_empty_database(self):
+        assert len(mine_sam(TransactionDatabase([], 0), 1)) == 0
+
+    def test_single_item_database(self):
+        db = db_from_strings(["a", "a", "a"])
+        assert mine_sam(db, 2).as_frozensets() == {frozenset("a"): 3}
+
+    def test_algorithm_labels(self):
+        db = db_from_strings(["ab"])
+        assert mine_sam(db, 1, target="all").algorithm == "sam"
+        assert mine_sam(db, 1, target="closed").algorithm == "sam-closed"
+        assert mine_sam(db, 1, target="maximal").algorithm == "sam-maximal"

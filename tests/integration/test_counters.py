@@ -1,0 +1,72 @@
+"""Sanity of the operation counters across all miners.
+
+The counters are the reproduction's language-independent evidence, so
+they must be populated consistently: every miner reports its
+characteristic work measure, and the counts scale with the work
+actually done.
+"""
+
+import pytest
+
+from repro.mining import mine
+from repro.stats import OperationCounters
+
+from ..conftest import CLOSED_ALGORITHMS, make_random_db
+
+
+def counted(db, smin, algorithm, **options):
+    counters = OperationCounters()
+    result = mine(db, smin, algorithm=algorithm, counters=counters, **options)
+    return result, counters
+
+
+class TestPopulation:
+    @pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+    def test_some_work_is_counted(self, algorithm):
+        db = make_random_db(11, max_transactions=14, max_items=9)
+        result, counters = counted(db, 2, algorithm)
+        assert len(result) > 0
+        total = sum(
+            value for key, value in counters.as_dict().items()
+            if key != "repository_peak"
+        )
+        assert total > 0, counters.as_dict()
+
+    def test_intersection_miners_count_intersections(self):
+        db = make_random_db(12, max_transactions=14, max_items=9)
+        for algorithm in ("ista", "cumulative-flat", "carpenter-lists", "lcm"):
+            _, counters = counted(db, 2, algorithm)
+            assert counters.intersections > 0, algorithm
+
+    def test_repository_peak_bounded_by_created(self):
+        db = make_random_db(13, max_transactions=14, max_items=9)
+        _, counters = counted(db, 2, "ista")
+        assert 0 < counters.repository_peak <= counters.nodes_created
+
+    def test_lcm_reports_equal_result_size(self):
+        db = make_random_db(14, max_transactions=14, max_items=9)
+        result, counters = counted(db, 2, "lcm")
+        assert counters.reports == len(result)
+
+
+class TestScaling:
+    def test_lower_support_means_more_work(self):
+        db = make_random_db(15, max_transactions=16, max_items=10)
+        _, high = counted(db, 6, "ista")
+        _, low = counted(db, 1, "ista")
+        assert low.node_visits >= high.node_visits
+
+    def test_pruning_reduces_visits_not_results(self):
+        db = make_random_db(16, max_transactions=30, max_items=10)
+        on_result, on = counted(db, 10, "ista", prune=True, prune_interval=1)
+        off_result, off = counted(db, 10, "ista", prune=False)
+        assert on_result == off_result
+        assert on.node_visits <= off.node_visits
+
+    def test_counters_accumulate_across_runs(self):
+        db = make_random_db(17, max_transactions=10, max_items=8)
+        counters = OperationCounters()
+        mine(db, 2, algorithm="ista", counters=counters)
+        first = counters.node_visits
+        mine(db, 2, algorithm="ista", counters=counters)
+        assert counters.node_visits == 2 * first

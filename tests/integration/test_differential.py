@@ -1,0 +1,81 @@
+"""Differential tests: every miner, one answer.
+
+The heart of the test-suite: all seven closed-set miners (two cumulative
+schemes, two Carpenter variants, three enumeration baselines) must
+produce identical ``(item set, support)`` families on randomly generated
+databases, and that family must equal the brute-force oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import closed_frequent_bruteforce
+from repro.data.database import TransactionDatabase
+from repro.mining import mine
+
+from ..conftest import CLOSED_ALGORITHMS
+
+databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 8) - 1), min_size=1, max_size=12
+).map(lambda masks: TransactionDatabase(masks, 8))
+
+sparse_databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 10) - 1).map(lambda m: m & 0x21B),
+    min_size=1,
+    max_size=14,
+).map(lambda masks: TransactionDatabase(masks, 10))
+
+
+class TestAllMinersAgainstOracle:
+    @settings(deadline=None, max_examples=40)
+    @given(databases, st.integers(min_value=1, max_value=6))
+    def test_all_miners_match_oracle(self, db, smin):
+        expected = closed_frequent_bruteforce(db, smin)
+        for algorithm in CLOSED_ALGORITHMS:
+            got = mine(db, smin, algorithm=algorithm)
+            assert got == expected, algorithm
+
+    @settings(deadline=None, max_examples=25)
+    @given(sparse_databases, st.integers(min_value=1, max_value=4))
+    def test_sparse_databases(self, db, smin):
+        expected = closed_frequent_bruteforce(db, smin)
+        for algorithm in CLOSED_ALGORITHMS:
+            assert mine(db, smin, algorithm=algorithm) == expected, algorithm
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+    def test_identical_transactions(self, algorithm):
+        db = TransactionDatabase([0b1011] * 6, 4)
+        result = mine(db, 3, algorithm=algorithm)
+        assert dict(result) == {0b1011: 6}
+
+    @pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+    def test_disjoint_transactions(self, algorithm):
+        db = TransactionDatabase([0b1, 0b10, 0b100], 3)
+        result = mine(db, 1, algorithm=algorithm)
+        assert dict(result) == {0b1: 1, 0b10: 1, 0b100: 1}
+
+    @pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+    def test_chain_of_subsets(self, algorithm):
+        db = TransactionDatabase([0b1, 0b11, 0b111, 0b1111], 4)
+        result = mine(db, 1, algorithm=algorithm)
+        assert dict(result) == {0b1: 4, 0b11: 3, 0b111: 2, 0b1111: 1}
+
+    @pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+    def test_empty_transactions_interleaved(self, algorithm):
+        db = TransactionDatabase([0, 0b11, 0, 0b11, 0], 2)
+        result = mine(db, 2, algorithm=algorithm)
+        assert dict(result) == {0b11: 2}
+
+    @pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+    def test_smin_equal_to_n(self, algorithm):
+        db = TransactionDatabase([0b110, 0b011, 0b111], 3)
+        result = mine(db, 3, algorithm=algorithm)
+        assert dict(result) == {0b010: 3}
+
+    @pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+    def test_single_transaction(self, algorithm):
+        db = TransactionDatabase([0b101], 3)
+        assert dict(mine(db, 1, algorithm=algorithm)) == {0b101: 1}

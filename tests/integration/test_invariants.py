@@ -1,0 +1,77 @@
+"""Cross-cutting invariants of the closed frequent family (Section 2.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure import galois
+from repro.closure.verify import all_frequent_bruteforce, reconstruct_support
+from repro.data import itemset
+from repro.data.database import TransactionDatabase
+from repro.mining import mine
+from repro.rules import support_of
+
+databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestClosedFamilyInvariants:
+    @settings(deadline=None, max_examples=30)
+    @given(databases, st.integers(min_value=1, max_value=5))
+    def test_closed_family_determines_all_supports(self, db, smin):
+        """Section 2.3: supports of all frequent sets are reconstructible."""
+        closed = mine(db, smin, algorithm="ista")
+        frequent = all_frequent_bruteforce(db, smin)
+        for mask, support in frequent.items():
+            assert reconstruct_support(closed, mask) == support
+            assert support_of(closed, mask) == support
+
+    @settings(deadline=None, max_examples=30)
+    @given(databases, st.integers(min_value=1, max_value=5))
+    def test_every_closed_set_is_an_intersection_of_transactions(self, db, smin):
+        """Section 2.4: each closed set equals the intersection of its cover."""
+        closed = mine(db, smin, algorithm="lcm")
+        for mask in closed:
+            cover = galois.cover(db, mask)
+            assert galois.intersection_of(db, cover) == mask
+
+    @settings(deadline=None, max_examples=30)
+    @given(databases, st.integers(min_value=1, max_value=5))
+    def test_maximal_sets_are_closed_and_unextendable(self, db, smin):
+        closed = mine(db, smin, algorithm="carpenter-table")
+        maximal = mine(db, smin, algorithm="carpenter-table", target="maximal")
+        for mask in maximal:
+            assert mask in closed
+            for item in range(db.n_items):
+                if not itemset.contains(mask, item):
+                    # Any one-item extension of a maximal set is infrequent.
+                    assert db.support(mask | (1 << item)) < smin
+
+    @settings(deadline=None, max_examples=30)
+    @given(databases, st.integers(min_value=2, max_value=5))
+    def test_monotone_in_smin(self, db, smin):
+        """Raising the threshold can only shrink the family."""
+        low = mine(db, smin - 1, algorithm="ista")
+        high = mine(db, smin, algorithm="ista")
+        for mask, support in high.items():
+            assert low.support_of(mask) == support
+
+    @settings(deadline=None, max_examples=30)
+    @given(databases)
+    def test_union_of_maximal_subsets_covers_frequent_sets(self, db):
+        """Section 2.3: every frequent set has a maximal frequent superset."""
+        smin = 2
+        frequent = all_frequent_bruteforce(db, smin)
+        maximal = mine(db, smin, algorithm="eclat", target="maximal")
+        for mask in frequent:
+            assert any(itemset.is_subset(mask, m) for m in maximal)
+
+
+class TestOutputCompression:
+    @settings(deadline=None, max_examples=25)
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_closed_never_larger_than_all(self, db, smin):
+        closed = mine(db, smin, algorithm="fpgrowth", target="closed")
+        frequent = mine(db, smin, algorithm="fpgrowth", target="all")
+        maximal = mine(db, smin, algorithm="fpgrowth", target="maximal")
+        assert len(maximal) <= len(closed) <= len(frequent)

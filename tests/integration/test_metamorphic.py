@@ -1,0 +1,127 @@
+"""Metamorphic properties: how the closed family responds to
+controlled transformations of the database.
+
+These tests derive expected outputs from *other* runs of the miners
+rather than from an oracle, so they stay cheap on larger inputs and
+catch relational bugs (order dependence, duplicate handling, item-base
+sensitivity) that pointwise oracle tests can miss.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import itemset
+from repro.data.database import TransactionDatabase
+from repro.mining import mine
+
+databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 8) - 1), min_size=1, max_size=12
+).map(lambda masks: TransactionDatabase(masks, 8))
+
+ALGORITHMS = ("ista", "carpenter-table", "lcm", "sam")
+
+
+class TestTransactionTransforms:
+    @settings(deadline=None, max_examples=25)
+    @given(databases, st.integers(min_value=1, max_value=4), st.randoms())
+    def test_permuting_transactions_changes_nothing(self, db, smin, rng):
+        masks = list(db.transactions)
+        rng.shuffle(masks)
+        shuffled = TransactionDatabase(masks, db.n_items)
+        for algorithm in ALGORITHMS:
+            assert mine(db, smin, algorithm=algorithm) == mine(
+                shuffled, smin, algorithm=algorithm
+            ), algorithm
+
+    @settings(deadline=None, max_examples=25)
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_adding_empty_transactions_changes_nothing(self, db, smin):
+        padded = TransactionDatabase(
+            list(db.transactions) + [0, 0], db.n_items
+        )
+        for algorithm in ALGORITHMS:
+            assert mine(db, smin, algorithm=algorithm) == mine(
+                padded, smin, algorithm=algorithm
+            ), algorithm
+
+    @settings(deadline=None, max_examples=25)
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_duplicating_the_database_doubles_supports(self, db, smin):
+        doubled = TransactionDatabase(db.transactions * 2, db.n_items)
+        base = mine(db, smin, algorithm="ista")
+        grown = mine(doubled, 2 * smin, algorithm="ista")
+        # Every closed set of the doubled database at twice the support
+        # is a closed set of the original at the original support, with
+        # exactly twice the support.
+        assert set(grown) == set(base)
+        for mask, support in grown.items():
+            assert support == 2 * base[mask]
+
+    @settings(deadline=None, max_examples=20)
+    @given(databases)
+    def test_appending_a_known_transaction_updates_one_support(self, db):
+        """Appending a copy of an existing transaction raises by exactly
+        one the supports of precisely the sets it contains."""
+        target = db.transactions[0]
+        extended = TransactionDatabase(
+            list(db.transactions) + [target], db.n_items
+        )
+        before = mine(db, 1, algorithm="ista")
+        after = mine(extended, 1, algorithm="ista")
+        for mask, support in after.items():
+            expected = before.support_of(mask)
+            if itemset.is_subset(mask, target):
+                if expected is not None:
+                    assert support == expected + 1
+            else:
+                assert support == expected
+
+
+class TestItemTransforms:
+    @settings(deadline=None, max_examples=25)
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_widening_the_item_base_changes_nothing(self, db, smin):
+        widened = TransactionDatabase(db.transactions, db.n_items + 5)
+        for algorithm in ALGORITHMS:
+            assert mine(db, smin, algorithm=algorithm) == mine(
+                widened, smin, algorithm=algorithm
+            ), algorithm
+
+    @settings(deadline=None, max_examples=25)
+    @given(databases, st.integers(min_value=2, max_value=4))
+    def test_removing_infrequent_items_changes_nothing(self, db, smin):
+        filtered = db.filter_infrequent(smin)
+        base = {
+            frozenset(db.decode(mask)): support
+            for mask, support in mine(db, smin, algorithm="lcm").items()
+        }
+        reduced = {
+            frozenset(filtered.decode(mask)): support
+            for mask, support in mine(filtered, smin, algorithm="lcm").items()
+        }
+        assert base == reduced
+
+    @settings(deadline=None, max_examples=20)
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_adding_a_ubiquitous_item_extends_every_closed_set(self, db, smin):
+        """A new item present in every transaction joins the closure of
+        every closed set (and adds the singleton family top)."""
+        new_item = db.n_items
+        extended = TransactionDatabase(
+            [mask | (1 << new_item) for mask in db.transactions], db.n_items + 1
+        )
+        base = mine(db, smin, algorithm="ista")
+        grown = mine(extended, smin, algorithm="ista")
+        expected = {mask | (1 << new_item): supp for mask, supp in base.items()}
+        if db.n_transactions >= smin:
+            expected[1 << new_item] = db.n_transactions
+            # the closure of the new item alone is it plus the
+            # intersection of all transactions
+            full_intersection = db.transactions[0]
+            for mask in db.transactions[1:]:
+                full_intersection &= mask
+            expected.pop(1 << new_item)
+            expected[(1 << new_item) | full_intersection] = db.n_transactions
+        assert dict(grown) == expected

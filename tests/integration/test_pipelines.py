@@ -1,0 +1,138 @@
+"""End-to-end pipelines across the package's layers."""
+
+import pytest
+
+from repro import (
+    ConceptLattice,
+    IncrementalMiner,
+    TransactionDatabase,
+    generate_rules,
+    mine,
+    profile_database,
+    profile_family,
+)
+from repro.closure.generators import all_minimal_generators
+from repro.data.arff import format_arff, parse_arff
+from repro.data.io import format_fimi, parse_fimi
+from repro.data.transforms import expression_to_database, transpose
+from repro.datasets import (
+    ncbi60_like,
+    quest_baskets,
+    synthetic_expression_matrix,
+    thrombin_like,
+    webview_transposed,
+    yeast_compendium,
+)
+from repro.rules import generate_nonredundant_rules
+
+
+class TestFigureWorkloadsEndToEnd:
+    """Miniature versions of every figure workload, mined and
+    cross-checked across algorithm families."""
+
+    def test_fig5_yeast_tiny(self):
+        db = yeast_compendium(n_genes=120, n_conditions=30)
+        smin = 4
+        reference = mine(db, smin, algorithm="lcm")
+        for algorithm in ("ista", "carpenter-table", "fpgrowth", "sam"):
+            assert mine(db, smin, algorithm=algorithm) == reference, algorithm
+
+    def test_fig6_ncbi60_tiny(self):
+        db = ncbi60_like(n_genes=80, n_cell_lines=16, n_tissues=4)
+        smin = 10
+        reference = mine(db, smin, algorithm="lcm")
+        for algorithm in ("ista", "carpenter-lists", "cobbler"):
+            assert mine(db, smin, algorithm=algorithm) == reference, algorithm
+
+    def test_fig7_thrombin_tiny(self):
+        db = thrombin_like(
+            n_records=16, n_features=700, n_popular_groups=4,
+            n_rare_groups=4, group_size=12,
+        )
+        smin = 10
+        reference = mine(db, smin, algorithm="lcm")
+        for algorithm in ("ista", "carpenter-table", "eclat"):
+            assert mine(db, smin, algorithm=algorithm) == reference, algorithm
+
+    def test_fig8_webview_tiny(self):
+        db = webview_transposed(n_sessions=150, n_pages=30)
+        smin = 3
+        reference = mine(db, smin, algorithm="lcm")
+        for algorithm in ("ista", "carpenter-table", "fpgrowth"):
+            assert mine(db, smin, algorithm=algorithm) == reference, algorithm
+
+    def test_regime_baskets_tiny(self):
+        db = quest_baskets(n_transactions=120, n_items=25)
+        smin = 12
+        reference = mine(db, smin, algorithm="fpgrowth")
+        for algorithm in ("ista", "sam", "eclat"):
+            assert mine(db, smin, algorithm=algorithm) == reference, algorithm
+
+
+class TestExpressionPipeline:
+    """Matrix -> discretisation -> mining -> lattice -> rules."""
+
+    @pytest.fixture
+    def db(self):
+        values = synthetic_expression_matrix(
+            n_genes=60, n_conditions=24, n_modules=4,
+            module_gene_frac=0.15, module_condition_frac=0.3, seed=9,
+        )
+        return expression_to_database(values, orientation="conditions-as-transactions")
+
+    def test_profile_identifies_regime(self, db):
+        assert profile_database(db).favours_intersection
+
+    def test_mine_and_build_lattice(self, db):
+        closed = mine(db, 4, algorithm="auto")
+        lattice = ConceptLattice(db, closed)
+        assert len(lattice) == len(closed)
+        assert lattice.to_dot().startswith("digraph")
+
+    def test_rules_and_generators(self, db):
+        closed = mine(db, 5)
+        family = profile_family(closed)
+        assert family.n_sets == len(closed)
+        generators = all_minimal_generators(db, closed, max_generator_size=3)
+        assert set(generators) == set(closed)
+        redundant = list(generate_rules(closed, db.n_transactions, 0.9))
+        basis = list(generate_nonredundant_rules(db, closed, 0.9))
+        # the basis is never larger than the full rule set restricted
+        # to the same confidence (it may use antecedents outside it)
+        assert len(basis) <= max(len(redundant), len(basis))
+
+
+class TestFormatsPipeline:
+    def test_fimi_arff_mining_agreement(self):
+        db = quest_baskets(n_transactions=40, n_items=15)
+        via_fimi = parse_fimi(format_fimi(db))
+        via_arff = parse_arff(format_arff(db))
+        assert mine(via_fimi, 4) == mine(via_arff, 4)
+
+    def test_transpose_duality_of_results(self):
+        """A closed set of the transposed database is a closed tid set
+        of the original — the Section 2.5 bijection, end to end."""
+        db = quest_baskets(n_transactions=12, n_items=10, seed=8)
+        transposed = transpose(db)
+        from repro.closure import galois
+        from repro.data import itemset
+
+        for mask, support in mine(transposed, 2).items():
+            # mask = set of original transaction indices; its support in
+            # the transposed view is the size of the shared item set.
+            assert galois.is_tid_closed(db, mask)
+            assert support == itemset.size(galois.intersection_of(db, mask))
+
+
+class TestIncrementalAgainstBatch:
+    def test_streaming_equals_batch_on_workload(self):
+        db = quest_baskets(n_transactions=60, n_items=15, seed=5)
+        miner = IncrementalMiner()
+        for transaction in db.as_sets():
+            miner.add(transaction)
+        batch = mine(db, 5).as_frozensets()
+        streamed = {
+            frozenset(items): support
+            for items, support in miner.closed_sets(5).items()
+        }
+        assert streamed == batch

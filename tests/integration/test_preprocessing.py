@@ -1,0 +1,90 @@
+"""Tests for the shared preprocessing pass (repro.common)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.verify import closed_frequent_bruteforce
+from repro.common import finalize, prepare_for_mining, translate_mask
+from repro.data.database import TransactionDatabase
+
+from ..conftest import db_from_strings
+
+databases = st.lists(
+    st.integers(min_value=0, max_value=(1 << 7) - 1), min_size=1, max_size=10
+).map(lambda masks: TransactionDatabase(masks, 7))
+
+
+class TestPrepare:
+    def test_infrequent_items_dropped(self):
+        db = db_from_strings(["ab", "ab", "az"])
+        prepared, code_map = prepare_for_mining(db, 2)
+        assert prepared.n_items == 2  # z gone
+        assert {db.item_labels[c] for c in code_map} == {"a", "b"}
+
+    def test_empty_transactions_dropped(self):
+        db = db_from_strings(["ab", "", "ab"])
+        prepared, _ = prepare_for_mining(db, 1)
+        assert prepared.n_transactions == 2
+
+    def test_transactions_emptied_by_filter_are_dropped(self):
+        db = db_from_strings(["ab", "ab", "z"])
+        prepared, _ = prepare_for_mining(db, 2)
+        assert prepared.n_transactions == 2
+
+    def test_default_orders_applied(self):
+        db = db_from_strings(["abc", "ab", "a"])
+        prepared, code_map = prepare_for_mining(db, 1)
+        # size-ascending transactions
+        assert prepared.transaction_sizes() == [1, 2, 3]
+        # frequency-ascending items: c (1) -> code 0, b (2) -> 1, a (3) -> 2
+        assert [db.item_labels[c] for c in code_map] == ["c", "b", "a"]
+
+    def test_invalid_smin_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_for_mining(db_from_strings(["a"]), 0)
+
+    def test_unknown_item_order_rejected(self):
+        with pytest.raises(ValueError, match="unknown item order"):
+            prepare_for_mining(db_from_strings(["a"]), 1, item_order="bogus")
+
+    @settings(deadline=None, max_examples=30)
+    @given(databases, st.integers(min_value=1, max_value=4))
+    def test_filtering_preserves_the_closed_frequent_family(self, db, smin):
+        """Dropping globally infrequent items never changes the answer —
+        the correctness argument in the module docstring."""
+        prepared, code_map = prepare_for_mining(db, smin, item_order="identity",
+                                                transaction_order="identity")
+        family_prepared = {
+            frozenset(code_map[i] for i in _bits(mask)): supp
+            for mask, supp in closed_frequent_bruteforce(prepared, smin).items()
+        }
+        family_original = {
+            frozenset(_bits(mask)): supp
+            for mask, supp in closed_frequent_bruteforce(db, smin).items()
+        }
+        assert family_prepared == family_original
+
+
+class TestTranslate:
+    def test_translate_mask_roundtrip(self):
+        code_map = [5, 2, 9]
+        assert translate_mask(0b101, code_map) == (1 << 5) | (1 << 9)
+        assert translate_mask(0, code_map) == 0
+
+    def test_finalize_builds_result_in_original_coding(self):
+        db = db_from_strings(["ab", "ab", "az"])
+        prepared, code_map = prepare_for_mining(db, 2)
+        result = finalize([( (1 << prepared.n_items) - 1, 2)], code_map, db, "x", 2)
+        assert result.as_frozensets() == {frozenset("ab"): 2}
+
+
+def _bits(mask):
+    out = []
+    index = 0
+    while mask:
+        if mask & 1:
+            out.append(index)
+        mask >>= 1
+        index += 1
+    return out

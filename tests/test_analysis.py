@@ -1,0 +1,74 @@
+"""Tests for database/family profiling."""
+
+import pytest
+
+from repro.analysis import (
+    compression_ratio,
+    profile_database,
+    profile_family,
+)
+from repro.closure.verify import all_frequent_bruteforce, closed_frequent_bruteforce
+from repro.data.database import TransactionDatabase
+
+from .conftest import db_from_strings
+
+
+class TestDatabaseProfile:
+    def test_basic_statistics(self):
+        db = db_from_strings(["ab", "abc", "ab", ""])
+        profile = profile_database(db)
+        assert profile.n_transactions == 4
+        assert profile.n_items == 3
+        assert profile.mean_transaction_size == pytest.approx(7 / 4)
+        assert profile.max_transaction_size == 3
+        assert profile.distinct_transactions == 3
+
+    def test_regime_detection(self):
+        wide = TransactionDatabase([0b1, 0b10], 8)
+        tall = TransactionDatabase([0b1] * 10, 3)
+        assert profile_database(wide).favours_intersection
+        assert not profile_database(tall).favours_intersection
+
+    def test_describe_mentions_regime(self):
+        wide = TransactionDatabase([0b1, 0b10], 8)
+        assert "intersection regime" in profile_database(wide).describe()
+
+    def test_empty_database(self):
+        profile = profile_database(TransactionDatabase([], 0))
+        assert profile.n_transactions == 0
+        assert profile.mean_transaction_size == 0.0
+
+
+class TestFamilyProfile:
+    def test_statistics(self):
+        db = db_from_strings(["ab", "ab", "b"])
+        closed = closed_frequent_bruteforce(db, 1)
+        profile = profile_family(closed)
+        assert profile.n_sets == 2
+        assert profile.max_size == 2
+        assert profile.size_histogram == {1: 1, 2: 1}
+        assert profile.max_support == 3
+
+    def test_empty_family(self):
+        db = db_from_strings(["a"])
+        profile = profile_family(closed_frequent_bruteforce(db, 2))
+        assert profile.n_sets == 0
+        assert profile.mean_size == 0.0
+
+
+class TestCompression:
+    def test_exact_ratio(self):
+        db = db_from_strings(["abcd", "abcd", "abcd"])
+        closed = closed_frequent_bruteforce(db, 2)
+        frequent = all_frequent_bruteforce(db, 2)
+        # one closed set represents 15 frequent sets
+        assert compression_ratio(closed, frequent) == pytest.approx(15.0)
+
+    def test_no_reference_gives_one(self):
+        db = db_from_strings(["ab"])
+        assert compression_ratio(closed_frequent_bruteforce(db, 1)) == 1.0
+
+    def test_empty_family(self):
+        db = db_from_strings(["a"])
+        closed = closed_frequent_bruteforce(db, 2)
+        assert compression_ratio(closed) == 1.0

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import read_fimi
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    path = tmp_path / "data.fimi"
+    path.write_text("1 2 3\n1 2\n1 2 4\n2 3\n")
+    return str(path)
+
+
+class TestMineCommand:
+    def test_mine_to_stdout(self, fimi_file, capsys):
+        assert main(["mine", fimi_file, "-s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1 2 (3)" in out
+
+    def test_mine_to_file(self, fimi_file, tmp_path):
+        out_path = tmp_path / "out.txt"
+        main(["mine", fimi_file, "-s", "2", "-o", str(out_path)])
+        assert "1 2 (3)" in out_path.read_text()
+
+    def test_all_algorithms_give_same_line_count(self, fimi_file, tmp_path, capsys):
+        counts = set()
+        for algorithm in ("ista", "carpenter-table", "lcm", "fpgrowth"):
+            main(["mine", fimi_file, "-s", "2", "-a", algorithm])
+            counts.add(len(capsys.readouterr().out.strip().splitlines()))
+        assert len(counts) == 1
+
+    def test_stats_flag(self, fimi_file, capsys):
+        main(["mine", fimi_file, "-s", "2", "--stats"])
+        err = capsys.readouterr().err
+        assert "item sets in" in err
+        assert "counters" in err
+
+    def test_maximal_target(self, fimi_file, capsys):
+        main(["mine", fimi_file, "-s", "2", "-t", "maximal"])
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_bad_algorithm_exits(self, fimi_file):
+        with pytest.raises(SystemExit):
+            main(["mine", fimi_file, "-s", "2", "-a", "bogus"])
+
+
+class TestGenCommand:
+    def test_generate_writes_fimi(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.fimi"
+        code = main([
+            "gen", "baskets", "-o", str(out_path),
+            "--option", "n_transactions=20", "--option", "n_items=15",
+        ])
+        assert code == 0
+        db = read_fimi(out_path)
+        assert db.n_transactions == 20
+
+    def test_float_and_string_options_parsed(self, tmp_path):
+        out_path = tmp_path / "gen.fimi"
+        main([
+            "gen", "baskets", "-o", str(out_path),
+            "--option", "n_transactions=10",
+            "--option", "corruption=0.1",
+        ])
+        assert read_fimi(out_path).n_transactions == 10
+
+    def test_bad_option_syntax_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            main(["gen", "baskets", "-o", str(tmp_path / "x"), "--option", "oops"])
+
+
+class TestStatsCommand:
+    def test_stats_without_mining(self, fimi_file, capsys):
+        assert main(["stats", fimi_file]) == 0
+        out = capsys.readouterr().out
+        assert "4 transactions over 4 items" in out
+
+    def test_stats_with_family_profile(self, fimi_file, capsys):
+        main(["stats", fimi_file, "-s", "2"])
+        out = capsys.readouterr().out
+        assert "closed family at smin=2" in out
+
+
+class TestRulesCommand:
+    def test_rules(self, fimi_file, capsys):
+        assert main(["rules", fimi_file, "-s", "2", "-c", "0.6"]) == 0
+        captured = capsys.readouterr()
+        assert "->" in captured.out
+        assert "rules from" in captured.err
+
+    def test_non_redundant_rules(self, fimi_file, capsys):
+        assert main(["rules", fimi_file, "-s", "2", "--non-redundant"]) == 0
+        assert "rules from" in capsys.readouterr().err
+
+
+class TestArffInterop:
+    def test_gen_arff_and_mine_it(self, tmp_path, capsys):
+        out_path = tmp_path / "toy.arff"
+        main([
+            "gen", "baskets", "-o", str(out_path),
+            "--option", "n_transactions=15", "--option", "n_items=10",
+        ])
+        capsys.readouterr()
+        assert out_path.read_text().startswith("@relation baskets")
+        assert main(["mine", str(out_path), "-s", "3"]) == 0
+
+
+class TestBenchCommand:
+    def test_bench_runs_scaled_down(self, capsys):
+        code = main([
+            "bench", "fig6-ncbi60", "--scale", "0.15", "--time-limit", "15",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "smin" in out
+
+    def test_parser_structure(self):
+        parser = build_parser()
+        args = parser.parse_args(["mine", "x.fimi", "-s", "3"])
+        assert args.command == "mine"
+        assert args.smin == 3

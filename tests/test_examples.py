@@ -1,0 +1,58 @@
+"""Smoke checks of the example scripts.
+
+The quickstart (cheap) runs for real; the heavier examples are
+import-checked so a broken API surface fails fast without paying their
+full runtime on every test run.  All examples are exercised end-to-end
+by the documentation workflow (see docs/reproducing.md).
+"""
+
+import importlib.util
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "gene_expression_analysis",
+    "algorithm_comparison",
+    "click_stream",
+    "incremental_stream",
+    "concept_lattice",
+]
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_loads_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+        assert module.__doc__
+
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "closed frequent item sets (smin=3): 10" in out
+        assert "agree with ista" in out
+
+    def test_concept_lattice_runs(self, capsys):
+        load_example("concept_lattice").main()
+        out = capsys.readouterr().out
+        assert "maximal frequent sets" in out
+        assert "non-redundant rule basis" in out
+
+    def test_incremental_stream_runs(self, capsys):
+        load_example("incremental_stream").main()
+        out = capsys.readouterr().out
+        assert "point queries" in out

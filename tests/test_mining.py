@@ -1,0 +1,131 @@
+"""Tests for the unified mining front door."""
+
+import pytest
+
+from repro.mining import (
+    ALGORITHMS,
+    ENUMERATION_ALGORITHMS,
+    INTERSECTION_ALGORITHMS,
+    mine,
+)
+from repro.stats import OperationCounters
+
+from .conftest import CLOSED_ALGORITHMS, db_from_strings, make_random_db
+
+
+class TestDispatch:
+    def test_registry_covers_both_families(self):
+        for name in INTERSECTION_ALGORITHMS + ENUMERATION_ALGORITHMS:
+            assert name in ALGORITHMS
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            mine(db_from_strings(["a"]), 1, algorithm="magic")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            mine(db_from_strings(["a"]), 1, target="weird")
+
+    def test_all_target_rejected_for_closed_only_miners(self):
+        db = db_from_strings(["ab"])
+        for algorithm in INTERSECTION_ALGORITHMS + ("lcm",):
+            with pytest.raises(ValueError, match="closed sets only"):
+                mine(db, 1, algorithm=algorithm, target="all")
+
+    def test_options_forwarded(self):
+        db = db_from_strings(["ab", "ab"])
+        result = mine(db, 1, algorithm="carpenter-lists", repository_kind="hash")
+        assert len(result) == 1
+
+    def test_counters_forwarded(self):
+        db = db_from_strings(["ab", "ab"])
+        counters = OperationCounters()
+        mine(db, 1, algorithm="ista", counters=counters)
+        assert counters.nodes_created > 0
+
+
+class TestCrossAlgorithmAgreement:
+    def test_all_closed_miners_agree(self):
+        for seed in range(8):
+            db = make_random_db(seed, max_transactions=12, max_items=9)
+            for smin in (1, 2, 3):
+                results = {
+                    algorithm: mine(db, smin, algorithm=algorithm).as_frozensets()
+                    for algorithm in CLOSED_ALGORITHMS
+                }
+                reference = results["cumulative-flat"]
+                for algorithm, got in results.items():
+                    assert got == reference, algorithm
+
+    def test_maximal_target_consistent_across_families(self):
+        db = make_random_db(3, max_transactions=10, max_items=8)
+        expected = mine(db, 2, algorithm="eclat", target="maximal").as_frozensets()
+        for algorithm in ("ista", "carpenter-table", "lcm", "fpgrowth"):
+            got = mine(db, 2, algorithm=algorithm, target="maximal").as_frozensets()
+            assert got == expected, algorithm
+
+    def test_maximal_label(self):
+        db = db_from_strings(["ab"])
+        result = mine(db, 1, algorithm="ista", target="maximal")
+        assert result.algorithm == "ista-maximal"
+
+
+class TestAutoSelection:
+    def test_wide_database_picks_intersection(self):
+        from repro.mining import choose_algorithm
+        from repro.data.database import TransactionDatabase
+
+        wide = TransactionDatabase([0b1, 0b10], 8)
+        assert choose_algorithm(wide) == "ista"
+
+    def test_tall_database_picks_enumeration(self):
+        from repro.mining import choose_algorithm
+        from repro.data.database import TransactionDatabase
+
+        tall = TransactionDatabase([0b1] * 10, 3)
+        assert choose_algorithm(tall) == "lcm"
+
+    def test_target_all_forces_enumeration(self):
+        from repro.mining import choose_algorithm
+        from repro.data.database import TransactionDatabase
+
+        wide = TransactionDatabase([0b1, 0b10], 8)
+        assert choose_algorithm(wide, target="all") == "fpgrowth"
+
+    def test_auto_mines_correctly(self):
+        db = make_random_db(7, max_transactions=8, max_items=8)
+        assert mine(db, 2, algorithm="auto") == mine(db, 2, algorithm="ista")
+
+
+class TestRelativeSupport:
+    def test_relative_equals_absolute(self):
+        db = make_random_db(1, max_transactions=10, max_items=6)
+        n = db.n_transactions
+        relative = mine(db, 0.5, algorithm="ista")
+        import math
+
+        absolute = mine(db, max(1, math.ceil(0.5 * n)), algorithm="ista")
+        assert relative == absolute
+
+    def test_relative_bounds_enforced(self):
+        db = db_from_strings(["ab"])
+        with pytest.raises(ValueError, match="relative"):
+            mine(db, 0.0)
+        with pytest.raises(ValueError, match="relative"):
+            mine(db, 1.5)
+
+    def test_integer_one_is_absolute(self):
+        db = db_from_strings(["ab", "cd"])
+        assert len(mine(db, 1)) == 2
+
+
+class TestDocExample:
+    def test_module_docstring_example(self):
+        from repro.data import TransactionDatabase
+
+        db = TransactionDatabase.from_iterable([["a", "b"], ["a", "b"], ["b"]])
+        result = mine(db, smin=2, algorithm="ista")
+        assert result.as_frozensets() == {
+            frozenset({"a", "b"}): 2,
+            frozenset({"b"}): 3,
+        }

@@ -1,0 +1,74 @@
+"""Package-surface checks: exports, docstrings, doctests."""
+
+import doctest
+import inspect
+
+import pytest
+
+import repro
+import repro.closure.galois
+import repro.data.io
+import repro.data.itemset
+import repro.data.matrix
+import repro.mining
+import repro.rules
+from repro.core import incremental
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_algorithm_registry_entries_callable(self):
+        for name, miner in repro.ALGORITHMS.items():
+            assert callable(miner), name
+
+
+class TestDocumentation:
+    MODULES = [
+        repro,
+        repro.mining,
+        repro.rules,
+        repro.data.itemset,
+        repro.data.io,
+        repro.closure.galois,
+    ]
+
+    @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+    def test_module_docstrings(self, module):
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    def test_public_functions_have_docstrings(self):
+        import repro.carpenter.list_based
+        import repro.core.ista
+        import repro.enumeration.lcm
+
+        for module in [
+            repro.mining,
+            repro.rules,
+            repro.core.ista,
+            repro.carpenter.list_based,
+            repro.enumeration.lcm,
+        ]:
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    assert obj.__doc__, f"{module.__name__}.{name} lacks a docstring"
+
+
+class TestDoctests:
+    MODULES = [
+        repro.data.itemset,
+        repro.data.matrix,
+        repro.mining,
+        incremental,
+    ]
+
+    @pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+    def test_doctests_pass(self, module):
+        failures, tried = doctest.testmod(module, verbose=False).failed, None
+        assert failures == 0

@@ -1,0 +1,89 @@
+"""Tests for the MiningResult container."""
+
+import pytest
+
+from repro.data import itemset
+from repro.result import MiningResult
+
+
+def mk(supports, labels=None, **kw):
+    return MiningResult(supports, labels, **kw)
+
+
+class TestValidation:
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            mk({-1: 2})
+
+    def test_non_positive_support_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            mk({0b1: 0})
+
+    def test_from_pairs_conflicting_supports_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            MiningResult.from_pairs([(0b1, 2), (0b1, 3)])
+
+    def test_from_pairs_duplicate_agreeing_ok(self):
+        result = MiningResult.from_pairs([(0b1, 2), (0b1, 2)])
+        assert len(result) == 1
+
+
+class TestMappingBehaviour:
+    def test_canonical_iteration_order(self):
+        result = mk({0b11: 1, 0b1: 2, 0b10: 3})
+        assert list(result) == [0b1, 0b10, 0b11]
+
+    def test_getitem_and_support_of(self):
+        result = mk({0b1: 2})
+        assert result[0b1] == 2
+        assert result.support_of(0b1) == 2
+        assert result.support_of(0b10) is None
+        assert result.support_of(0b10, 0) == 0
+
+    def test_equality_ignores_metadata(self):
+        a = mk({0b1: 2}, algorithm="x")
+        b = mk({0b1: 2}, algorithm="y")
+        assert a == b
+        assert a == {0b1: 2}
+        assert a != mk({0b1: 3})
+
+    def test_contains(self):
+        result = mk({0b1: 2})
+        assert 0b1 in result
+        assert 0b10 not in result
+
+
+class TestViews:
+    def test_labeled(self):
+        result = mk({0b101: 4}, labels := ["a", "b", "c"])
+        assert result.labeled() == [(("a", "c"), 4)]
+
+    def test_as_frozensets(self):
+        result = mk({0b11: 2}, ["x", "y"])
+        assert result.as_frozensets() == {frozenset(["x", "y"]): 2}
+
+    def test_to_lines(self):
+        result = mk({0b11: 2}, ["a", "b"])
+        assert result.to_lines() == ["a b (2)"]
+        assert result.to_lines(with_support=False) == ["a b"]
+
+    def test_total_size(self):
+        result = mk({0b111: 1, 0b1: 1})
+        assert result.total_size() == 4
+
+
+class TestDerivedFamilies:
+    def test_restrict_support(self):
+        result = mk({0b1: 5, 0b10: 2})
+        assert dict(result.restrict_support(3)) == {0b1: 5}
+
+    def test_maximal(self):
+        result = mk({0b1: 3, 0b11: 2, 0b100: 1})
+        assert dict(result.maximal()) == {0b11: 2, 0b100: 1}
+
+    def test_maximal_of_chain(self):
+        result = mk({0b1: 3, 0b11: 2, 0b111: 1})
+        assert dict(result.maximal()) == {0b111: 1}
+
+    def test_repr(self):
+        assert "2 item sets" in repr(mk({0b1: 1, 0b10: 1}))

@@ -1,0 +1,177 @@
+"""Tests for association rule induction from closed families."""
+
+import pytest
+
+from repro.closure.verify import closed_frequent_bruteforce
+from repro.data import itemset
+from repro.rules import AssociationRule, generate_rules, support_of
+
+from .conftest import db_from_strings
+
+
+@pytest.fixture
+def closed_family():
+    # {a,b} together 3x, b alone once more, c independent-ish
+    db = db_from_strings(["ab", "ab", "ab", "bc", "c"])
+    return db, closed_frequent_bruteforce(db, 1)
+
+
+class TestSupportReconstruction:
+    def test_closed_set_support(self, closed_family):
+        db, closed = closed_family
+        assert support_of(closed, db.encode("ab")) == 3
+
+    def test_non_closed_frequent_set_support(self, closed_family):
+        db, closed = closed_family
+        # {a} is not closed (always with b) but its support is 3.
+        assert support_of(closed, db.encode("a")) == 3
+
+    def test_empty_set(self, closed_family):
+        db, closed = closed_family
+        assert support_of(closed, 0, n_transactions=5) == 5
+        assert support_of(closed, 0) is None
+
+    def test_infrequent_set(self, closed_family):
+        db, closed = closed_family
+        assert support_of(closed, db.encode("ac")) is None
+
+
+class TestRuleGeneration:
+    def test_high_confidence_rule_found(self, closed_family):
+        db, closed = closed_family
+        rules = list(generate_rules(closed, db.n_transactions, min_confidence=0.9))
+        as_text = {rule.labeled(db.item_labels) for rule in rules}
+        # a -> b holds with confidence 1.0 (a always occurs with b)
+        assert any(text.startswith("a -> b") for text in as_text)
+
+    def test_confidence_threshold_respected(self, closed_family):
+        db, closed = closed_family
+        for rule in generate_rules(closed, db.n_transactions, min_confidence=0.8):
+            assert rule.confidence >= 0.8
+
+    def test_confidence_and_lift_values(self, closed_family):
+        db, closed = closed_family
+        rules = {
+            (rule.antecedent, rule.consequent): rule
+            for rule in generate_rules(closed, db.n_transactions, min_confidence=0.5)
+        }
+        a, b = db.encode("a"), db.encode("b")
+        rule = rules[(a, b)]
+        assert rule.support == 3
+        assert rule.confidence == pytest.approx(1.0)
+        # support(b) = 4 of 5 -> lift = 1.0 / 0.8
+        assert rule.lift == pytest.approx(1.25)
+
+    def test_single_item_sets_yield_no_rules(self):
+        db = db_from_strings(["a", "a"])
+        closed = closed_frequent_bruteforce(db, 1)
+        assert list(generate_rules(closed, 2)) == []
+
+    def test_multi_item_consequents(self):
+        db = db_from_strings(["abc", "abc", "ab"])
+        closed = closed_frequent_bruteforce(db, 1)
+        rules = list(
+            generate_rules(
+                closed, db.n_transactions, min_confidence=0.1, max_consequent_items=2
+            )
+        )
+        # a -> {b, c} is generable from the closed set {a, b, c}.
+        assert any(itemset.size(rule.consequent) == 2 for rule in rules)
+
+    def test_invalid_parameters_rejected(self, closed_family):
+        db, closed = closed_family
+        with pytest.raises(ValueError):
+            list(generate_rules(closed, db.n_transactions, min_confidence=0.0))
+        with pytest.raises(ValueError):
+            list(generate_rules(closed, 0))
+
+    def test_labeled_formatting(self):
+        rule = AssociationRule(0b1, 0b10, 3, 0.75, 1.5)
+        text = rule.labeled(["x", "y"])
+        assert text == "x -> y (supp=3, conf=0.75, lift=1.50)"
+
+
+class TestRuleMeasures:
+    def test_extended_measures(self):
+        from repro.rules import rule_measures
+
+        db = db_from_strings(["ab", "ab", "ab", "b", "c"])
+        closed = closed_frequent_bruteforce(db, 1)
+        rules = {
+            (r.antecedent, r.consequent): r
+            for r in generate_rules(closed, 5, min_confidence=0.5)
+        }
+        rule = rules[(db.encode("a"), db.encode("b"))]
+        measures = rule_measures(rule, closed, 5)
+        assert measures["support"] == pytest.approx(3 / 5)
+        assert measures["confidence"] == pytest.approx(1.0)
+        assert measures["conviction"] == float("inf")
+        # leverage = 3/5 - (3/5)(4/5)
+        assert measures["leverage"] == pytest.approx(3 / 5 - (3 / 5) * (4 / 5))
+        # jaccard = 3 / (3 + 4 - 3)
+        assert measures["jaccard"] == pytest.approx(0.75)
+
+    def test_finite_conviction(self):
+        from repro.rules import rule_measures
+
+        db = db_from_strings(["ab", "ab", "a", "b"])
+        closed = closed_frequent_bruteforce(db, 1)
+        rules = {
+            (r.antecedent, r.consequent): r
+            for r in generate_rules(closed, 4, min_confidence=0.5)
+        }
+        rule = rules[(db.encode("a"), db.encode("b"))]
+        measures = rule_measures(rule, closed, 4)
+        # conf = 2/3, P(b) = 3/4: conviction = (1/4) / (1/3) = 0.75
+        assert measures["conviction"] == pytest.approx(0.75)
+
+    def test_unknown_sets_rejected(self):
+        from repro.rules import rule_measures
+
+        db = db_from_strings(["ab", "ab"])
+        closed = closed_frequent_bruteforce(db, 2)
+        bogus = AssociationRule(0b100, 0b1, 1, 0.5, 1.0)
+        with pytest.raises(ValueError, match="outside the closed family"):
+            rule_measures(bogus, closed, 2)
+
+
+class TestNonRedundantRules:
+    def test_minimal_antecedents(self):
+        from repro.rules import generate_nonredundant_rules
+
+        # b -> a is the non-redundant form (b is the minimal generator
+        # of the closed set {a, b}).
+        db = db_from_strings(["ab", "ab", "a"])
+        closed = closed_frequent_bruteforce(db, 1)
+        rules = list(generate_nonredundant_rules(db, closed, min_confidence=0.9))
+        sides = {(r.antecedent, r.consequent) for r in rules}
+        assert (db.encode("b"), db.encode("a")) in sides
+
+    def test_approximate_rules_between_closed_levels(self):
+        from repro.rules import generate_nonredundant_rules
+
+        db = db_from_strings(["ab", "ab", "ab", "a"])
+        closed = closed_frequent_bruteforce(db, 1)
+        rules = list(generate_nonredundant_rules(db, closed, min_confidence=0.7))
+        matching = [
+            r
+            for r in rules
+            if r.antecedent == db.encode("a") and r.consequent == db.encode("b")
+        ]
+        assert matching and matching[0].confidence == pytest.approx(0.75)
+
+    def test_confidence_threshold(self):
+        from repro.rules import generate_nonredundant_rules
+
+        db = db_from_strings(["ab", "ab", "a", "a", "a"])
+        closed = closed_frequent_bruteforce(db, 1)
+        for rule in generate_nonredundant_rules(db, closed, min_confidence=0.9):
+            assert rule.confidence >= 0.9
+
+    def test_invalid_confidence_rejected(self):
+        from repro.rules import generate_nonredundant_rules
+
+        db = db_from_strings(["ab"])
+        closed = closed_frequent_bruteforce(db, 1)
+        with pytest.raises(ValueError):
+            list(generate_nonredundant_rules(db, closed, min_confidence=0.0))

@@ -1,0 +1,38 @@
+"""Tests for the operation counters."""
+
+from repro.stats import OperationCounters
+
+
+class TestCounters:
+    def test_start_at_zero(self):
+        counters = OperationCounters()
+        assert all(value == 0 for value in counters.as_dict().values())
+
+    def test_peak_is_a_gauge(self):
+        counters = OperationCounters()
+        counters.observe_repository_size(10)
+        counters.observe_repository_size(5)
+        assert counters.repository_peak == 10
+
+    def test_iadd_sums_counts_and_maxes_peak(self):
+        a = OperationCounters()
+        a.intersections = 3
+        a.observe_repository_size(7)
+        b = OperationCounters()
+        b.intersections = 4
+        b.observe_repository_size(2)
+        a += b
+        assert a.intersections == 7
+        assert a.repository_peak == 7
+
+    def test_as_dict_snapshot_is_independent(self):
+        counters = OperationCounters()
+        snapshot = counters.as_dict()
+        counters.intersections = 5
+        assert snapshot["intersections"] == 0
+
+    def test_repr_shows_only_nonzero(self):
+        counters = OperationCounters()
+        counters.reports = 2
+        assert "reports=2" in repr(counters)
+        assert "intersections" not in repr(counters)
