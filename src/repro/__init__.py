@@ -38,6 +38,19 @@ from .mining import (
 )
 from .result import MiningResult
 from .rules import AssociationRule, generate_rules, support_of
+from .runtime import (
+    CancellationToken,
+    CorruptInputError,
+    FallbackPolicy,
+    FaultPlan,
+    MemoryBudgetExceeded,
+    MiningCancelled,
+    MiningError,
+    MiningInterrupted,
+    MiningTimeout,
+    ProgressInfo,
+    RunGuard,
+)
 from .stats import OperationCounters
 
 __version__ = "1.0.0"
@@ -56,6 +69,17 @@ __all__ = [
     "generate_rules",
     "support_of",
     "ConceptLattice",
+    "RunGuard",
+    "ProgressInfo",
+    "CancellationToken",
+    "FallbackPolicy",
+    "FaultPlan",
+    "MiningError",
+    "MiningInterrupted",
+    "MiningTimeout",
+    "MemoryBudgetExceeded",
+    "MiningCancelled",
+    "CorruptInputError",
     "profile_database",
     "profile_family",
     "parse_fimi",

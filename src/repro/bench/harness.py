@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..closure.verify import check_closed_family
 from ..data.database import TransactionDatabase
 from ..mining import mine
+from ..runtime import MiningInterrupted
 from ..stats import OperationCounters
 
 __all__ = ["Measurement", "SweepResult", "run_sweep"]
@@ -127,13 +128,29 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _cell_worker(connection, db, smin, algorithm, options) -> None:
-    """Subprocess body for one hard-limited measurement."""
+def _cell_worker(connection, db, smin, algorithm, options, hard_limit) -> None:
+    """Subprocess body for one hard-limited measurement.
+
+    The guard stops the run at ``hard_limit`` from the inside (sending
+    ``None`` through the pipe); the parent's ``terminate()`` stays as
+    the backstop for a worker that stops polling (e.g. stuck in numpy).
+    """
     counters = OperationCounters()
     start = time.perf_counter()
-    mined = mine(db, smin, algorithm=algorithm, counters=counters, **options)
-    elapsed = time.perf_counter() - start
-    connection.send((elapsed, len(mined), counters.as_dict()))
+    try:
+        mined = mine(
+            db,
+            smin,
+            algorithm=algorithm,
+            counters=counters,
+            timeout=hard_limit,
+            **options,
+        )
+    except MiningInterrupted:
+        connection.send(None)
+    else:
+        elapsed = time.perf_counter() - start
+        connection.send((elapsed, len(mined), counters.as_dict()))
     connection.close()
 
 
@@ -144,13 +161,17 @@ def _measure_cell(
     options: dict,
     repeats: int,
     hard_limit: Optional[float],
+    isolation: str = "process",
 ) -> Optional[Tuple[float, int, Dict[str, int]]]:
-    """One measurement, optionally isolated in a killable subprocess.
+    """One measurement, hard-limited according to ``isolation``.
 
+    ``"process"`` runs the cell in a killable fork; ``"guard"`` runs it
+    in-process under a :class:`~repro.runtime.RunGuard` deadline (no
+    fork overhead, cooperative); ``"none"`` applies no hard limit.
     Returns ``None`` when the hard limit struck (the cell is then
     recorded as skipped, like the runs the paper had to terminate).
     """
-    if hard_limit is None:
+    if hard_limit is None or isolation == "none":
         best = None
         for _ in range(repeats):
             counters = OperationCounters()
@@ -160,18 +181,45 @@ def _measure_cell(
             if best is None or elapsed < best[0]:
                 best = (elapsed, len(mined), counters.as_dict())
         return best
+    if isolation == "guard":
+        best = None
+        for _ in range(repeats):
+            counters = OperationCounters()
+            start = time.perf_counter()
+            try:
+                mined = mine(
+                    db,
+                    smin,
+                    algorithm=algorithm,
+                    counters=counters,
+                    timeout=hard_limit,
+                    **options,
+                )
+            except MiningInterrupted:
+                return None
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[0]:
+                best = (elapsed, len(mined), counters.as_dict())
+        return best
     context = multiprocessing.get_context("fork")
     best = None
     for _ in range(repeats):
         receiver, sender = context.Pipe(duplex=False)
         worker = context.Process(
-            target=_cell_worker, args=(sender, db, smin, algorithm, options)
+            target=_cell_worker,
+            args=(sender, db, smin, algorithm, options, hard_limit),
         )
         worker.start()
         sender.close()
-        if receiver.poll(hard_limit):
+        # The in-worker guard fires at hard_limit; the extra second of
+        # poll is the grace period for it to report back before the
+        # parent falls back to a hard kill.
+        if receiver.poll(hard_limit + 1.0):
             measurement = receiver.recv()
             worker.join()
+            if measurement is None:
+                receiver.close()
+                return None
             if best is None or measurement[0] < best[0]:
                 best = measurement
         else:
@@ -193,23 +241,30 @@ def run_sweep(
     verify: bool = False,
     algorithm_options: Optional[Dict[str, dict]] = None,
     hard_limit_factor: float = 5.0,
+    isolation: str = "process",
 ) -> SweepResult:
     """Time every algorithm at every support value.
 
     ``smin_values`` are swept from high to low support (the paper's
     direction of increasing difficulty).  An algorithm whose cell
     exceeds ``time_limit`` is not run at lower supports, and each cell
-    is additionally hard-killed (in a subprocess) after
-    ``time_limit * hard_limit_factor`` seconds — the equivalent of the
-    paper terminating the runs that did not finish "in reasonable
-    time".  ``verify=True`` additionally checks every result against
-    the brute-force oracle (tiny databases only, incompatible with the
-    subprocess isolation so it runs in-process).  ``algorithm_options``
-    maps algorithm names to extra keyword options for
-    :func:`repro.mining.mine`.
+    is additionally hard-limited after ``time_limit *
+    hard_limit_factor`` seconds — the equivalent of the paper
+    terminating the runs that did not finish "in reasonable time".
+    ``isolation`` selects how: ``"process"`` (default) forks a killable
+    subprocess per cell, ``"guard"`` polls a
+    :class:`~repro.runtime.RunGuard` deadline in-process (cheaper, and
+    the only option where fork is unavailable), ``"none"`` disables the
+    hard limit (soft early-stopping still applies).  ``verify=True``
+    additionally checks every result against the brute-force oracle
+    (tiny databases only, incompatible with the subprocess isolation so
+    it runs in-process).  ``algorithm_options`` maps algorithm names to
+    extra keyword options for :func:`repro.mining.mine`.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be positive, got {repeats}")
+    if isolation not in ("process", "guard", "none"):
+        raise ValueError(f"unknown isolation {isolation!r}")
     options = algorithm_options or {}
     ordered = sorted(set(int(s) for s in smin_values), reverse=True)
     result = SweepResult(dataset, ordered, list(algorithms))
@@ -225,7 +280,13 @@ def run_sweep(
                 )
                 continue
             measurement = _measure_cell(
-                db, smin, algorithm, options.get(algorithm, {}), repeats, hard_limit
+                db,
+                smin,
+                algorithm,
+                options.get(algorithm, {}),
+                repeats,
+                hard_limit,
+                isolation,
             )
             if measurement is None:
                 result.cells[(algorithm, smin)] = Measurement(

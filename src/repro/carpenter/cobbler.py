@@ -34,6 +34,7 @@ from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..enumeration.closedness import ClosedSetStore
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 from .repository import make_repository
 
@@ -49,6 +50,7 @@ def mine_cobbler(
     switch_ratio: float = 1.0,
     min_rows_to_switch: int = 8,
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with Cobbler.
 
@@ -75,9 +77,40 @@ def mine_cobbler(
     repository = make_repository(repository_kind, n_items)
     full = (1 << n_items) - 1
     pairs: List[Tuple[int, int]] = []
+    check = checker(guard, counters)
 
     stack: List[Tuple[int, int, int]] = [(full, 0, 0)]
+    try:
+        _row_search(
+            stack, transactions, n, n_items, full, smin, switch_ratio,
+            min_rows_to_switch, repository, pairs, counters, check,
+        )
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: finalize(pairs, code_map, db, "cobbler", smin),
+            algorithm="cobbler",
+        )
+        raise
+    return finalize(pairs, code_map, db, "cobbler", smin)
+
+
+def _row_search(
+    stack: List[Tuple[int, int, int]],
+    transactions: List[int],
+    n: int,
+    n_items: int,
+    full: int,
+    smin: int,
+    switch_ratio: float,
+    min_rows_to_switch: int,
+    repository,
+    pairs: List[Tuple[int, int]],
+    counters: OperationCounters,
+    check,
+) -> None:
+    """The Carpenter-style row enumeration with mid-search switching."""
     while stack:
+        check()
         intersection, k, position = stack.pop()
         if position >= n or k + (n - position) < smin:
             continue
@@ -89,7 +122,7 @@ def mine_cobbler(
         ):
             _column_phase(
                 intersection, k, position, transactions, smin,
-                repository, pairs, counters,
+                repository, pairs, counters, check,
             )
             continue
 
@@ -113,8 +146,6 @@ def mine_cobbler(
         elif position + 1 < n:
             stack.append((intersection, k, position + 1))
 
-    return finalize(pairs, code_map, db, "cobbler", smin)
-
 
 def _column_phase(
     intersection: int,
@@ -125,6 +156,7 @@ def _column_phase(
     repository,
     pairs: List[Tuple[int, int]],
     counters: OperationCounters,
+    check,
 ) -> None:
     """Solve one sub-problem by closed *item* enumeration (CHARM-style).
 
@@ -159,6 +191,7 @@ def _column_phase(
     # wrongly prune the subtree below it.)
     frames: List[List] = [[0, items, 0]]
     while frames:
+        check()
         frame = frames[-1]
         current, extensions, index = frame
         if index >= len(extensions):

@@ -26,6 +26,7 @@ from typing import List, Optional
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 from .repository import make_repository
 
@@ -41,8 +42,14 @@ def mine_carpenter_lists(
     eliminate_items: bool = True,
     perfect_extension: bool = True,
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
-    """Mine all closed frequent item sets with list-based Carpenter."""
+    """Mine all closed frequent item sets with list-based Carpenter.
+
+    ``guard`` is polled at every subproblem; on interruption the sets
+    reported so far (all genuinely closed, with exact supports) are
+    attached to the exception as an anytime result.
+    """
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )
@@ -67,12 +74,42 @@ def mine_carpenter_lists(
     repository = make_repository(repository_kind, n_items)
     full = (1 << n_items) - 1
     pairs: List[tuple] = []
+    check = checker(guard, counters)
 
     # Explicit DFS stack of subproblems (I, |K|, l).  The exclude branch
     # is pushed first so the include branch is explored first (LIFO) —
     # required for the repository check to be sound.
     stack: List[tuple] = [(full, 0, 0)]
+    try:
+        _search(
+            stack, transactions, n, smin, tid_lists, repository, pairs,
+            eliminate_items, perfect_extension, counters, check,
+        )
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: finalize(pairs, code_map, db, "carpenter-lists", smin),
+            algorithm="carpenter-lists",
+        )
+        raise
+    return finalize(pairs, code_map, db, "carpenter-lists", smin)
+
+
+def _search(
+    stack: List[tuple],
+    transactions: List[int],
+    n: int,
+    smin: int,
+    tid_lists: List[List[int]],
+    repository,
+    pairs: List[tuple],
+    eliminate_items: bool,
+    perfect_extension: bool,
+    counters: OperationCounters,
+    check,
+) -> None:
+    """The DFS over subproblems, separated so interruption can unwind it."""
     while stack:
+        check()
         intersection, k, position = stack.pop()
         if position >= n or k + (n - position) < smin:
             # Even including every remaining transaction cannot reach
@@ -107,8 +144,6 @@ def mine_carpenter_lists(
                 stack.append((candidate, k + 1, position + 1))
         elif position + 1 < n:
             stack.append((intersection, k, position + 1))
-
-    return finalize(pairs, code_map, db, "carpenter-lists", smin)
 
 
 def _eliminate(

@@ -22,6 +22,7 @@ from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..data.matrix import build_matrix
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 from .repository import make_repository
 
@@ -37,8 +38,14 @@ def mine_carpenter_table(
     eliminate_items: bool = True,
     perfect_extension: bool = True,
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
-    """Mine all closed frequent item sets with table-based Carpenter."""
+    """Mine all closed frequent item sets with table-based Carpenter.
+
+    ``guard`` is polled at every subproblem; on interruption the sets
+    reported so far (all genuinely closed, with exact supports) are
+    attached to the exception as an anytime result.
+    """
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )
@@ -56,11 +63,41 @@ def mine_carpenter_table(
     repository = make_repository(repository_kind, n_items)
     full = (1 << n_items) - 1
     pairs: List[tuple] = []
+    check = checker(guard, counters)
 
     # DFS over subproblems (I, |K|, l); exclude pushed before include so
     # the include branch runs first (repository soundness).
     stack: List[tuple] = [(full, 0, 0)]
+    try:
+        _search(
+            stack, transactions, matrix, n, smin, repository, pairs,
+            eliminate_items, perfect_extension, counters, check,
+        )
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: finalize(pairs, code_map, db, "carpenter-table", smin),
+            algorithm="carpenter-table",
+        )
+        raise
+    return finalize(pairs, code_map, db, "carpenter-table", smin)
+
+
+def _search(
+    stack: List[tuple],
+    transactions: List[int],
+    matrix: List[List[int]],
+    n: int,
+    smin: int,
+    repository,
+    pairs: List[tuple],
+    eliminate_items: bool,
+    perfect_extension: bool,
+    counters: OperationCounters,
+    check,
+) -> None:
+    """The DFS over subproblems, separated so interruption can unwind it."""
     while stack:
+        check()
         intersection, k, position = stack.pop()
         if position >= n or k + (n - position) < smin:
             # Even including every remaining transaction cannot reach
@@ -103,8 +140,6 @@ def mine_carpenter_table(
                 stack.append((candidate, k + 1, position + 1))
         elif position + 1 < n:
             stack.append((intersection, k, position + 1))
-
-    return finalize(pairs, code_map, db, "carpenter-table", smin)
 
 
 def _contained_forward(

@@ -22,20 +22,35 @@ from .analysis import profile_database, profile_family
 from .bench.figures import FIGURES, run_figure
 from .bench.plotting import render_figure
 from .data.arff import read_arff, write_arff
-from .data.io import read_fimi, write_fimi
+from .data.io import LoadReport, read_fimi, write_fimi
 from .datasets import DATASETS, load
 from .mining import ALGORITHMS, mine
 from .rules import generate_nonredundant_rules, generate_rules
+from .runtime import CorruptInputError, MiningInterrupted
 from .stats import OperationCounters
 
+#: Exit codes: 0 success, 2 user/input error, 3 resource budget tripped.
+EXIT_USER_ERROR = 2
+EXIT_INTERRUPTED = 3
 
-def _read_any(path: str):
+
+def _read_any(path: str, errors: str = "raise"):
     """Read a transaction file, dispatching on the extension."""
+    report = LoadReport() if errors == "skip" else None
     if str(path).lower().endswith(".arff"):
-        return read_arff(path)
-    return read_fimi(path)
+        db = read_arff(path, errors=errors, report=report)
+    else:
+        db = read_fimi(path, errors=errors, report=report)
+    if report is not None and report.lines_skipped:
+        print(
+            f"# skipped {report.lines_skipped} corrupt line(s) in {path}: "
+            f"{report.skipped_line_numbers[:10]}"
+            + ("..." if report.lines_skipped > 10 else ""),
+            file=sys.stderr,
+        )
+    return db
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_USER_ERROR", "EXIT_INTERRUPTED"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +83,43 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument("-o", "--output", help="write result here instead of stdout")
     mine_parser.add_argument(
         "--stats", action="store_true", help="print timing and operation counters"
+    )
+    mine_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort the run after this much wall-clock time (exit code 3)",
+    )
+    mine_parser.add_argument(
+        "--memory-limit",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="abort when the run allocates more than this many MB (exit code 3)",
+    )
+    mine_parser.add_argument(
+        "--fallback",
+        nargs="?",
+        const="default",
+        default=None,
+        metavar="CHAIN",
+        help="on a budget trip, retry along an algorithm chain: 'default' "
+        "or a comma-separated list of algorithm names",
+    )
+    mine_parser.add_argument(
+        "--on-partial",
+        choices=("raise", "return"),
+        default="raise",
+        help="when every attempt trips its budget: 'raise' discards the "
+        "partial result, 'return' prints it (still exit code 3)",
+    )
+    mine_parser.add_argument(
+        "--errors",
+        choices=("raise", "skip"),
+        default="raise",
+        help="corrupt input lines: 'raise' stops with exit code 2, "
+        "'skip' drops them with a note on stderr",
     )
 
     bench_parser = subparsers.add_parser("bench", help="run a paper exhibit")
@@ -146,11 +198,19 @@ def _parse_options(pairs: List[str]) -> dict:
 
 
 def _command_mine(args: argparse.Namespace) -> int:
-    db = _read_any(args.file)
+    db = _read_any(args.file, errors=args.errors)
     counters = OperationCounters()
     start = time.perf_counter()
     result = mine(
-        db, args.smin, algorithm=args.algorithm, target=args.target, counters=counters
+        db,
+        args.smin,
+        algorithm=args.algorithm,
+        target=args.target,
+        counters=counters,
+        timeout=args.timeout,
+        memory_limit_mb=args.memory_limit,
+        fallback=args.fallback,
+        on_partial=args.on_partial,
     )
     elapsed = time.perf_counter() - start
     lines = result.to_lines()
@@ -160,6 +220,12 @@ def _command_mine(args: argparse.Namespace) -> int:
     else:
         for line in lines:
             print(line)
+    if result.fallback_path and not result.interrupted:
+        print(
+            f"# fell back after {', '.join(result.fallback_path)}; "
+            f"finished with {result.algorithm}",
+            file=sys.stderr,
+        )
     if args.stats:
         print(
             f"# {len(result)} item sets in {elapsed:.3f}s "
@@ -167,6 +233,13 @@ def _command_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         print(f"# counters: {counters.as_dict()}", file=sys.stderr)
+    if result.interrupted:
+        print(
+            f"# PARTIAL result: every attempt hit its budget; "
+            f"{len(result)} item sets salvaged",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     return 0
 
 
@@ -236,18 +309,38 @@ def _command_rules(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point (also installed as the ``repro-mine`` script)."""
+    """Entry point (also installed as the ``repro-mine`` script).
+
+    Exit codes: 0 success; 2 user/input error (bad arguments, missing or
+    corrupt files); 3 resource budget tripped (timeout, memory,
+    cancellation) with nothing — or only a partial result — to show.
+    """
     args = build_parser().parse_args(argv)
-    if args.command == "mine":
-        return _command_mine(args)
-    if args.command == "bench":
-        return _command_bench(args)
-    if args.command == "gen":
-        return _command_gen(args)
-    if args.command == "stats":
-        return _command_stats(args)
-    if args.command == "rules":
-        return _command_rules(args)
+    try:
+        if args.command == "mine":
+            return _command_mine(args)
+        if args.command == "bench":
+            return _command_bench(args)
+        if args.command == "gen":
+            return _command_gen(args)
+        if args.command == "stats":
+            return _command_stats(args)
+        if args.command == "rules":
+            return _command_rules(args)
+    except MiningInterrupted as exc:
+        print(f"repro-mine: {exc}", file=sys.stderr)
+        if exc.fallback_path:
+            print(
+                f"repro-mine: attempted {', '.join(exc.fallback_path)}",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
+    except CorruptInputError as exc:
+        print(f"repro-mine: {exc}", file=sys.stderr)
+        return EXIT_USER_ERROR
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"repro-mine: {exc}", file=sys.stderr)
+        return EXIT_USER_ERROR
     raise SystemExit(f"unknown command {args.command!r}")
 
 

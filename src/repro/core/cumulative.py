@@ -25,9 +25,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..closure.verify import refine_anytime
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 
 __all__ = ["mine_cumulative"]
@@ -41,18 +43,26 @@ def mine_cumulative(
     prune: bool = False,
     prune_interval: int = 16,
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
     """Mine closed frequent item sets with the flat cumulative scheme.
 
     Pruning is off by default: the point of this miner is to reproduce
     the unimproved [14] baseline.  Turning ``prune`` on gives the
     "flat structure + item elimination" middle ground for ablations.
+
+    ``guard`` is polled per transaction and inside the repository scan
+    (the loop that explodes on unfavourable inputs); on interruption
+    the repository is salvaged through
+    :func:`repro.closure.verify.refine_anytime` and attached to the
+    exception as an anytime result.
     """
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )
     if counters is None:
         counters = OperationCounters()
+    check = checker(guard, counters)
     transactions = prepared.transactions
 
     remaining = [0] * prepared.n_items
@@ -67,32 +77,55 @@ def mine_cumulative(
             raise ValueError(f"prune_interval must be positive, got {prune_interval}")
 
     repository: Dict[int, int] = {}
-    for index, transaction in enumerate(transactions):
-        if not transaction:
-            continue
-        # Support of every intersection: 1 (for t itself) + the largest
-        # support among the repository sets that produce it.
-        updates: Dict[int, int] = {transaction: 0}
-        for stored, support in repository.items():
-            counters.intersections += 1
-            intersection = stored & transaction
-            if intersection:
-                best = updates.get(intersection)
-                if best is None or support > best:
-                    updates[intersection] = support
-        for intersection, support in updates.items():
-            repository[intersection] = support + 1
-            counters.support_updates += 1
-        counters.observe_repository_size(len(repository))
+    processed = 0
+    try:
+        for index, transaction in enumerate(transactions):
+            check()
+            if not transaction:
+                processed += 1
+                continue
+            # Support of every intersection: 1 (for t itself) + the largest
+            # support among the repository sets that produce it.
+            updates: Dict[int, int] = {transaction: 0}
+            for stored, support in repository.items():
+                check()
+                counters.intersections += 1
+                intersection = stored & transaction
+                if intersection:
+                    best = updates.get(intersection)
+                    if best is None or support > best:
+                        updates[intersection] = support
+            for intersection, support in updates.items():
+                repository[intersection] = support + 1
+                counters.support_updates += 1
+            counters.observe_repository_size(len(repository))
+            processed += 1
 
-        if prune:
-            mask = transaction
-            while mask:
-                low = mask & -mask
-                remaining[low.bit_length() - 1] -= 1
-                mask ^= low
-            if (index + 1) % prune_interval == 0 and index + 1 < len(transactions):
-                _prune_repository(repository, remaining, smin, counters)
+            if prune:
+                mask = transaction
+                while mask:
+                    low = mask & -mask
+                    remaining[low.bit_length() - 1] -= 1
+                    mask ^= low
+                if (index + 1) % prune_interval == 0 and index + 1 < len(transactions):
+                    _prune_repository(repository, remaining, smin, counters)
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: refine_anytime(
+                db,
+                finalize(
+                    ((m, s) for m, s in repository.items() if s >= smin),
+                    code_map,
+                    db,
+                    "cumulative-flat",
+                    smin,
+                ),
+                smin,
+            ),
+            algorithm="cumulative-flat",
+            processed=processed,
+        )
+        raise
 
     pairs = ((mask, supp) for mask, supp in repository.items() if supp >= smin)
     return finalize(pairs, code_map, db, "cumulative-flat", smin)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..data import itemset
+from ..runtime import RunGuard
 from ..stats import OperationCounters
 from .prefix_tree import PrefixTree
 
@@ -33,10 +34,20 @@ __all__ = ["IncrementalMiner"]
 
 
 class IncrementalMiner:
-    """Online closed frequent item set miner over arbitrary item labels."""
+    """Online closed frequent item set miner over arbitrary item labels.
 
-    def __init__(self, counters: Optional[OperationCounters] = None) -> None:
-        self._tree = PrefixTree(counters)
+    An optional :class:`~repro.runtime.RunGuard` bounds each ``add``:
+    the guard is polled inside the repository intersection, so a
+    deadline or cancellation interrupts mid-transaction (the repository
+    then reflects the transactions fully processed before the trip).
+    """
+
+    def __init__(
+        self,
+        counters: Optional[OperationCounters] = None,
+        guard: Optional[RunGuard] = None,
+    ) -> None:
+        self._tree = PrefixTree(counters, guard)
         self._label_to_code: Dict[Hashable, int] = {}
         self._labels: List[Hashable] = []
         self._n_transactions = 0

@@ -28,9 +28,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..closure.verify import refine_anytime
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 from .prefix_tree import PrefixTree, PrefixTreeNode
 
@@ -45,6 +47,7 @@ def mine_ista(
     prune: bool = True,
     prune_interval: int = 4,
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with the IsTa algorithm.
 
@@ -63,6 +66,13 @@ def mine_ista(
         Run a repository pruning pass every this many transactions.
     counters:
         Optional :class:`~repro.stats.OperationCounters` to fill in.
+    guard:
+        Optional :class:`~repro.runtime.RunGuard`, polled per processed
+        transaction and inside the repository intersection recursion.
+        On interruption the current repository is salvaged through
+        :func:`repro.closure.verify.refine_anytime` (only sets closed
+        in the *full* database survive, with exact supports) and
+        attached to the exception as an anytime result.
 
     Returns
     -------
@@ -73,36 +83,52 @@ def mine_ista(
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )
-    tree = PrefixTree(counters)
+    if prune and prune_interval < 1:
+        raise ValueError(f"prune_interval must be positive, got {prune_interval}")
+    tree = PrefixTree(counters, guard)
+    check = checker(guard, tree.counters)
     transactions = prepared.transactions
     n = len(transactions)
+    processed = 0
 
-    if not prune:
+    try:
+        if not prune:
+            for transaction in transactions:
+                check()
+                tree.add_transaction(transaction)
+                processed += 1
+            return finalize(tree.report(smin), code_map, db, "ista", smin)
+
+        # Remaining-occurrence counters over the unprocessed suffix.
+        remaining = [0] * prepared.n_items
         for transaction in transactions:
+            mask = transaction
+            while mask:
+                low = mask & -mask
+                remaining[low.bit_length() - 1] += 1
+                mask ^= low
+
+        for index, transaction in enumerate(transactions):
+            check()
             tree.add_transaction(transaction)
+            processed += 1
+            mask = transaction
+            while mask:
+                low = mask & -mask
+                remaining[low.bit_length() - 1] -= 1
+                mask ^= low
+            if (index + 1) % prune_interval == 0 and index + 1 < n:
+                _prune_tree(tree, remaining, smin)
         return finalize(tree.report(smin), code_map, db, "ista", smin)
-
-    # Remaining-occurrence counters over the unprocessed suffix.
-    remaining = [0] * prepared.n_items
-    for transaction in transactions:
-        mask = transaction
-        while mask:
-            low = mask & -mask
-            remaining[low.bit_length() - 1] += 1
-            mask ^= low
-
-    if prune_interval < 1:
-        raise ValueError(f"prune_interval must be positive, got {prune_interval}")
-    for index, transaction in enumerate(transactions):
-        tree.add_transaction(transaction)
-        mask = transaction
-        while mask:
-            low = mask & -mask
-            remaining[low.bit_length() - 1] -= 1
-            mask ^= low
-        if (index + 1) % prune_interval == 0 and index + 1 < n:
-            _prune_tree(tree, remaining, smin)
-    return finalize(tree.report(smin), code_map, db, "ista", smin)
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: refine_anytime(
+                db, finalize(tree.report(smin), code_map, db, "ista", smin), smin
+            ),
+            algorithm="ista",
+            processed=processed,
+        )
+        raise
 
 
 def _prune_tree(tree: PrefixTree, remaining: List[int], smin: int) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import sys
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..runtime import RunGuard, checker
 from ..stats import OperationCounters
 
 __all__ = ["PrefixTreeNode", "PrefixTree"]
@@ -52,12 +53,19 @@ class PrefixTreeNode:
 class PrefixTree:
     """Prefix tree over item codes, with in-place intersection merging."""
 
-    def __init__(self, counters: Optional[OperationCounters] = None) -> None:
+    def __init__(
+        self,
+        counters: Optional[OperationCounters] = None,
+        guard: Optional[RunGuard] = None,
+    ) -> None:
         self._root = PrefixTreeNode(item=-1)
         self._step = 0
         self._n_nodes = 0
         self._depth_bound = 0
         self.counters = counters if counters is not None else OperationCounters()
+        # Guard poll, stride-sampled inside the guard; a no-op callable
+        # when no guard is active so the hot loop stays branch-free.
+        self._check = checker(guard, self.counters)
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -142,12 +150,14 @@ class PrefixTree:
         step = self._step
         imin = (mask & -mask).bit_length() - 1
         counters = self.counters
+        check = self._check
         # Hot loop: operation counts are accumulated in a mutable cell
         # and flushed once per transaction (per-node attribute
         # increments would dominate the Python runtime).
         stats = [0, 0, 0, 0]  # visits, intersections, created, updates
 
         def isect(sources, target) -> None:
+            check()
             for node in sources:
                 item = node.item
                 stats[0] += 1
@@ -183,12 +193,16 @@ class PrefixTree:
                     isect(node.children.values(), target)
 
         root = self._root
-        isect(list(root.children.values()), root)
-        self._n_nodes += stats[2]
-        counters.node_visits += stats[0]
-        counters.intersections += stats[1]
-        counters.nodes_created += stats[2]
-        counters.support_updates += stats[3]
+        try:
+            isect(list(root.children.values()), root)
+        finally:
+            # Flush even when a guard interruption unwinds mid-merge, so
+            # the counters snapshot on the exception reflects real work.
+            self._n_nodes += stats[2]
+            counters.node_visits += stats[0]
+            counters.intersections += stats[1]
+            counters.nodes_created += stats[2]
+            counters.support_updates += stats[3]
 
     # ------------------------------------------------------------------
     # Reporting (Figure 4)

@@ -1,13 +1,14 @@
 """Data substrate: item sets, transaction databases, orders, IO, transforms."""
 
 from .database import TransactionDatabase
-from .io import parse_fimi, read_fimi, write_fimi
+from .io import LoadReport, parse_fimi, read_fimi, write_fimi
 from .matrix import build_matrix, example_database
 from .recode import prepare, recode_items, reorder_transactions
 from .transforms import expression_to_database, transpose
 
 __all__ = [
     "TransactionDatabase",
+    "LoadReport",
     "parse_fimi",
     "read_fimi",
     "write_fimi",

@@ -20,9 +20,11 @@ thresholding real-valued matrices).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import List, Optional, TextIO, Union
 
+from ..runtime.errors import CorruptInputError
 from .database import TransactionDatabase
+from .io import LoadReport
 
 __all__ = ["read_arff", "write_arff", "parse_arff", "format_arff"]
 
@@ -32,8 +34,23 @@ _TRUE_VALUES = {"1", "true", "t", "yes", "y"}
 _FALSE_VALUES = {"0", "false", "f", "no", "n", "?"}
 
 
-def parse_arff(text: str) -> TransactionDatabase:
-    """Parse ARFF text into a transaction database."""
+def parse_arff(
+    text: str,
+    errors: str = "raise",
+    report: Optional[LoadReport] = None,
+    source: str = "<string>",
+) -> TransactionDatabase:
+    """Parse ARFF text into a transaction database.
+
+    Malformed content raises :class:`~repro.runtime.CorruptInputError`
+    naming the source and line.  ``errors="skip"`` drops malformed
+    *data* rows instead (counted in ``report``); header errors always
+    raise — a broken header leaves nothing trustworthy to mine.
+    """
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip', got {errors!r}")
+    if report is not None:
+        report.source = source
     attribute_names: List[str] = []
     transactions: List[List[str]] = []
     in_data = False
@@ -46,21 +63,44 @@ def parse_arff(text: str) -> TransactionDatabase:
             if lowered.startswith("@relation"):
                 continue
             if lowered.startswith("@attribute"):
-                attribute_names.append(_parse_attribute(line, line_number))
+                attribute_names.append(_parse_attribute(line, line_number, source))
                 continue
             if lowered.startswith("@data"):
                 if not attribute_names:
-                    raise ValueError("@data before any @attribute")
+                    raise CorruptInputError(
+                        f"{source}: @data before any @attribute",
+                        source=source,
+                        line_number=line_number,
+                    )
                 in_data = True
                 continue
-            raise ValueError(f"line {line_number}: unexpected header line {line!r}")
-        transactions.append(_parse_instance(line, attribute_names, line_number))
+            raise CorruptInputError(
+                f"{source}, line {line_number}: unexpected header line {line!r}",
+                source=source,
+                line_number=line_number,
+            )
+        else:
+            try:
+                transactions.append(
+                    _parse_instance(line, attribute_names, line_number, source)
+                )
+            except CorruptInputError:
+                if errors == "raise":
+                    raise
+                if report is not None:
+                    report.lines_skipped += 1
+                    report.skipped_line_numbers.append(line_number)
+                continue
+            if report is not None:
+                report.lines_read += 1
     if not in_data:
-        raise ValueError("no @data section found")
+        raise CorruptInputError(
+            f"{source}: no @data section found", source=source
+        )
     return TransactionDatabase.from_iterable(transactions, item_order=attribute_names)
 
 
-def _parse_attribute(line: str, line_number: int) -> str:
+def _parse_attribute(line: str, line_number: int, source: str) -> str:
     """Extract the name of a binary/nominal attribute declaration."""
     body = line[len("@attribute"):].strip()
     if body.startswith("'"):
@@ -72,52 +112,80 @@ def _parse_attribute(line: str, line_number: int) -> str:
     else:
         parts = body.split(None, 1)
         if len(parts) != 2:
-            raise ValueError(f"line {line_number}: malformed @attribute")
+            raise CorruptInputError(
+                f"{source}, line {line_number}: malformed @attribute",
+                source=source,
+                line_number=line_number,
+            )
         name, rest = parts
     rest_lower = rest.lower()
     if rest_lower.startswith("{"):
         values = {value.strip().strip("'\"").lower() for value in rest.strip("{}").split(",")}
         if not values <= (_TRUE_VALUES | _FALSE_VALUES):
-            raise ValueError(
-                f"line {line_number}: attribute {name!r} is not binary "
-                f"(values {sorted(values)}); threshold real data first"
+            raise CorruptInputError(
+                f"{source}, line {line_number}: attribute {name!r} is not binary "
+                f"(values {sorted(values)}); threshold real data first",
+                source=source,
+                line_number=line_number,
             )
     elif rest_lower not in ("numeric", "integer", "real"):
-        raise ValueError(
-            f"line {line_number}: unsupported attribute type {rest!r}"
+        raise CorruptInputError(
+            f"{source}, line {line_number}: unsupported attribute type {rest!r}",
+            source=source,
+            line_number=line_number,
         )
     return name
 
 
 def _parse_instance(
-    line: str, attribute_names: List[str], line_number: int
+    line: str, attribute_names: List[str], line_number: int, source: str
 ) -> List[str]:
     """One @data row -> list of contained item names."""
     if line.startswith("{"):
         if not line.endswith("}"):
-            raise ValueError(f"line {line_number}: unterminated sparse instance")
+            raise CorruptInputError(
+                f"{source}, line {line_number}: unterminated sparse instance",
+                source=source,
+                line_number=line_number,
+            )
         body = line[1:-1].strip()
         items = []
         if body:
             for entry in body.split(","):
                 parts = entry.split()
                 if len(parts) != 2:
-                    raise ValueError(
-                        f"line {line_number}: malformed sparse entry {entry!r}"
+                    raise CorruptInputError(
+                        f"{source}, line {line_number}: malformed sparse "
+                        f"entry {entry!r}",
+                        source=source,
+                        line_number=line_number,
                     )
-                index = int(parts[0])
+                try:
+                    index = int(parts[0])
+                except ValueError:
+                    raise CorruptInputError(
+                        f"{source}, line {line_number}: malformed sparse "
+                        f"entry {entry!r}",
+                        source=source,
+                        line_number=line_number,
+                    ) from None
                 if not 0 <= index < len(attribute_names):
-                    raise ValueError(
-                        f"line {line_number}: attribute index {index} out of range"
+                    raise CorruptInputError(
+                        f"{source}, line {line_number}: attribute index "
+                        f"{index} out of range",
+                        source=source,
+                        line_number=line_number,
                     )
                 if parts[1].lower() in _TRUE_VALUES:
                     items.append(attribute_names[index])
         return items
     values = [value.strip() for value in line.split(",")]
     if len(values) != len(attribute_names):
-        raise ValueError(
-            f"line {line_number}: expected {len(attribute_names)} values, "
-            f"got {len(values)}"
+        raise CorruptInputError(
+            f"{source}, line {line_number}: expected {len(attribute_names)} "
+            f"values, got {len(values)}",
+            source=source,
+            line_number=line_number,
         )
     items = []
     for name, value in zip(attribute_names, values):
@@ -125,18 +193,28 @@ def _parse_instance(
         if lowered in _TRUE_VALUES:
             items.append(name)
         elif lowered not in _FALSE_VALUES:
-            raise ValueError(
-                f"line {line_number}: non-binary value {value!r} for {name!r}"
+            raise CorruptInputError(
+                f"{source}, line {line_number}: non-binary value {value!r} "
+                f"for {name!r}",
+                source=source,
+                line_number=line_number,
             )
     return items
 
 
-def read_arff(source: PathOrFile) -> TransactionDatabase:
+def read_arff(
+    source: PathOrFile,
+    errors: str = "raise",
+    report: Optional[LoadReport] = None,
+) -> TransactionDatabase:
     """Read an ARFF file (binary nominal or sparse encoding)."""
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
-            return parse_arff(handle.read())
-    return parse_arff(source.read())
+        with open(source, "r", encoding="utf-8", errors="surrogateescape") as handle:
+            return parse_arff(
+                handle.read(), errors=errors, report=report, source=str(source)
+            )
+    name = getattr(source, "name", "<stream>") or "<stream>"
+    return parse_arff(source.read(), errors=errors, report=report, source=name)
 
 
 def format_arff(

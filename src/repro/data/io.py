@@ -14,11 +14,13 @@ Two on-disk formats are supported:
 from __future__ import annotations
 
 import io as _io
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Hashable, List, Sequence, TextIO, Tuple, Union
+from typing import Hashable, List, Optional, Sequence, TextIO, Tuple, Union
 
 import numpy as np
 
+from ..runtime.errors import CorruptInputError
 from .database import TransactionDatabase
 
 __all__ = [
@@ -28,15 +30,45 @@ __all__ = [
     "format_fimi",
     "read_expression_matrix",
     "write_expression_matrix",
+    "LoadReport",
 ]
 
 PathOrFile = Union[str, Path, TextIO]
 
 
+@dataclass
+class LoadReport:
+    """What a loader did with a file — filled in when passed to a reader.
+
+    With ``errors="skip"`` the corrupt lines are dropped instead of
+    raising; this report says how many and which, so callers can decide
+    whether the surviving data is still worth mining.
+    """
+
+    source: str = ""
+    lines_read: int = 0
+    lines_skipped: int = 0
+    skipped_line_numbers: List[int] = field(default_factory=list)
+
+
+def _source_name(source: PathOrFile) -> str:
+    if isinstance(source, (str, Path)):
+        return str(source)
+    return getattr(source, "name", "<stream>") or "<stream>"
+
+
 def _open_for_read(source: PathOrFile):
     if isinstance(source, (str, Path)):
-        return open(source, "r", encoding="utf-8"), True
+        # surrogateescape keeps undecodable bytes visible as lone
+        # surrogates instead of crashing in the codec, so corruption is
+        # reported with a file name and line number below.
+        return open(source, "r", encoding="utf-8", errors="surrogateescape"), True
     return source, False
+
+
+def _corrupt_token(token: str) -> bool:
+    """True for tokens carrying control bytes or undecodable garbage."""
+    return not token.isprintable()
 
 
 def _open_for_write(target: PathOrFile):
@@ -45,7 +77,11 @@ def _open_for_write(target: PathOrFile):
     return target, False
 
 
-def parse_fimi(text: str) -> TransactionDatabase:
+def parse_fimi(
+    text: str,
+    errors: str = "raise",
+    report: Optional[LoadReport] = None,
+) -> TransactionDatabase:
     """Parse FIMI-format text into a database.
 
     Blank lines are empty transactions (kept: the miners must cope with
@@ -56,17 +92,48 @@ def parse_fimi(text: str) -> TransactionDatabase:
     >>> db.n_transactions
     2
     """
-    return read_fimi(_io.StringIO(text))
+    return read_fimi(_io.StringIO(text), errors=errors, report=report)
 
 
-def read_fimi(source: PathOrFile) -> TransactionDatabase:
-    """Read a FIMI-format transaction file."""
+def read_fimi(
+    source: PathOrFile,
+    errors: str = "raise",
+    report: Optional[LoadReport] = None,
+) -> TransactionDatabase:
+    """Read a FIMI-format transaction file.
+
+    Lines containing control bytes or undecodable garbage raise
+    :class:`~repro.runtime.CorruptInputError` naming the file and line
+    (``errors="raise"``, the default), or are dropped and counted in
+    ``report`` (``errors="skip"``).
+    """
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip', got {errors!r}")
+    name = _source_name(source)
+    if report is not None:
+        report.source = name
     handle, should_close = _open_for_read(source)
     try:
         rows: List[List[str]] = []
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
-            rows.append(stripped.split() if stripped else [])
+            tokens = stripped.split() if stripped else []
+            bad = next((t for t in tokens if _corrupt_token(t)), None)
+            if bad is not None:
+                if errors == "raise":
+                    raise CorruptInputError(
+                        f"{name}, line {line_number}: corrupt token "
+                        f"{bad!r:.40} (control or undecodable bytes)",
+                        source=name,
+                        line_number=line_number,
+                    )
+                if report is not None:
+                    report.lines_skipped += 1
+                    report.skipped_line_numbers.append(line_number)
+                continue
+            rows.append(tokens)
+            if report is not None:
+                report.lines_read += 1
     finally:
         if should_close:
             handle.close()
@@ -109,11 +176,14 @@ def read_expression_matrix(
     Returns ``(values, gene_names, condition_names)`` where ``values``
     has shape ``(n_genes, n_conditions)``.
     """
+    name = _source_name(source)
     handle, should_close = _open_for_read(source)
     try:
         header = handle.readline().rstrip("\n")
         if not header:
-            raise ValueError("expression matrix file is empty")
+            raise CorruptInputError(
+                f"{name}: expression matrix file is empty", source=name
+            )
         condition_names = header.split("\t")[1:]
         gene_names: List[str] = []
         rows: List[List[float]] = []
@@ -123,12 +193,21 @@ def read_expression_matrix(
                 continue
             fields = stripped.split("\t")
             if len(fields) != len(condition_names) + 1:
-                raise ValueError(
-                    f"line {line_number}: expected {len(condition_names) + 1} "
-                    f"fields, got {len(fields)}"
+                raise CorruptInputError(
+                    f"{name}, line {line_number}: expected "
+                    f"{len(condition_names) + 1} fields, got {len(fields)}",
+                    source=name,
+                    line_number=line_number,
                 )
             gene_names.append(fields[0])
-            rows.append([float(field) for field in fields[1:]])
+            try:
+                rows.append([float(field) for field in fields[1:]])
+            except ValueError as exc:
+                raise CorruptInputError(
+                    f"{name}, line {line_number}: non-numeric value ({exc})",
+                    source=name,
+                    line_number=line_number,
+                ) from exc
     finally:
         if should_close:
             handle.close()

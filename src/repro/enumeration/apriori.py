@@ -19,6 +19,7 @@ from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 
 __all__ = ["mine_apriori"]
@@ -29,12 +30,16 @@ def mine_apriori(
     smin: int,
     target: str = "all",
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
     """Mine frequent item sets level-wise.
 
     ``target`` is ``"all"`` (default), ``"closed"`` or ``"maximal"``;
     the latter two post-filter the full family, which is the textbook
     (and expensive) way — the point of this miner is clarity, not speed.
+    ``guard`` is polled in the candidate join loop; the levels completed
+    before an interruption (exact supports) are attached to the
+    exception as an anytime result.
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
@@ -43,6 +48,7 @@ def mine_apriori(
     )
     if counters is None:
         counters = OperationCounters()
+    check = checker(guard, counters)
 
     tid_masks = prepared.vertical()
     level: Dict[int, int] = {}
@@ -53,11 +59,19 @@ def mine_apriori(
             level[1 << item] = tids
 
     all_pairs: List[tuple] = []
-    while level:
-        for mask, tids in level.items():
-            all_pairs.append((mask, itemset.size(tids)))
-            counters.reports += 1
-        level = _next_level(level, smin, counters)
+    try:
+        while level:
+            check()
+            for mask, tids in level.items():
+                all_pairs.append((mask, itemset.size(tids)))
+                counters.reports += 1
+            level = _next_level(level, smin, counters, check)
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: finalize(all_pairs, code_map, db, "apriori", smin),
+            algorithm="apriori",
+        )
+        raise
 
     result = finalize(all_pairs, code_map, db, "apriori", smin)
     if target == "closed":
@@ -68,12 +82,18 @@ def mine_apriori(
     return result
 
 
-def _next_level(level: Dict[int, int], smin: int, counters: OperationCounters) -> Dict[int, int]:
+def _next_level(
+    level: Dict[int, int],
+    smin: int,
+    counters: OperationCounters,
+    check=lambda: None,
+) -> Dict[int, int]:
     """Join step + prune step + counting for one Apriori level."""
     masks = sorted(level)
     size = itemset.size(masks[0]) if masks else 0
     candidates: Dict[int, int] = {}
     for i, left in enumerate(masks):
+        check()
         for right in masks[i + 1 :]:
             counters.recursion_calls += 1
             union = left | right

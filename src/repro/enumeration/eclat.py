@@ -23,6 +23,7 @@ from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 from .closedness import ClosedSetStore
 
@@ -35,10 +36,14 @@ def mine_eclat(
     target: str = "closed",
     item_order: str = "frequency-ascending",
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
     """Mine frequent item sets with Eclat.
 
     ``target`` is one of ``"all"``, ``"closed"``, ``"maximal"``.
+    ``guard`` is polled at every search node; the sets found before an
+    interruption (exact supports; genuinely closed for the closed
+    target) are attached to the exception as an anytime result.
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
@@ -56,13 +61,28 @@ def mine_eclat(
         if itemset.size(tid_masks[code]) >= smin
     ]
 
+    check = checker(guard, counters)
     if target == "all":
         pairs: List[Tuple[int, int]] = []
-        _mine_all(items, pairs, smin, counters)
+        try:
+            _mine_all(items, pairs, smin, counters, check)
+        except MiningInterrupted as exc:
+            exc.attach_partial(
+                lambda: finalize(pairs, code_map, db, "eclat", smin),
+                algorithm="eclat",
+            )
+            raise
         result = finalize(pairs, code_map, db, "eclat", smin)
     else:
         store = ClosedSetStore(counters)
-        _mine_closed(items, store, smin, counters)
+        try:
+            _mine_closed(items, store, smin, counters, check)
+        except MiningInterrupted as exc:
+            exc.attach_partial(
+                lambda: finalize(store.pairs(), code_map, db, "eclat-closed", smin),
+                algorithm="eclat",
+            )
+            raise
         result = finalize(store.pairs(), code_map, db, "eclat-closed", smin)
         if target == "maximal":
             result = result.maximal()
@@ -75,12 +95,14 @@ def _mine_all(
     pairs: List[Tuple[int, int]],
     smin: int,
     counters: OperationCounters,
+    check,
 ) -> None:
     """Plain Eclat: stack of (prefix mask, candidate extension list)."""
     stack = [(0, items)]
     while stack:
         prefix, extensions = stack.pop()
         for index, (item, tids) in enumerate(extensions):
+            check()
             counters.recursion_calls += 1
             support = itemset.size(tids)
             mask = prefix | (1 << item)
@@ -101,6 +123,7 @@ def _mine_closed(
     store: ClosedSetStore,
     smin: int,
     counters: OperationCounters,
+    check,
 ) -> None:
     """CHARM-style closed mining.
 
@@ -111,6 +134,7 @@ def _mine_closed(
     """
     stack: List[List] = [[0, items, 0]]
     while stack:
+        check()
         frame = stack[-1]
         current, extensions, index = frame
         if index >= len(extensions):

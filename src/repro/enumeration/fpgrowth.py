@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 from .closedness import ClosedSetStore
 
@@ -124,10 +125,14 @@ def mine_fpgrowth(
     target: str = "closed",
     item_order: str = "frequency-ascending",
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
     """Mine frequent item sets with FP-growth / FP-close.
 
     ``target`` is one of ``"all"``, ``"closed"``, ``"maximal"``.
+    ``guard`` is polled at every search node; the sets found before an
+    interruption (exact supports; genuinely closed for the closed
+    target) are attached to the exception as an anytime result.
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
@@ -136,17 +141,32 @@ def mine_fpgrowth(
     )
     if counters is None:
         counters = OperationCounters()
+    check = checker(guard, counters)
 
     weighted = [(mask, 1) for mask in prepared.transactions if mask]
     tree = FPTree.build(weighted, smin, counters)
 
     if target == "all":
         pairs: List[Tuple[int, int]] = []
-        _mine_all(tree, smin, pairs, counters)
+        try:
+            _mine_all(tree, smin, pairs, counters, check)
+        except MiningInterrupted as exc:
+            exc.attach_partial(
+                lambda: finalize(pairs, code_map, db, "fpgrowth", smin),
+                algorithm="fpgrowth",
+            )
+            raise
         return finalize(pairs, code_map, db, "fpgrowth", smin)
 
     store = ClosedSetStore(counters)
-    _mine_closed(tree, smin, store, counters)
+    try:
+        _mine_closed(tree, smin, store, counters, check)
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: finalize(store.pairs(), code_map, db, "fpclose", smin),
+            algorithm="fpgrowth",
+        )
+        raise
     result = finalize(store.pairs(), code_map, db, "fpclose", smin)
     if target == "maximal":
         result = result.maximal()
@@ -159,12 +179,14 @@ def _mine_all(
     smin: int,
     pairs: List[Tuple[int, int]],
     counters: OperationCounters,
+    check,
 ) -> None:
     """Plain FP-growth: every frequent item set, no closedness logic."""
     stack = [(tree, 0)]
     while stack:
         current, suffix = stack.pop()
         for item in sorted(current.counts):
+            check()
             counters.recursion_calls += 1
             support = current.counts[item]
             candidate = suffix | (1 << item)
@@ -182,6 +204,7 @@ def _mine_closed(
     smin: int,
     store: ClosedSetStore,
     counters: OperationCounters,
+    check,
 ) -> None:
     """FPclose: perfect-extension absorption + subsumption pruning.
 
@@ -191,6 +214,7 @@ def _mine_closed(
     """
     stack: List[List] = [[tree, 0, sorted(tree.counts), 0]]
     while stack:
+        check()
         frame = stack[-1]
         current, suffix, order, index = frame
         if index >= len(order):

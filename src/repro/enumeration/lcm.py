@@ -21,6 +21,7 @@ from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 
 __all__ = ["mine_lcm"]
@@ -31,8 +32,14 @@ def mine_lcm(
     smin: int,
     item_order: str = "frequency-ascending",
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
-    """Mine all closed frequent item sets with LCM."""
+    """Mine all closed frequent item sets with LCM.
+
+    ``guard`` is polled at every search node; the closed sets reported
+    before an interruption are exact and attached to the exception as
+    an anytime result.
+    """
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order="identity"
     )
@@ -46,6 +53,7 @@ def mine_lcm(
     tid_masks = prepared.vertical()
     all_tids = (1 << n) - 1
     pairs: List[Tuple[int, int]] = []
+    check = checker(guard, counters)
 
     root = _closure(transactions, all_tids, counters)
     if root:
@@ -55,27 +63,35 @@ def mine_lcm(
     # Frames: (closed set P, cover tid mask, core item).  Order of
     # exploration is irrelevant — each closed set has a unique parent.
     stack: List[Tuple[int, int, int]] = [(root, all_tids, -1)]
-    while stack:
-        closed_set, cover, core = stack.pop()
-        counters.recursion_calls += 1
-        for item in range(core + 1, prepared.n_items):
-            if closed_set >> item & 1:
-                continue
-            counters.intersections += 1
-            new_cover = cover & tid_masks[item]
-            support = itemset.size(new_cover)
-            if support < smin:
-                continue
-            candidate = _closure(transactions, new_cover, counters)
-            # Prefix-preserving check: the closure must not reach below
-            # ``item`` beyond what the parent already had.
-            lower = (1 << item) - 1
-            counters.containment_checks += 1
-            if candidate & lower != closed_set & lower:
-                continue
-            pairs.append((candidate, support))
-            counters.reports += 1
-            stack.append((candidate, new_cover, item))
+    try:
+        while stack:
+            closed_set, cover, core = stack.pop()
+            counters.recursion_calls += 1
+            for item in range(core + 1, prepared.n_items):
+                check()
+                if closed_set >> item & 1:
+                    continue
+                counters.intersections += 1
+                new_cover = cover & tid_masks[item]
+                support = itemset.size(new_cover)
+                if support < smin:
+                    continue
+                candidate = _closure(transactions, new_cover, counters)
+                # Prefix-preserving check: the closure must not reach below
+                # ``item`` beyond what the parent already had.
+                lower = (1 << item) - 1
+                counters.containment_checks += 1
+                if candidate & lower != closed_set & lower:
+                    continue
+                pairs.append((candidate, support))
+                counters.reports += 1
+                stack.append((candidate, new_cover, item))
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: finalize(pairs, code_map, db, "lcm", smin),
+            algorithm="lcm",
+        )
+        raise
 
     return finalize(pairs, code_map, db, "lcm", smin)
 

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..result import MiningResult
+from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
 from .closedness import ClosedSetStore
 
@@ -37,10 +38,14 @@ def mine_sam(
     target: str = "closed",
     item_order: str = "frequency-ascending",
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
 ) -> MiningResult:
     """Mine frequent item sets with SaM.
 
     ``target`` is one of ``"all"``, ``"closed"``, ``"maximal"``.
+    ``guard`` is polled at every split; the sets found before an
+    interruption (exact supports; genuinely closed for the closed
+    target) are attached to the exception as an anytime result.
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
@@ -49,6 +54,7 @@ def mine_sam(
     )
     if counters is None:
         counters = OperationCounters()
+    check = checker(guard, counters)
 
     # The working representation: {transaction mask: weight}, duplicates
     # already merged.  Splitting always takes the *highest* item code,
@@ -62,11 +68,25 @@ def mine_sam(
 
     if target == "all":
         pairs: List[Tuple[int, int]] = []
-        _sam_all(weighted, 0, smin, pairs, counters)
+        try:
+            _sam_all(weighted, 0, smin, pairs, counters, check)
+        except MiningInterrupted as exc:
+            exc.attach_partial(
+                lambda: finalize(pairs, code_map, db, "sam", smin),
+                algorithm="sam",
+            )
+            raise
         return finalize(pairs, code_map, db, "sam", smin)
 
     store = ClosedSetStore(counters)
-    _sam_closed(weighted, 0, smin, store, counters)
+    try:
+        _sam_closed(weighted, 0, smin, store, counters, check)
+    except MiningInterrupted as exc:
+        exc.attach_partial(
+            lambda: finalize(store.pairs(), code_map, db, "sam-closed", smin),
+            algorithm="sam",
+        )
+        raise
     result = finalize(store.pairs(), code_map, db, "sam-closed", smin)
     if target == "maximal":
         result = result.maximal()
@@ -111,12 +131,14 @@ def _sam_all(
     smin: int,
     pairs: List[Tuple[int, int]],
     counters: OperationCounters,
+    check,
 ) -> None:
     """Split-and-merge recursion reporting every frequent set."""
     stack: List[Tuple[Dict[int, int], int]] = [(weighted, prefix)]
     while stack:
         work, current = stack.pop()
         while work:
+            check()
             counters.recursion_calls += 1
             item, conditional, remainder, support = _split(work, counters)
             if support >= smin:
@@ -133,11 +155,13 @@ def _sam_closed(
     smin: int,
     store: ClosedSetStore,
     counters: OperationCounters,
+    check,
 ) -> None:
     """Closed-target SaM: resumable depth-first frames (subtree before
     right siblings, required by the subsumption check)."""
     stack: List[List] = [[weighted, prefix]]
     while stack:
+        check()
         frame = stack[-1]
         work, current = frame
         if not work:

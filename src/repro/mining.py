@@ -13,6 +13,7 @@ uniformly:
 
 from __future__ import annotations
 
+import difflib
 import math
 from typing import Callable, Dict, Optional
 
@@ -21,6 +22,12 @@ from .core import mine_cumulative, mine_ista
 from .data.database import TransactionDatabase
 from .enumeration import mine_apriori, mine_eclat, mine_fpgrowth, mine_lcm, mine_sam
 from .result import MiningResult
+from .runtime import (
+    FallbackPolicy,
+    MiningCancelled,
+    MiningInterrupted,
+    RunGuard,
+)
 from .stats import OperationCounters
 
 __all__ = [
@@ -80,12 +87,84 @@ def choose_algorithm(db: TransactionDatabase, target: str = "closed") -> str:
     return "lcm"
 
 
+def _validate_smin(smin, n_transactions: int) -> int:
+    """Normalise ``smin`` to an absolute count, rejecting nonsense early."""
+    if isinstance(smin, bool) or not isinstance(smin, (int, float)):
+        raise TypeError(
+            f"smin must be an int (absolute) or a float in (0, 1) "
+            f"(relative), got {type(smin).__name__}"
+        )
+    if isinstance(smin, float):
+        if not 0.0 < smin < 1.0:
+            raise ValueError(
+                f"relative minimum support must be in (0, 1), got {smin}; "
+                f"pass an int for absolute support"
+            )
+        return max(1, math.ceil(smin * n_transactions))
+    if smin < 1:
+        raise ValueError(f"smin must be at least 1, got {smin}")
+    return smin
+
+
+def _resolve_algorithm(algorithm: str, db: TransactionDatabase, target: str) -> str:
+    """Resolve ``"auto"`` and reject unknown names with a suggestion."""
+    if not isinstance(algorithm, str):
+        raise TypeError(
+            f"algorithm must be a string, got {type(algorithm).__name__}"
+        )
+    if algorithm == "auto":
+        return choose_algorithm(db, target)
+    if algorithm not in ALGORITHMS:
+        hint = ""
+        close = difflib.get_close_matches(algorithm, ALGORITHMS, n=1)
+        if close:
+            hint = f" (did you mean {close[0]!r}?)"
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}{hint}; available: "
+            f"{sorted(ALGORITHMS)} or 'auto'"
+        )
+    return algorithm
+
+
+def _run_one(
+    algorithm: str,
+    db: TransactionDatabase,
+    smin: int,
+    target: str,
+    counters: Optional[OperationCounters],
+    guard: Optional[RunGuard],
+    options: Dict,
+) -> MiningResult:
+    """Run a single named algorithm (no fallback)."""
+    miner = ALGORITHMS[algorithm]
+    if algorithm in _CLOSED_ONLY:
+        if target == "all":
+            raise ValueError(
+                f"{algorithm!r} mines closed sets only; use an enumeration "
+                f"algorithm ({', '.join(ENUMERATION_ALGORITHMS)}) for target='all'"
+            )
+        result = miner(db, smin, counters=counters, guard=guard, **options)
+        if target == "maximal":
+            result = result.maximal()
+            result.algorithm = f"{algorithm}-maximal"
+        return result
+    return miner(db, smin, target=target, counters=counters, guard=guard, **options)
+
+
 def mine(
     db: TransactionDatabase,
     smin: float,
     algorithm: str = "ista",
     target: str = "closed",
     counters: Optional[OperationCounters] = None,
+    guard: Optional[RunGuard] = None,
+    timeout: Optional[float] = None,
+    memory_limit_mb: Optional[float] = None,
+    cancel=None,
+    progress=None,
+    fault_plan=None,
+    fallback=None,
+    on_partial: str = "raise",
     **options,
 ) -> MiningResult:
     """Mine frequent item sets.
@@ -107,6 +186,33 @@ def mine(
         is rejected (use an enumeration algorithm).
     counters:
         Optional :class:`~repro.stats.OperationCounters` to fill in.
+    guard:
+        A preconfigured :class:`~repro.runtime.RunGuard`.  Mutually
+        exclusive with the ``timeout`` / ``memory_limit_mb`` / ``cancel``
+        / ``progress`` / ``fault_plan`` shorthands, which build one.
+    timeout:
+        Wall-clock budget in seconds for the run (per attempt when a
+        fallback chain is active).
+    memory_limit_mb:
+        Memory budget in mebibytes (tracemalloc delta).
+    cancel:
+        A :class:`~repro.runtime.CancellationToken` for cooperative
+        cancellation from another thread.
+    progress:
+        Callback ``(ProgressInfo) -> None`` invoked periodically.
+    fault_plan:
+        A :class:`~repro.runtime.FaultPlan` for deterministic fault
+        injection (testing).
+    fallback:
+        Fallback policy: ``True`` / ``"default"`` for the default chain,
+        a comma-separated string or sequence of algorithm names, or a
+        :class:`~repro.runtime.FallbackPolicy`.  When the requested
+        algorithm is interrupted by the guard, the next chain member is
+        tried with a fresh deadline.  Cancellation is never retried.
+    on_partial:
+        ``"raise"`` (default) re-raises the interruption when the whole
+        chain fails; ``"return"`` instead returns the best partial
+        (anytime) result, marked ``interrupted=True``.
     options:
         Algorithm-specific keyword options (e.g. ``prune=False`` for
         IsTa, ``repository_kind="hash"`` for Carpenter).
@@ -115,33 +221,98 @@ def mine(
     -------
     MiningResult
     """
-    if algorithm == "auto":
-        algorithm = choose_algorithm(db, target)
-    miner = ALGORITHMS.get(algorithm)
-    if miner is None:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; available: "
-            f"{sorted(ALGORITHMS)} or 'auto'"
-        )
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
-    if isinstance(smin, float):
-        if not 0.0 < smin < 1.0:
-            raise ValueError(
-                f"relative minimum support must be in (0, 1), got {smin}; "
-                f"pass an int for absolute support"
-            )
-        smin = max(1, math.ceil(smin * db.n_transactions))
+    algorithm = _resolve_algorithm(algorithm, db, target)
+    smin = _validate_smin(smin, db.n_transactions)
 
-    if algorithm in _CLOSED_ONLY:
-        if target == "all":
-            raise ValueError(
-                f"{algorithm!r} mines closed sets only; use an enumeration "
-                f"algorithm ({', '.join(ENUMERATION_ALGORITHMS)}) for target='all'"
-            )
-        result = miner(db, smin, counters=counters, **options)
-        if target == "maximal":
-            result = result.maximal()
-            result.algorithm = f"{algorithm}-maximal"
-        return result
-    return miner(db, smin, target=target, counters=counters, **options)
+    if guard is not None and any(
+        value is not None
+        for value in (timeout, memory_limit_mb, cancel, progress, fault_plan)
+    ):
+        raise ValueError(
+            "pass either a preconfigured guard= or the timeout= / "
+            "memory_limit_mb= / cancel= / progress= / fault_plan= "
+            "shorthands, not both"
+        )
+    policy = FallbackPolicy.coerce(fallback, on_partial=on_partial)
+    if policy is not None:
+        on_partial = policy.on_partial
+    elif on_partial not in ("raise", "return"):
+        raise ValueError(f"on_partial must be 'raise' or 'return', got {on_partial!r}")
+
+    if db.n_transactions == 0:
+        # Well-defined empty answer (after validation, so bad arguments
+        # still fail loudly on empty input).
+        return MiningResult({}, db.item_labels, algorithm, smin)
+
+    if guard is None and any(
+        value is not None
+        for value in (timeout, memory_limit_mb, cancel, progress, fault_plan)
+    ):
+        guard = RunGuard(
+            timeout=timeout,
+            memory_limit_mb=memory_limit_mb,
+            cancel=cancel,
+            fault_plan=fault_plan,
+            progress=progress,
+        )
+
+    # Attempt order: the requested algorithm, then the chain members
+    # (skipping duplicates and, for target="all", closed-only miners).
+    attempts = [algorithm]
+    if policy is not None:
+        for name in policy.chain:
+            if name not in ALGORITHMS:
+                close = difflib.get_close_matches(name, ALGORITHMS, n=1)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                raise ValueError(
+                    f"unknown algorithm {name!r} in fallback chain{hint}"
+                )
+            if name in attempts:
+                continue
+            if target == "all" and name in _CLOSED_ONLY:
+                continue
+            attempts.append(name)
+
+    path = []
+    best_partial: Optional[MiningResult] = None
+    last_exc: Optional[MiningInterrupted] = None
+    try:
+        for attempt_index, name in enumerate(attempts):
+            # Algorithm-specific options only make sense for the
+            # algorithm they were written for.
+            attempt_options = options if name == algorithm else {}
+            attempt_guard = guard
+            if guard is not None and attempt_index > 0:
+                attempt_guard = guard.respawn()
+                guard = attempt_guard
+            try:
+                result = _run_one(
+                    name, db, smin, target, counters, attempt_guard, attempt_options
+                )
+            except MiningCancelled as exc:
+                # Cancellation is a user decision, never retried.
+                exc.fallback_path = tuple(path)
+                raise
+            except MiningInterrupted as exc:
+                path.append(name)
+                exc.fallback_path = tuple(path)
+                last_exc = exc
+                if exc.partial is not None and (
+                    best_partial is None or len(exc.partial) > len(best_partial)
+                ):
+                    best_partial = exc.partial
+                continue
+            result.fallback_path = tuple(path)
+            return result
+    finally:
+        if guard is not None:
+            guard.finish()
+
+    if on_partial == "return" and best_partial is not None:
+        best_partial.interrupted = True
+        best_partial.fallback_path = tuple(path)
+        return best_partial
+    assert last_exc is not None
+    raise last_exc

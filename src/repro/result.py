@@ -33,7 +33,14 @@ class MiningResult(Mapping[int, int]):
     bitmask — so printed output is stable across algorithms and runs.
     """
 
-    __slots__ = ("_supports", "item_labels", "algorithm", "smin")
+    __slots__ = (
+        "_supports",
+        "item_labels",
+        "algorithm",
+        "smin",
+        "fallback_path",
+        "interrupted",
+    )
 
     def __init__(
         self,
@@ -54,6 +61,12 @@ class MiningResult(Mapping[int, int]):
         self.item_labels = list(item_labels) if item_labels is not None else None
         self.algorithm = algorithm
         self.smin = smin
+        #: Algorithms attempted before this result, in order, when the
+        #: run degraded along a fallback chain (empty for a direct run).
+        self.fallback_path: Tuple[str, ...] = ()
+        #: True when this is a partial (anytime) result salvaged from an
+        #: interrupted run rather than a complete family.
+        self.interrupted: bool = False
 
     # -- Mapping interface ---------------------------------------------
 

@@ -1,0 +1,50 @@
+"""Resource-governed mining runtime.
+
+Everything a caller needs to bound, cancel, observe and gracefully
+degrade a mining run:
+
+* :class:`RunGuard` — deadline, memory budget, cancellation and
+  progress polling, stride-sampled for near-zero hot-loop cost;
+* the structured exception hierarchy (:class:`MiningTimeout`,
+  :class:`MemoryBudgetExceeded`, :class:`MiningCancelled`,
+  :class:`CorruptInputError`), each interruption carrying the
+  operation-counter snapshot and any salvaged anytime result;
+* :class:`CancellationToken` — cooperative cancellation from another
+  thread or handler;
+* :class:`FallbackPolicy` — degrade along an algorithm chain when a
+  budget trips (driven by :func:`repro.mining.mine`);
+* :class:`FaultPlan` — deterministic fault injection for tests.
+
+See ``docs/robustness.md`` for the full story.  This package is
+deliberately free of imports from the rest of ``repro`` so that the
+data loaders can use its exceptions without cycles.
+"""
+
+from .cancel import CancellationToken
+from .errors import (
+    CorruptInputError,
+    MemoryBudgetExceeded,
+    MiningCancelled,
+    MiningError,
+    MiningInterrupted,
+    MiningTimeout,
+)
+from .fallback import DEFAULT_CHAIN, FallbackPolicy
+from .faults import FaultPlan
+from .guard import ProgressInfo, RunGuard, checker
+
+__all__ = [
+    "RunGuard",
+    "ProgressInfo",
+    "checker",
+    "CancellationToken",
+    "FallbackPolicy",
+    "DEFAULT_CHAIN",
+    "FaultPlan",
+    "MiningError",
+    "MiningInterrupted",
+    "MiningTimeout",
+    "MemoryBudgetExceeded",
+    "MiningCancelled",
+    "CorruptInputError",
+]

@@ -1,0 +1,53 @@
+"""Cooperative cancellation.
+
+A :class:`CancellationToken` is shared between the party that wants to
+stop a mining run (a request handler, a UI thread, a signal handler)
+and the :class:`~repro.runtime.guard.RunGuard` polling it from inside
+the mining loops.  Cancellation is cooperative: the miner notices the
+token at its next guard check and unwinds with
+:class:`~repro.runtime.errors.MiningCancelled`.
+
+>>> token = CancellationToken()
+>>> token.cancelled
+False
+>>> token.cancel("user pressed ^C")
+>>> token.cancelled
+True
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+__all__ = ["CancellationToken"]
+
+
+class CancellationToken:
+    """Thread-safe one-shot cancellation flag with an optional reason."""
+
+    __slots__ = ("_event", "_reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request cancellation.  Idempotent; the first reason wins."""
+        if not self._event.is_set():
+            self._reason = reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Has cancellation been requested?"""
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> Optional[str]:
+        """The reason passed to :meth:`cancel`, if any."""
+        return self._reason
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"CancellationToken({state})"

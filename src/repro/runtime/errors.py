@@ -1,0 +1,157 @@
+"""Structured exception hierarchy of the resource-governed runtime.
+
+Every failure mode a mining call can hit has a typed exception here, so
+callers (the CLI, the benchmark harness, a serving layer) can react per
+cause instead of pattern-matching messages:
+
+* :class:`CorruptInputError` — unreadable input data, carrying the
+  source name and line number.  It subclasses :class:`ValueError` so
+  code written against the previous bare-``ValueError`` behaviour keeps
+  working.
+* :class:`MiningInterrupted` — a run stopped by the
+  :class:`~repro.runtime.guard.RunGuard` before finishing, specialised
+  into :class:`MiningTimeout`, :class:`MemoryBudgetExceeded` and
+  :class:`MiningCancelled`.  Interruptions carry partial-progress
+  state: the operation-counter snapshot at the moment of the trip, the
+  elapsed wall-clock time, and (when the interrupted driver could
+  salvage one) an anytime :class:`~repro.result.MiningResult`.
+
+This module is dependency-free on purpose: it is imported by the data
+loaders as well as the miners, and must not pull the mining stack in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+__all__ = [
+    "MiningError",
+    "CorruptInputError",
+    "MiningInterrupted",
+    "MiningTimeout",
+    "MemoryBudgetExceeded",
+    "MiningCancelled",
+]
+
+
+class MiningError(Exception):
+    """Base class of every structured error raised by this package."""
+
+
+class CorruptInputError(MiningError, ValueError):
+    """Input data that cannot be read as a transaction database.
+
+    ``source`` is the file name (or ``"<stream>"``) and ``line_number``
+    the 1-based offending line, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        source: Optional[str] = None,
+        line_number: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.source = source
+        self.line_number = line_number
+
+
+class MiningInterrupted(MiningError):
+    """A mining run stopped by the run guard before completion.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the driver that was interrupted (filled in by the
+        driver on its way out; empty if the guard fired outside one).
+    counters:
+        Snapshot of the :class:`~repro.stats.OperationCounters` at the
+        moment of the trip (a plain dict; empty if no counters were
+        bound to the guard).
+    elapsed:
+        Wall-clock seconds since the guard started.
+    checks:
+        Number of ``guard.check()`` calls performed — the operation
+        count fault injection keys on.
+    partial:
+        An anytime :class:`~repro.result.MiningResult` salvaged from
+        the interrupted run, or ``None`` if the driver could not build
+        one.  See ``docs/robustness.md`` for the per-algorithm
+        semantics.
+    processed:
+        For cumulative miners, the number of transactions fully
+        processed before the trip (``None`` elsewhere).
+    injected:
+        ``True`` when the trip came from a
+        :class:`~repro.runtime.faults.FaultPlan` rather than a real
+        budget violation.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        algorithm: str = "",
+        counters: Optional[Dict[str, int]] = None,
+        elapsed: Optional[float] = None,
+        checks: int = 0,
+        injected: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.algorithm = algorithm
+        self.counters = dict(counters) if counters else {}
+        self.elapsed = elapsed
+        self.checks = checks
+        self.injected = injected
+        self.partial: Optional[Any] = None
+        self.processed: Optional[int] = None
+        self.fallback_path: Optional[list] = None
+
+    def attach_partial(
+        self,
+        build: Callable[[], Any],
+        algorithm: str = "",
+        processed: Optional[int] = None,
+    ) -> "MiningInterrupted":
+        """Record partial progress on the way out of a driver.
+
+        ``build`` is a zero-argument callable producing the anytime
+        result; it runs inside a ``try`` so a failure to salvage never
+        masks the original interruption.
+        """
+        if algorithm:
+            self.algorithm = algorithm
+        self.processed = processed
+        try:
+            self.partial = build()
+        except Exception:  # salvage is best-effort by definition
+            self.partial = None
+        return self
+
+
+class MiningTimeout(MiningInterrupted):
+    """The guard's deadline or wall-clock timeout fired."""
+
+
+class MemoryBudgetExceeded(MiningInterrupted):
+    """The guard's memory budget was exceeded.
+
+    ``used_bytes`` and ``limit_bytes`` quantify the violation (both
+    ``None`` for fault-injected trips).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        used_bytes: Optional[int] = None,
+        limit_bytes: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.used_bytes = used_bytes
+        self.limit_bytes = limit_bytes
+
+
+class MiningCancelled(MiningInterrupted):
+    """The run's cancellation token was cancelled."""

@@ -1,0 +1,96 @@
+"""Fallback policy: degrade along an algorithm chain when a budget trips.
+
+The paper's own benchmarks show that each algorithm family has regimes
+where it blows past feasible time or memory (IsTa's repository on
+transposed BMS-WebView-1, table-based Carpenter's quadratic matrix).
+A :class:`FallbackPolicy` tells :func:`repro.mining.mine` what to do
+when the run guard stops an attempt: try the next algorithm in the
+chain with a fresh budget, and — if every attempt trips — optionally
+hand back the best anytime result salvaged along the way instead of
+raising.
+
+The default chain mirrors the crossover structure of the paper's
+figures: start from whatever was asked for, then fall through
+``carpenter-table → carpenter-lists → ista → lcm`` (the last being the
+enumeration family's most robust closed-set miner).  Cobbler's
+mid-search row/column switch is the in-algorithm precedent for exactly
+this kind of regime change.
+
+This module is self-contained (names only, no miner imports); the
+driving loop lives in :mod:`repro.mining`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+__all__ = ["FallbackPolicy", "DEFAULT_CHAIN"]
+
+#: The default degradation chain (requested algorithm always goes first).
+DEFAULT_CHAIN: Tuple[str, ...] = (
+    "carpenter-table",
+    "carpenter-lists",
+    "ista",
+    "lcm",
+)
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """What to do when the guard stops a mining attempt.
+
+    Attributes
+    ----------
+    chain:
+        Algorithm names to try, in order, after the requested algorithm
+        trips its budget.  Entries equal to the requested algorithm are
+        skipped; for ``target="all"`` the closed-only intersection
+        miners are skipped too.
+    on_partial:
+        ``"raise"`` (default): if every attempt trips, re-raise the
+        last interruption (it still carries the best salvaged partial
+        result on its ``partial`` attribute).  ``"return"``: hand the
+        best anytime result back as the return value, marked with
+        ``interrupted=True``.
+    """
+
+    chain: Tuple[str, ...] = DEFAULT_CHAIN
+    on_partial: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_partial not in ("raise", "return"):
+            raise ValueError(
+                f"on_partial must be 'raise' or 'return', got {self.on_partial!r}"
+            )
+
+    @classmethod
+    def coerce(
+        cls,
+        value: Union[bool, str, Sequence[str], "FallbackPolicy", None],
+        on_partial: str = "raise",
+    ) -> Optional["FallbackPolicy"]:
+        """Build a policy from the loosely-typed ``fallback=`` argument.
+
+        ``None`` and ``False`` mean no fallback (returns ``None``);
+        ``True`` or ``"default"`` select :data:`DEFAULT_CHAIN`; a
+        comma-separated string or a sequence of names selects a custom
+        chain; an existing policy passes through (its own ``on_partial``
+        wins).
+        """
+        if value is None or value is False:
+            return None
+        if isinstance(value, FallbackPolicy):
+            return value
+        if value is True or value == "default":
+            return cls(DEFAULT_CHAIN, on_partial)
+        if isinstance(value, str):
+            names = tuple(name.strip() for name in value.split(",") if name.strip())
+            if not names:
+                raise ValueError(f"empty fallback chain {value!r}")
+            return cls(names, on_partial)
+        if isinstance(value, (list, tuple)):
+            if not value:
+                raise ValueError("empty fallback chain")
+            return cls(tuple(value), on_partial)
+        raise ValueError(f"cannot build a fallback policy from {value!r}")

@@ -1,0 +1,88 @@
+"""Deterministic fault injection for the resource-governed runtime.
+
+A :class:`FaultPlan` attached to a :class:`~repro.runtime.guard.RunGuard`
+forces a chosen trip — timeout, memory-budget, cancellation, or a
+corrupt-transaction event — once the guard's ``check()`` call count
+reaches a chosen operation count.  Because the miners poll the guard at
+deterministic points (their loop and recursion heads) and the plan keys
+on the check count rather than the clock, an injected fault fires at
+the same place on every run: the tests use this to prove that every
+guard actually unwinds every algorithm cleanly, without needing slow
+pathological inputs.
+
+``max_trips`` bounds how many times the plan fires before disarming
+itself, which is how the fallback tests force the first *k* attempts of
+a chain to fail and let attempt *k+1* succeed.  Every firing is
+recorded in :attr:`FaultPlan.trips`.
+
+Set the guard's ``stride`` to 1 when exact firing positions matter —
+with a larger stride the fault fires at the first *real* check at or
+after the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from .errors import (
+    CorruptInputError,
+    MemoryBudgetExceeded,
+    MiningCancelled,
+    MiningTimeout,
+)
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass
+class FaultPlan:
+    """Force guard trips at chosen ``check()`` counts.
+
+    Each ``*_at`` threshold is an operation count (number of guard
+    checks) at or beyond which the corresponding fault fires; ``None``
+    disables that fault.  When several thresholds are crossed at once
+    they fire in the order timeout, memory, cancel, corrupt.
+    """
+
+    timeout_at: Optional[int] = None
+    memory_at: Optional[int] = None
+    cancel_at: Optional[int] = None
+    corrupt_at: Optional[int] = None
+    #: Disarm after this many firings (``None`` = never disarm).
+    max_trips: Optional[int] = None
+    #: Record of firings: ``(fault kind, check count)`` tuples.
+    trips: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def armed(self) -> bool:
+        """Will the plan still fire?"""
+        return self.max_trips is None or len(self.trips) < self.max_trips
+
+    def fire(self, guard: Any) -> None:
+        """Consulted by the guard at every real check; raises on a hit."""
+        if not self.armed:
+            return
+        n = guard.checks
+        kwargs = guard._interrupt_kwargs()
+        kwargs["injected"] = True
+        if self.timeout_at is not None and n >= self.timeout_at:
+            self.trips.append(("timeout", n))
+            raise MiningTimeout(
+                f"injected timeout at operation count {n}", **kwargs
+            )
+        if self.memory_at is not None and n >= self.memory_at:
+            self.trips.append(("memory", n))
+            raise MemoryBudgetExceeded(
+                f"injected memory spike at operation count {n}", **kwargs
+            )
+        if self.cancel_at is not None and n >= self.cancel_at:
+            self.trips.append(("cancel", n))
+            raise MiningCancelled(
+                f"injected cancellation at operation count {n}", **kwargs
+            )
+        if self.corrupt_at is not None and n >= self.corrupt_at:
+            self.trips.append(("corrupt", n))
+            raise CorruptInputError(
+                f"injected corrupt transaction at operation count {n}"
+            )

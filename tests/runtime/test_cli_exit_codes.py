@@ -1,0 +1,135 @@
+"""CLI exit-code discipline: 0 success, 2 user error, 3 budget tripped."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, EXIT_USER_ERROR, main
+
+FIXTURE = "tests/fixtures/corrupt.fimi"
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.fimi"
+    path.write_text("1 2 3\n2 3\n1 3\n")
+    return str(path)
+
+
+@pytest.fixture
+def corrupt_file(tmp_path):
+    path = tmp_path / "corrupt.fimi"
+    path.write_bytes(b"1 2 3\n2 \x00 3\n1 3\n")
+    return str(path)
+
+
+@pytest.fixture
+def pathological_file(tmp_path):
+    # Dense random rows: the closed family explodes, so any algorithm
+    # at low support will outlive a subsecond budget here.
+    rng = random.Random(42)
+    path = tmp_path / "dense.fimi"
+    lines = [
+        " ".join(str(j) for j in range(72) if rng.random() < 0.6)
+        for _ in range(64)
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestUserErrors:
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["mine", "/no/such/file.fimi", "-s", "2"]) == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("repro-mine:")
+        assert err.count("\n") == 1  # one-line message, no traceback
+
+    def test_corrupt_file_exits_2(self, corrupt_file, capsys):
+        assert main(["mine", corrupt_file, "-s", "2"]) == EXIT_USER_ERROR
+        assert "line 2" in capsys.readouterr().err
+
+    def test_checked_in_corrupt_fixture_exits_2(self):
+        # The same invocation the CI smoke job runs.
+        assert main(["mine", FIXTURE, "-s", "2"]) == EXIT_USER_ERROR
+
+    def test_bad_smin_exits_2(self, clean_file, capsys):
+        assert main(["mine", clean_file, "-s", "0"]) == EXIT_USER_ERROR
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_skip_mode_recovers(self, corrupt_file, capsys):
+        assert main(["mine", corrupt_file, "-s", "2", "--errors", "skip"]) == 0
+        assert "skipped 1 corrupt line" in capsys.readouterr().err
+
+
+class TestBudgetTrips:
+    def test_timeout_exits_3_quickly(self, pathological_file, capsys):
+        start = time.monotonic()
+        code = main(
+            [
+                "mine",
+                pathological_file,
+                "-s",
+                "3",
+                "-a",
+                "carpenter-table",
+                "--timeout",
+                "0.3",
+            ]
+        )
+        wall = time.monotonic() - start
+        assert code == EXIT_INTERRUPTED
+        assert wall < 5.0  # the guard, not the heat death of the universe
+        assert "timeout" in capsys.readouterr().err
+
+    def test_on_partial_return_prints_and_exits_3(self, pathological_file, capsys):
+        code = main(
+            [
+                "mine",
+                pathological_file,
+                "-s",
+                "2",
+                "-a",
+                "lcm",
+                "--timeout",
+                "0.3",
+                "--on-partial",
+                "return",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_INTERRUPTED
+        assert "PARTIAL" in captured.err
+        assert captured.out  # the salvaged sets were printed
+
+    def test_generous_timeout_exits_0(self, clean_file):
+        assert main(["mine", clean_file, "-s", "2", "--timeout", "60"]) == 0
+
+
+class TestFallbackFlag:
+    def test_fallback_notes_path_on_stderr(self, pathological_file, capsys):
+        # cumulative-flat's repository explodes regardless of smin; lcm
+        # at this high support finishes in milliseconds.
+        code = main(
+            [
+                "mine",
+                pathological_file,
+                "-s",
+                "30",
+                "-a",
+                "cumulative-flat",
+                "--timeout",
+                "1.0",
+                "--fallback",
+                "lcm",
+            ]
+        )
+        captured = capsys.readouterr()
+        if code == 0:
+            # cumulative-flat tripped, lcm finished inside its budget.
+            assert "fell back after cumulative-flat" in captured.err
+        else:
+            # Slow machine: both tripped — still the budget exit.
+            assert code == EXIT_INTERRUPTED

@@ -1,0 +1,132 @@
+"""FallbackPolicy: chain ordering, partial handoff, cancellation rules."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.mining import mine
+from repro.runtime import (
+    DEFAULT_CHAIN,
+    CancellationToken,
+    FallbackPolicy,
+    FaultPlan,
+    MiningCancelled,
+    MiningTimeout,
+    RunGuard,
+)
+
+
+def _db(seed: int = 3, n: int = 20, m: int = 24) -> TransactionDatabase:
+    rng = random.Random(seed)
+    rows = [
+        [item for item in range(m) if rng.random() < 0.5] for _ in range(n)
+    ]
+    return TransactionDatabase.from_iterable(rows, item_order=list(range(m)))
+
+
+DB = _db()
+
+
+class TestCoerce:
+    def test_none_and_false_mean_no_policy(self):
+        assert FallbackPolicy.coerce(None) is None
+        assert FallbackPolicy.coerce(False) is None
+
+    def test_true_and_default_select_default_chain(self):
+        assert FallbackPolicy.coerce(True).chain == DEFAULT_CHAIN
+        assert FallbackPolicy.coerce("default").chain == DEFAULT_CHAIN
+
+    def test_comma_string_and_sequence(self):
+        assert FallbackPolicy.coerce("lcm, eclat").chain == ("lcm", "eclat")
+        assert FallbackPolicy.coerce(["lcm", "eclat"]).chain == ("lcm", "eclat")
+
+    def test_policy_passes_through(self):
+        policy = FallbackPolicy(("lcm",), on_partial="return")
+        assert FallbackPolicy.coerce(policy) is policy
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="empty fallback chain"):
+            FallbackPolicy.coerce("  , ")
+        with pytest.raises(ValueError, match="fallback policy"):
+            FallbackPolicy.coerce(42)
+        with pytest.raises(ValueError, match="on_partial"):
+            FallbackPolicy(on_partial="ignore")
+
+
+class TestChain:
+    def test_falls_through_to_surviving_algorithm(self):
+        # First two attempts are forced down; the third runs clean.
+        plan = FaultPlan(timeout_at=3, max_trips=2)
+        guard = RunGuard(fault_plan=plan, stride=1)
+        reference = mine(DB, 3, algorithm="ista")
+        result = mine(
+            DB,
+            3,
+            algorithm="carpenter-table",
+            guard=guard,
+            fallback="carpenter-lists,ista,lcm",
+        )
+        assert result.fallback_path == ("carpenter-table", "carpenter-lists")
+        assert result.algorithm == "ista"
+        assert result == reference
+        assert not result.interrupted
+        assert len(plan.trips) == 2
+
+    def test_requested_algorithm_not_retried(self):
+        plan = FaultPlan(timeout_at=3, max_trips=1)
+        guard = RunGuard(fault_plan=plan, stride=1)
+        result = mine(
+            DB, 3, algorithm="ista", guard=guard, fallback="ista,lcm"
+        )
+        # "ista" appears in the chain but already failed as the primary
+        # attempt; the fallback goes straight to lcm.
+        assert result.fallback_path == ("ista",)
+        assert result.algorithm == "lcm"
+
+    def test_whole_chain_tripping_raises_last_interruption(self):
+        guard = RunGuard(fault_plan=FaultPlan(timeout_at=3), stride=1)
+        with pytest.raises(MiningTimeout) as info:
+            mine(DB, 3, algorithm="carpenter-table", guard=guard, fallback="lcm")
+        assert info.value.fallback_path == ("carpenter-table", "lcm")
+
+    def test_on_partial_return_hands_back_best_anytime_result(self):
+        guard = RunGuard(fault_plan=FaultPlan(timeout_at=60), stride=1)
+        result = mine(
+            DB,
+            3,
+            algorithm="lcm",
+            guard=guard,
+            fallback=FallbackPolicy(("eclat",), on_partial="return"),
+        )
+        assert result.interrupted
+        assert result.fallback_path == ("lcm", "eclat")
+        assert len(result) > 0
+        # Each salvaged support is genuine (spot check against a full run).
+        reference = mine(DB, 3, algorithm="ista")
+        for mask in result:
+            assert reference.support_of(mask) == result[mask]
+
+    def test_cancellation_is_never_retried(self):
+        token = CancellationToken()
+        token.cancel("user hit ctrl-c")
+        with pytest.raises(MiningCancelled):
+            mine(DB, 3, algorithm="ista", cancel=token, fallback=True)
+
+    def test_target_all_skips_closed_only_chain_members(self):
+        plan = FaultPlan(timeout_at=3, max_trips=1)
+        guard = RunGuard(fault_plan=plan, stride=1)
+        result = mine(
+            DB,
+            6,
+            algorithm="eclat",
+            target="all",
+            guard=guard,
+            fallback="ista,fpgrowth",
+        )
+        # ista is closed-only, so the chain for target="all" must skip
+        # it and land on fpgrowth.
+        assert result.algorithm == "fpgrowth"
+        assert result.fallback_path == ("eclat",)

@@ -1,0 +1,101 @@
+"""Fault injection: every algorithm's guard polling actually unwinds it.
+
+The FaultPlan keys on the guard's deterministic check count, so these
+tests prove each driver polls its guard at its loop heads — without
+needing pathologically slow inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.mining import ALGORITHMS, mine
+from repro.runtime import (
+    CancellationToken,
+    FaultPlan,
+    MemoryBudgetExceeded,
+    MiningCancelled,
+    MiningTimeout,
+    RunGuard,
+)
+
+
+def _dense_db(seed: int = 7, n: int = 25, m: int = 36) -> TransactionDatabase:
+    rng = random.Random(seed)
+    rows = [
+        [item for item in range(m) if rng.random() < 0.5] for _ in range(n)
+    ]
+    return TransactionDatabase.from_iterable(rows, item_order=list(range(m)))
+
+
+DB = _dense_db()
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_injected_timeout_trips_every_algorithm(algorithm):
+    guard = RunGuard(fault_plan=FaultPlan(timeout_at=5), stride=1)
+    with pytest.raises(MiningTimeout) as info:
+        mine(DB, 3, algorithm=algorithm, guard=guard)
+    assert info.value.injected
+    assert info.value.checks >= 5
+    assert info.value.algorithm  # driver identified itself on the way out
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_injected_memory_trip(algorithm):
+    guard = RunGuard(fault_plan=FaultPlan(memory_at=5), stride=1)
+    with pytest.raises(MemoryBudgetExceeded) as info:
+        mine(DB, 3, algorithm=algorithm, guard=guard)
+    assert info.value.injected
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_injected_cancel_trip(algorithm):
+    guard = RunGuard(fault_plan=FaultPlan(cancel_at=5), stride=1)
+    with pytest.raises(MiningCancelled):
+        mine(DB, 3, algorithm=algorithm, guard=guard)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_real_timeout_trips_every_algorithm(algorithm):
+    # A zero-second budget must stop the run at the first real check.
+    with pytest.raises(MiningTimeout):
+        mine(DB, 3, algorithm=algorithm, timeout=0.0)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_precancelled_token_stops_before_work(algorithm):
+    token = CancellationToken()
+    token.cancel("test")
+    with pytest.raises(MiningCancelled) as info:
+        mine(DB, 3, algorithm=algorithm, cancel=token)
+    # First real check fires before any substantial mining work.
+    assert info.value.checks <= 1
+
+
+def test_fault_plan_records_trips():
+    plan = FaultPlan(timeout_at=5)
+    guard = RunGuard(fault_plan=plan, stride=1)
+    with pytest.raises(MiningTimeout):
+        mine(DB, 3, algorithm="ista", guard=guard)
+    assert plan.trips == [("timeout", plan.trips[0][1])]
+    assert plan.trips[0][1] >= 5
+
+
+def test_max_trips_disarms():
+    plan = FaultPlan(timeout_at=1, max_trips=1)
+    guard = RunGuard(fault_plan=plan, stride=1)
+    with pytest.raises(MiningTimeout):
+        mine(DB, 3, algorithm="lcm", guard=guard)
+    assert not plan.armed
+    # Disarmed: the same plan no longer interferes.
+    result = mine(DB, 3, algorithm="lcm", guard=guard.respawn())
+    assert len(result) > 0
+
+
+def test_guard_shorthand_and_explicit_guard_conflict():
+    with pytest.raises(ValueError, match="not both"):
+        mine(DB, 3, guard=RunGuard(), timeout=1.0)

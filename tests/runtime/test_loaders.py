@@ -1,0 +1,122 @@
+"""Loader hardening: corrupt input is named, skippable, and countable."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.data.arff import parse_arff, read_arff
+from repro.data.io import LoadReport, parse_fimi, read_expression_matrix, read_fimi
+from repro.runtime import CorruptInputError
+
+
+class TestFimiCorruption:
+    def test_control_bytes_raise_with_location(self, tmp_path):
+        path = tmp_path / "bad.fimi"
+        path.write_bytes(b"1 2 3\n2 \x00 3\n1 3\n")
+        with pytest.raises(CorruptInputError) as info:
+            read_fimi(path)
+        assert info.value.line_number == 2
+        assert str(path) in str(info.value)
+        assert info.value.source == str(path)
+
+    def test_corrupt_error_is_a_value_error(self):
+        # Backwards compatibility: callers catching ValueError keep working.
+        assert issubclass(CorruptInputError, ValueError)
+
+    def test_undecodable_bytes_raise_not_crash(self, tmp_path):
+        path = tmp_path / "latin.fimi"
+        path.write_bytes(b"1 2\n\xff\xfe garbage\n")
+        with pytest.raises(CorruptInputError) as info:
+            read_fimi(path)
+        assert info.value.line_number == 2
+
+    def test_skip_mode_counts_dropped_lines(self, tmp_path):
+        path = tmp_path / "bad.fimi"
+        path.write_bytes(b"1 2 3\n2 \x00 3\n1 3\n\x01\n")
+        report = LoadReport()
+        db = read_fimi(path, errors="skip", report=report)
+        assert db.n_transactions == 2
+        assert report.lines_read == 2
+        assert report.lines_skipped == 2
+        assert report.skipped_line_numbers == [2, 4]
+        assert report.source == str(path)
+
+    def test_skip_without_report_is_fine(self, tmp_path):
+        path = tmp_path / "bad.fimi"
+        path.write_bytes(b"1 2\n\x00\n")
+        assert read_fimi(path, errors="skip").n_transactions == 1
+
+    def test_bad_errors_mode(self):
+        with pytest.raises(ValueError, match="errors"):
+            parse_fimi("1 2\n", errors="replace")
+
+    def test_clean_file_unaffected(self):
+        report = LoadReport()
+        db = parse_fimi("1 2 3\n2 3\n", report=report)
+        assert db.n_transactions == 2
+        assert report.lines_read == 2
+        assert report.lines_skipped == 0
+
+
+class TestArffCorruption:
+    GOOD_HEADER = (
+        "@relation t\n"
+        "@attribute a {0, 1}\n"
+        "@attribute b {0, 1}\n"
+        "@data\n"
+    )
+
+    def test_malformed_row_raises_with_location(self):
+        with pytest.raises(CorruptInputError) as info:
+            parse_arff(self.GOOD_HEADER + "1,1\nbroken row\n", source="x.arff")
+        assert info.value.line_number == 6
+        assert info.value.source == "x.arff"
+
+    def test_skip_mode_drops_bad_rows_only(self):
+        report = LoadReport()
+        db = parse_arff(
+            self.GOOD_HEADER + "1,1\nbroken\n0,1\n",
+            errors="skip",
+            report=report,
+        )
+        assert db.n_transactions == 2
+        assert report.lines_skipped == 1
+        assert report.skipped_line_numbers == [6]
+
+    def test_header_errors_always_raise(self):
+        # A broken header invalidates everything after it; skip mode
+        # must not paper over it.
+        with pytest.raises(CorruptInputError, match="no @data"):
+            parse_arff("@relation t\n@attribute a {0, 1}\n", errors="skip")
+        with pytest.raises(CorruptInputError, match="unexpected header"):
+            parse_arff("@relation t\nwhat is this\n@data\n", errors="skip")
+
+    def test_sparse_garbage_index(self):
+        with pytest.raises(CorruptInputError, match="malformed sparse"):
+            parse_arff(self.GOOD_HEADER + "{zero 1}\n")
+
+    def test_read_arff_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.arff"
+        path.write_text(self.GOOD_HEADER + "1,1,1\n")
+        with pytest.raises(CorruptInputError) as info:
+            read_arff(path)
+        assert info.value.source == str(path)
+
+
+class TestExpressionMatrixCorruption:
+    def test_field_count_mismatch(self):
+        stream = io.StringIO("gene\tc1\tc2\ng1\t1.0\n")
+        with pytest.raises(CorruptInputError, match="expected 3 fields"):
+            read_expression_matrix(stream)
+
+    def test_non_numeric_value(self):
+        stream = io.StringIO("gene\tc1\ng1\tnot-a-number\n")
+        with pytest.raises(CorruptInputError, match="non-numeric") as info:
+            read_expression_matrix(stream)
+        assert info.value.line_number == 2
+
+    def test_empty_file(self):
+        with pytest.raises(CorruptInputError, match="empty"):
+            read_expression_matrix(io.StringIO(""))

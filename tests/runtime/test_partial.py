@@ -1,0 +1,91 @@
+"""Anytime results: what an interrupted run salvages must be *true*.
+
+For every closed-target algorithm, an injected interruption's partial
+result must contain only sets that are genuinely closed in the full
+database, with their exact supports — the integrity contract documented
+in docs/robustness.md.  (The prefix-intersection miners run their
+mid-stream repository through ``refine_anytime`` to get there; the
+enumeration miners' mid-run stores satisfy it by construction.)
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.closure import galois
+from repro.data import itemset
+from repro.data.database import TransactionDatabase
+from repro.mining import mine
+from repro.runtime import FaultPlan, MiningTimeout, RunGuard
+
+CLOSED_ALGORITHMS = (
+    "ista",
+    "cumulative-flat",
+    "carpenter-lists",
+    "carpenter-table",
+    "cobbler",
+    "eclat",
+    "fpgrowth",
+    "lcm",
+    "sam",
+)
+
+
+def _db(seed: int = 11, n: int = 18, m: int = 20) -> TransactionDatabase:
+    rng = random.Random(seed)
+    rows = [
+        [item for item in range(m) if rng.random() < 0.5] for _ in range(n)
+    ]
+    return TransactionDatabase.from_iterable(rows, item_order=list(range(m)))
+
+
+DB = _db()
+SMIN = 3
+
+
+@pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+@pytest.mark.parametrize("trip_at", (20, 200))
+def test_partial_sets_are_closed_with_exact_supports(algorithm, trip_at):
+    guard = RunGuard(fault_plan=FaultPlan(timeout_at=trip_at), stride=1)
+    with pytest.raises(MiningTimeout) as info:
+        mine(DB, SMIN, algorithm=algorithm, guard=guard)
+    partial = info.value.partial
+    assert partial is not None, "driver failed to salvage a partial result"
+    for mask in partial:
+        assert galois.is_closed(DB, mask), (
+            f"{algorithm} salvaged a non-closed set {itemset.to_indices(mask)}"
+        )
+        true_support = itemset.size(galois.cover(DB, mask))
+        assert partial[mask] == true_support
+        assert true_support >= SMIN
+
+
+@pytest.mark.parametrize("algorithm", CLOSED_ALGORITHMS)
+def test_partial_is_subset_of_full_family(algorithm):
+    reference = mine(DB, SMIN, algorithm="lcm")
+    guard = RunGuard(fault_plan=FaultPlan(timeout_at=200), stride=1)
+    with pytest.raises(MiningTimeout) as info:
+        mine(DB, SMIN, algorithm=algorithm, guard=guard)
+    partial = info.value.partial
+    assert partial is not None
+    for mask in partial:
+        assert reference.support_of(mask) == partial[mask]
+
+
+def test_late_trip_salvages_nonempty_partial():
+    # By check 200 every algorithm on this input has reported something.
+    guard = RunGuard(fault_plan=FaultPlan(timeout_at=200), stride=1)
+    with pytest.raises(MiningTimeout) as info:
+        mine(DB, SMIN, algorithm="lcm", guard=guard)
+    assert info.value.partial is not None
+    assert len(info.value.partial) > 0
+
+
+def test_cumulative_reports_processed_count():
+    guard = RunGuard(fault_plan=FaultPlan(timeout_at=50), stride=1)
+    with pytest.raises(MiningTimeout) as info:
+        mine(DB, SMIN, algorithm="cumulative-flat", guard=guard)
+    assert info.value.processed is not None
+    assert 0 <= info.value.processed <= DB.n_transactions

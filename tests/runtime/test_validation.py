@@ -1,0 +1,93 @@
+"""Front-door validation in mine(): fail fast, fail clearly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import TransactionDatabase
+from repro.mining import mine
+from repro.result import MiningResult
+
+
+def _db():
+    return TransactionDatabase.from_iterable(
+        [["a", "b"], ["a", "b", "c"], ["b", "c"]]
+    )
+
+
+class TestSminValidation:
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            mine(_db(), 0)
+        with pytest.raises(ValueError, match="at least 1"):
+            mine(_db(), -3)
+
+    def test_bool_rejected(self):
+        # bool is an int subclass; mine(db, True) is almost certainly a
+        # bug at the call site, not a request for smin=1.
+        with pytest.raises(TypeError, match="smin"):
+            mine(_db(), True)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError, match="smin"):
+            mine(_db(), "2")
+        with pytest.raises(TypeError, match="smin"):
+            mine(_db(), None)
+
+    def test_relative_bounds(self):
+        with pytest.raises(ValueError, match="relative"):
+            mine(_db(), 1.5)
+        with pytest.raises(ValueError, match="relative"):
+            mine(_db(), 0.0)
+        with pytest.raises(ValueError, match="relative"):
+            mine(_db(), -0.2)
+
+    def test_relative_support_still_works(self):
+        assert mine(_db(), 0.5) == mine(_db(), 2)
+
+
+class TestAlgorithmValidation:
+    def test_unknown_name_suggests_nearest(self):
+        with pytest.raises(ValueError, match="unknown algorithm") as info:
+            mine(_db(), 2, algorithm="istaa")
+        assert "did you mean 'ista'" in str(info.value)
+
+    def test_unknown_name_without_near_miss(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            mine(_db(), 2, algorithm="xyzzy")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError, match="algorithm"):
+            mine(_db(), 2, algorithm=7)
+
+    def test_unknown_target(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            mine(_db(), 2, target="frequent")
+
+    def test_bad_on_partial(self):
+        with pytest.raises(ValueError, match="on_partial"):
+            mine(_db(), 2, on_partial="ignore")
+
+    def test_unknown_fallback_chain_member(self):
+        # A typo'd chain must fail loudly up front, not silently drop
+        # the safety net the user thought they had.
+        with pytest.raises(ValueError, match="fallback chain") as info:
+            mine(_db(), 2, timeout=30.0, fallback="carpneter-lists")
+        assert "did you mean 'carpenter-lists'" in str(info.value)
+
+
+class TestEmptyDatabase:
+    def test_empty_db_returns_empty_result(self):
+        empty = TransactionDatabase.from_iterable([])
+        result = mine(empty, 2)
+        assert isinstance(result, MiningResult)
+        assert len(result) == 0
+        assert result.algorithm == "ista"
+        assert not result.interrupted
+
+    def test_empty_db_still_validates_arguments(self):
+        empty = TransactionDatabase.from_iterable([])
+        with pytest.raises(ValueError, match="at least 1"):
+            mine(empty, 0)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            mine(empty, 2, algorithm="nope")
