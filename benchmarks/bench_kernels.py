@@ -1,0 +1,136 @@
+"""Kernel backend microbenchmarks with a regression gate.
+
+Times the batched set-algebra primitives of every registered
+:mod:`repro.kernels` backend on the dense gene-expression-style fixture
+(wide transactions, >= 1k items — the regime the paper's intersection
+miners target) and either records the result as a baseline or compares
+a fresh run against a committed one.
+
+Usage::
+
+    # Record (refresh) the committed baseline
+    PYTHONPATH=src python benchmarks/bench_kernels.py --record benchmarks/BENCH_kernels.json
+
+    # CI gate: compare a fresh run against the baseline by speedup
+    # ratio (machine-independent) with a generous noise tolerance
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --compare benchmarks/BENCH_kernels.json --tolerance 0.5 \
+        --require-speedup 2.0 --out fresh.json
+
+Exit codes: 0 = pass/recorded, 1 = regression detected.
+
+``--mode speedup`` (default) gates on the numpy-over-bitint speedup
+ratios, which survive machine changes; ``--mode seconds`` gates on
+absolute per-case times and is only meaningful on the machine that
+recorded the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import compare_kernel_baselines, run_kernel_microbench
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--record", metavar="FILE", help="run the suite and write the baseline here"
+    )
+    action.add_argument(
+        "--compare", metavar="FILE", help="run the suite and gate against this baseline"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("speedup", "seconds"),
+        default="speedup",
+        help="comparison mode (default: speedup — machine-independent)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="relative regression tolerance (default: 0.5 = 50%%, noise-safe)",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="additionally require a fresh geomean speedup of at least FACTOR",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="also write the fresh measurements here"
+    )
+    parser.add_argument("--rows", type=int, default=256, help="fixture transactions")
+    parser.add_argument("--bits", type=int, default=1536, help="fixture items")
+    parser.add_argument(
+        "--density", type=float, default=0.5, help="fixture density (default 0.5)"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    fresh = run_kernel_microbench(
+        n_rows=args.rows,
+        n_bits=args.bits,
+        density=args.density,
+        repeats=args.repeats,
+    )
+    geomean = fresh["summary"]["geomean_speedup"]
+    print(
+        f"# fixture: {args.rows} rows x {args.bits} bits, "
+        f"density {args.density}, best of {args.repeats}"
+    )
+    for case, timings in sorted(fresh["cases"].items()):
+        parts = [
+            f"{name}={timings[name] * 1e3:.3f}ms"
+            for name in fresh["backends"]
+            if name in timings
+        ]
+        parts += [
+            f"{key.split(':', 1)[1]} speedup={value:.2f}x"
+            for key, value in timings.items()
+            if key.startswith("speedup:")
+        ]
+        print(f"{case:22s} {'  '.join(parts)}")
+    if geomean is not None:
+        print(f"# geomean speedup over bitint: {geomean:.2f}x")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.record:
+        with open(args.record, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# baseline written to {args.record}")
+        return 0
+
+    with open(args.compare, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = compare_kernel_baselines(
+        baseline,
+        fresh,
+        mode=args.mode,
+        tolerance=args.tolerance,
+        require_speedup=args.require_speedup,
+    )
+    if failures:
+        print(f"# {len(failures)} regression(s) against {args.compare}:")
+        for failure in failures:
+            print(f"REGRESSION {failure}")
+        return 1
+    print(f"# no regressions against {args.compare} (mode={args.mode})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from .core.incremental import IncrementalMiner
 from .data.arff import read_arff, write_arff
 from .data.database import TransactionDatabase
 from .data.io import parse_fimi, read_fimi, write_fimi
+from .kernels import available_backends, get_backend, resolve_backend
 from .mining import (
     ALGORITHMS,
     ENUMERATION_ALGORITHMS,
@@ -36,6 +37,7 @@ from .mining import (
     choose_algorithm,
     mine,
 )
+from .parallel import mine_parallel
 from .result import MiningResult
 from .rules import AssociationRule, generate_rules, support_of
 from .runtime import (
@@ -61,7 +63,11 @@ __all__ = [
     "OperationCounters",
     "IncrementalMiner",
     "mine",
+    "mine_parallel",
     "choose_algorithm",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
     "ALGORITHMS",
     "INTERSECTION_ALGORITHMS",
     "ENUMERATION_ALGORITHMS",

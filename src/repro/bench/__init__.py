@@ -1,7 +1,13 @@
 """Benchmark harness: sweeps, figure specs, paper-style reporting."""
 
 from .figures import FIGURES, FigureSpec, PAPER_ALGORITHMS, run_figure
-from .harness import Measurement, SweepResult, run_sweep
+from .harness import (
+    Measurement,
+    SweepResult,
+    compare_kernel_baselines,
+    run_kernel_microbench,
+    run_sweep,
+)
 
 __all__ = [
     "FIGURES",
@@ -11,4 +17,6 @@ __all__ = [
     "Measurement",
     "SweepResult",
     "run_sweep",
+    "run_kernel_microbench",
+    "compare_kernel_baselines",
 ]

@@ -10,23 +10,46 @@ support is not run at lower supports — the same early-stopping the
 paper applied to the [14] implementation ("we terminated the run").
 
 :func:`SweepResult.format_table` prints the paper-style series.
+
+The bottom of the module is the kernel microbenchmark suite:
+:func:`run_kernel_microbench` times the batched set-algebra primitives
+of every registered :mod:`repro.kernels` backend on a dense
+gene-expression-style fixture, and :func:`compare_kernel_baselines`
+checks a fresh run against a committed baseline — by *speedup ratio*
+by default, which is machine-independent and therefore safe to gate CI
+on.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..closure.verify import check_closed_family
 from ..data.database import TransactionDatabase
+from ..kernels import available_backends, get_backend
 from ..mining import mine
 from ..runtime import MiningInterrupted
 from ..stats import OperationCounters
 
-__all__ = ["Measurement", "SweepResult", "run_sweep"]
+__all__ = [
+    "Measurement",
+    "SweepResult",
+    "run_sweep",
+    "run_kernel_microbench",
+    "compare_kernel_baselines",
+]
+
+#: Cell statuses: ``ok`` (measured), ``budget`` (the in-worker guard
+#: tripped and reported back), ``timeout`` (the worker stopped polling
+#: and was hard-killed by the parent), ``crashed`` (the worker process
+#: died without reporting), ``skipped`` (not run — an earlier cell of
+#: the same algorithm already failed).
+CELL_STATUSES = ("ok", "budget", "timeout", "crashed", "skipped")
 
 
 @dataclass
@@ -39,6 +62,7 @@ class Measurement:
     n_closed: int
     counters: Dict[str, int]
     skipped: bool = False
+    status: str = "ok"
 
     @property
     def log_seconds(self) -> float:
@@ -132,8 +156,11 @@ def _cell_worker(connection, db, smin, algorithm, options, hard_limit) -> None:
     """Subprocess body for one hard-limited measurement.
 
     The guard stops the run at ``hard_limit`` from the inside (sending
-    ``None`` through the pipe); the parent's ``terminate()`` stays as
-    the backstop for a worker that stops polling (e.g. stuck in numpy).
+    a ``("budget", ...)`` report through the pipe); the parent's
+    ``terminate()`` stays as the backstop for a worker that stops
+    polling (e.g. stuck in numpy).  A worker that dies outright never
+    sends anything — the parent reads the EOF/exit code and records the
+    cell as crashed, never as a budget trip.
     """
     counters = OperationCounters()
     start = time.perf_counter()
@@ -146,11 +173,11 @@ def _cell_worker(connection, db, smin, algorithm, options, hard_limit) -> None:
             timeout=hard_limit,
             **options,
         )
-    except MiningInterrupted:
-        connection.send(None)
+    except MiningInterrupted as exc:
+        connection.send(("budget", str(exc)))
     else:
         elapsed = time.perf_counter() - start
-        connection.send((elapsed, len(mined), counters.as_dict()))
+        connection.send(("ok", (elapsed, len(mined), counters.as_dict())))
     connection.close()
 
 
@@ -162,14 +189,21 @@ def _measure_cell(
     repeats: int,
     hard_limit: Optional[float],
     isolation: str = "process",
-) -> Optional[Tuple[float, int, Dict[str, int]]]:
+) -> Tuple[str, Optional[Tuple[float, int, Dict[str, int]]]]:
     """One measurement, hard-limited according to ``isolation``.
 
     ``"process"`` runs the cell in a killable fork; ``"guard"`` runs it
     in-process under a :class:`~repro.runtime.RunGuard` deadline (no
     fork overhead, cooperative); ``"none"`` applies no hard limit.
-    Returns ``None`` when the hard limit struck (the cell is then
-    recorded as skipped, like the runs the paper had to terminate).
+
+    Returns ``(status, measurement)``: ``("ok", (seconds, n_closed,
+    counters))`` for a completed cell, otherwise one of ``("budget",
+    None)`` — the in-worker guard tripped and said so — ``("timeout",
+    None)`` — the worker stopped responding and the parent killed it —
+    or ``("crashed", None)`` — the worker process died without
+    reporting.  The distinction matters downstream: a budget trip is
+    the expected "run terminated" outcome of the paper's methodology, a
+    crash is a bug to investigate.
     """
     if hard_limit is None or isolation == "none":
         best = None
@@ -180,7 +214,7 @@ def _measure_cell(
             elapsed = time.perf_counter() - start
             if best is None or elapsed < best[0]:
                 best = (elapsed, len(mined), counters.as_dict())
-        return best
+        return "ok", best
     if isolation == "guard":
         best = None
         for _ in range(repeats):
@@ -196,11 +230,11 @@ def _measure_cell(
                     **options,
                 )
             except MiningInterrupted:
-                return None
+                return "budget", None
             elapsed = time.perf_counter() - start
             if best is None or elapsed < best[0]:
                 best = (elapsed, len(mined), counters.as_dict())
-        return best
+        return "ok", best
     context = multiprocessing.get_context("fork")
     best = None
     for _ in range(repeats):
@@ -215,20 +249,28 @@ def _measure_cell(
         # poll is the grace period for it to report back before the
         # parent falls back to a hard kill.
         if receiver.poll(hard_limit + 1.0):
-            measurement = receiver.recv()
-            worker.join()
-            if measurement is None:
+            try:
+                status, payload = receiver.recv()
+            except EOFError:
+                # The pipe closed without a report: the worker died
+                # (segfault, os._exit, OOM-kill) — not a budget trip.
+                worker.join()
                 receiver.close()
-                return None
-            if best is None or measurement[0] < best[0]:
-                best = measurement
+                return "crashed", None
+            worker.join()
+            receiver.close()
+            if status == "budget":
+                return "budget", None
+            if worker.exitcode != 0:  # pragma: no cover - report then death
+                return "crashed", None
+            if best is None or payload[0] < best[0]:
+                best = payload
         else:
             worker.terminate()
             worker.join()
             receiver.close()
-            return None
-        receiver.close()
-    return best
+            return "timeout", None
+    return "ok", best
 
 
 def run_sweep(
@@ -276,10 +318,11 @@ def run_sweep(
         for algorithm in algorithms:
             if algorithm in dead:
                 result.cells[(algorithm, smin)] = Measurement(
-                    algorithm, smin, float("inf"), 0, {}, skipped=True
+                    algorithm, smin, float("inf"), 0, {},
+                    skipped=True, status="skipped",
                 )
                 continue
-            measurement = _measure_cell(
+            status, measurement = _measure_cell(
                 db,
                 smin,
                 algorithm,
@@ -288,9 +331,10 @@ def run_sweep(
                 hard_limit,
                 isolation,
             )
-            if measurement is None:
+            if status != "ok":
                 result.cells[(algorithm, smin)] = Measurement(
-                    algorithm, smin, float("inf"), 0, {}, skipped=True
+                    algorithm, smin, float("inf"), 0, {},
+                    skipped=True, status=status,
                 )
                 dead.add(algorithm)
                 continue
@@ -304,3 +348,187 @@ def run_sweep(
             if time_limit is not None and seconds > time_limit:
                 dead.add(algorithm)
     return result
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenchmarks
+# ----------------------------------------------------------------------
+
+def _dense_fixture(
+    n_rows: int, n_bits: int, density: float, seed: int
+) -> List[int]:
+    """Deterministic gene-expression-style masks: wide, dense rows."""
+    rng = random.Random(seed)
+    rows = []
+    for _ in range(n_rows):
+        # getrandbits gives density 0.5; AND thins towards 0.25, OR
+        # thickens towards 0.75 — coarse, but the exact density is
+        # irrelevant to the timing as long as it is reproducible.
+        mask = rng.getrandbits(n_bits)
+        if density < 0.4:
+            mask &= rng.getrandbits(n_bits)
+        elif density > 0.6:
+            mask |= rng.getrandbits(n_bits)
+        rows.append(mask)
+    return rows
+
+
+def _time_call(call, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_kernel_microbench(
+    n_rows: int = 256,
+    n_bits: int = 1536,
+    density: float = 0.5,
+    seed: int = 20110322,
+    repeats: int = 3,
+    backends: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Time the batched kernel primitives on a dense wide fixture.
+
+    The fixture mimics the paper's gene-expression workloads: few rows,
+    very many items, high density — exactly the regime where the
+    intersection miners (and word-parallel set algebra) win.  Every
+    backend runs the same calls on the same masks; each case records
+    per-backend best-of-``repeats`` seconds plus the speedup of every
+    non-default backend over ``bitint``.
+
+    Absolute seconds are machine-specific; the ``speedup`` ratios are
+    not, which is what :func:`compare_kernel_baselines` gates on.
+    """
+    names = list(backends) if backends is not None else available_backends()
+    masks = _dense_fixture(n_rows, n_bits, density, seed)
+    probe = masks[0]
+    # A fresh random mask is (essentially) never a subset of another
+    # random mask, so subset_any scans every row for both backends
+    # instead of exiting at row zero.
+    needle = random.Random(seed + 2).getrandbits(n_bits)
+    selector = random.Random(seed + 1).getrandbits(n_rows) | 1
+    threshold = max(1, int(n_rows * density * 0.5))
+
+    def cases_for(kernel):
+        table = kernel.pack(masks, n_bits)
+        counts = kernel.column_counts(masks, n_bits)
+        return {
+            "intersect_many": lambda: kernel.intersect_many(masks, probe, n_bits),
+            "intersect_count_many": lambda: kernel.intersect_count_many(
+                masks, probe, n_bits
+            ),
+            "popcount_many": lambda: kernel.popcount_many(masks),
+            "popcount_rows": lambda: kernel.popcount_rows(table),
+            "subset_any": lambda: kernel.subset_any(table, needle),
+            "intersect_selected": lambda: kernel.intersect_selected(
+                table, selector
+            ),
+            "column_counts": lambda: kernel.column_counts(masks, n_bits),
+            "bound_filter": lambda: kernel.bound_filter(counts, probe, threshold),
+        }
+
+    cases: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        kernel = get_backend(name)
+        for case, call in cases_for(kernel).items():
+            cases.setdefault(case, {})[name] = _time_call(call, repeats)
+
+    for case, timings in cases.items():
+        reference = timings.get("bitint")
+        if reference:
+            for name in names:
+                if name != "bitint" and timings.get(name):
+                    timings[f"speedup:{name}"] = reference / timings[name]
+
+    speedups = [
+        value
+        for timings in cases.values()
+        for key, value in timings.items()
+        if key.startswith("speedup:") and value > 0
+    ]
+    geomean = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else None
+    )
+    return {
+        "fixture": {
+            "n_rows": n_rows,
+            "n_bits": n_bits,
+            "density": density,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "backends": names,
+        "cases": cases,
+        "summary": {"geomean_speedup": geomean},
+    }
+
+
+def compare_kernel_baselines(
+    baseline: Dict,
+    fresh: Dict,
+    mode: str = "speedup",
+    tolerance: float = 0.5,
+    require_speedup: Optional[float] = None,
+) -> List[str]:
+    """Compare a fresh microbench run against a committed baseline.
+
+    Returns a list of regression messages (empty means the gate
+    passes).  ``mode="speedup"`` (default, machine-independent)
+    requires every recorded ``speedup:<backend>`` ratio to stay within
+    ``tolerance`` (relative) of the baseline ratio; ``mode="seconds"``
+    requires absolute per-case seconds not to regress by more than
+    ``tolerance`` (relative) — only meaningful on the machine that
+    recorded the baseline.  ``require_speedup`` additionally demands a
+    fresh geometric-mean speedup of at least that factor, regardless of
+    what the baseline recorded.
+    """
+    if mode not in ("speedup", "seconds"):
+        raise ValueError(f"mode must be 'speedup' or 'seconds', got {mode!r}")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    failures: List[str] = []
+    for case, base_timings in baseline.get("cases", {}).items():
+        fresh_timings = fresh.get("cases", {}).get(case)
+        if fresh_timings is None:
+            failures.append(f"{case}: missing from fresh run")
+            continue
+        for key, base_value in base_timings.items():
+            fresh_value = fresh_timings.get(key)
+            if fresh_value is None:
+                failures.append(f"{case}/{key}: missing from fresh run")
+                continue
+            if mode == "speedup":
+                if not key.startswith("speedup:"):
+                    continue
+                floor = base_value * (1.0 - tolerance)
+                if fresh_value < floor:
+                    failures.append(
+                        f"{case}/{key}: speedup {fresh_value:.2f}x fell below "
+                        f"{floor:.2f}x (baseline {base_value:.2f}x, "
+                        f"tolerance {tolerance:.0%})"
+                    )
+            else:
+                if key.startswith("speedup:"):
+                    continue
+                ceiling = base_value * (1.0 + tolerance)
+                if fresh_value > ceiling:
+                    failures.append(
+                        f"{case}/{key}: {fresh_value:.6f}s exceeded "
+                        f"{ceiling:.6f}s (baseline {base_value:.6f}s, "
+                        f"tolerance {tolerance:.0%})"
+                    )
+    if require_speedup is not None:
+        geomean = fresh.get("summary", {}).get("geomean_speedup")
+        if geomean is None or geomean < require_speedup:
+            failures.append(
+                f"geomean speedup {geomean if geomean is None else f'{geomean:.2f}x'} "
+                f"below required {require_speedup:.2f}x"
+            )
+    return failures

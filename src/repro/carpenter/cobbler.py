@@ -33,6 +33,7 @@ from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..enumeration.closedness import ClosedSetStore
+from ..kernels import resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -51,6 +52,7 @@ def mine_cobbler(
     min_rows_to_switch: int = 8,
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with Cobbler.
 
@@ -59,10 +61,14 @@ def mine_cobbler(
     left than the intersection is wide) and at least
     ``min_rows_to_switch`` rows remain.  ``switch_ratio = inf``
     degenerates to pure Carpenter; ``0`` switches immediately, i.e.
-    pure column enumeration.
+    pure column enumeration.  ``backend`` is accepted for API
+    uniformity (validated, not used: the row/column hand-over reshapes
+    the working tables at every switch, so there is no static table to
+    batch over).
     """
     if switch_ratio < 0:
         raise ValueError(f"switch_ratio must be non-negative, got {switch_ratio}")
+    resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )

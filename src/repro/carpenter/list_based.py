@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
+from ..kernels import resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -43,13 +44,18 @@ def mine_carpenter_lists(
     perfect_extension: bool = True,
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with list-based Carpenter.
 
     ``guard`` is polled at every subproblem; on interruption the sets
     reported so far (all genuinely closed, with exact supports) are
-    attached to the exception as an anytime result.
+    attached to the exception as an anytime result.  ``backend``
+    selects the set-algebra kernel (:mod:`repro.kernels`); a vectorised
+    backend batches the forward containment check of the closedness
+    test over the packed transaction table.
     """
+    kernel = resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )
@@ -75,6 +81,7 @@ def mine_carpenter_lists(
     full = (1 << n_items) - 1
     pairs: List[tuple] = []
     check = checker(guard, counters)
+    trans_table = kernel.pack(transactions, n_items) if kernel.vectorized else None
 
     # Explicit DFS stack of subproblems (I, |K|, l).  The exclude branch
     # is pushed first so the include branch is explored first (LIFO) —
@@ -84,6 +91,7 @@ def mine_carpenter_lists(
         _search(
             stack, transactions, n, smin, tid_lists, repository, pairs,
             eliminate_items, perfect_extension, counters, check,
+            kernel, trans_table,
         )
     except MiningInterrupted as exc:
         exc.attach_partial(
@@ -106,8 +114,11 @@ def _search(
     perfect_extension: bool,
     counters: OperationCounters,
     check,
+    kernel,
+    trans_table,
 ) -> None:
     """The DFS over subproblems, separated so interruption can unwind it."""
+    batched = trans_table is not None
     while stack:
         check()
         intersection, k, position = stack.pop()
@@ -133,7 +144,13 @@ def _search(
                 skip_exclude = True
             if k + 1 >= smin and candidate not in repository:
                 counters.containment_checks += 1
-                if not _contained_forward(candidate, transactions, position + 1, counters):
+                if not (
+                    kernel.subset_any(trans_table, candidate, position + 1)
+                    if batched
+                    else _contained_forward(
+                        candidate, transactions, position + 1, counters
+                    )
+                ):
                     pairs.append((candidate, k + 1))
                     counters.reports += 1
                     repository.add(candidate)

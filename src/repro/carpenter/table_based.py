@@ -12,6 +12,18 @@ So forming the intersection with the next transaction is mere row
 indexing, and the elimination bound costs nothing extra — which is
 exactly why the paper found this variant "somewhat better" than the
 list-based one.
+
+Two kernel paths (:mod:`repro.kernels`):
+
+* ``bitint`` — the matrix is held as plain nested lists (scalar
+  indexing into a numpy array would dominate the inner loop in
+  CPython) and the elimination bound is a per-item bit loop;
+* a vectorised backend — the matrix stays a numpy array, one
+  :meth:`~repro.kernels.base.KernelBackend.bound_filter` column-count
+  comparison replaces the whole per-item loop, and the forward
+  containment check is one
+  :meth:`~repro.kernels.base.KernelBackend.subset_any` batch over the
+  packed transaction table.
 """
 
 from __future__ import annotations
@@ -19,8 +31,10 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..common import finalize, prepare_for_mining
+from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..data.matrix import build_matrix
+from ..kernels import KernelBackend, resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -39,13 +53,16 @@ def mine_carpenter_table(
     perfect_extension: bool = True,
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with table-based Carpenter.
 
     ``guard`` is polled at every subproblem; on interruption the sets
     reported so far (all genuinely closed, with exact supports) are
-    attached to the exception as an anytime result.
+    attached to the exception as an anytime result.  ``backend``
+    selects the set-algebra kernel (:mod:`repro.kernels`).
     """
+    kernel = resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )
@@ -57,13 +74,16 @@ def mine_carpenter_table(
     if n == 0 or smin > n:
         return finalize((), code_map, db, "carpenter-table", smin)
 
-    # Plain nested lists: scalar indexing into a numpy array would
-    # dominate the inner loop in CPython.
-    matrix = build_matrix(prepared).tolist()
+    matrix = build_matrix(prepared)
+    if not kernel.vectorized:
+        # Plain nested lists: scalar indexing into a numpy array would
+        # dominate the inner loop in CPython.
+        matrix = matrix.tolist()
     repository = make_repository(repository_kind, n_items)
     full = (1 << n_items) - 1
     pairs: List[tuple] = []
     check = checker(guard, counters)
+    trans_table = kernel.pack(transactions, n_items) if kernel.vectorized else None
 
     # DFS over subproblems (I, |K|, l); exclude pushed before include so
     # the include branch runs first (repository soundness).
@@ -72,6 +92,7 @@ def mine_carpenter_table(
         _search(
             stack, transactions, matrix, n, smin, repository, pairs,
             eliminate_items, perfect_extension, counters, check,
+            kernel, trans_table,
         )
     except MiningInterrupted as exc:
         exc.attach_partial(
@@ -85,7 +106,7 @@ def mine_carpenter_table(
 def _search(
     stack: List[tuple],
     transactions: List[int],
-    matrix: List[List[int]],
+    matrix,
     n: int,
     smin: int,
     repository,
@@ -94,8 +115,11 @@ def _search(
     perfect_extension: bool,
     counters: OperationCounters,
     check,
+    kernel: KernelBackend,
+    trans_table,
 ) -> None:
     """The DFS over subproblems, separated so interruption can unwind it."""
+    batched = trans_table is not None
     while stack:
         check()
         intersection, k, position = stack.pop()
@@ -109,9 +133,18 @@ def _search(
         # entry is non-zero; with elimination it must additionally have
         # enough remaining occurrences.
         counters.intersections += 1
-        candidate = 0
         mask = intersection & transactions[position]
-        if eliminate_items:
+        if not eliminate_items:
+            candidate = mask
+        elif batched:
+            # One vectorised column-count comparison replaces the
+            # per-item loop: keep the items of ``mask`` whose remaining
+            # occurrences can still lift the set to the threshold.
+            # (mask ⊆ t_position, so every kept entry is non-zero.)
+            candidate = kernel.bound_filter(row, mask, max(smin - k, 0))
+            counters.items_eliminated += itemset.size(mask ^ candidate)
+        else:
+            candidate = 0
             while mask:
                 low = mask & -mask
                 item = low.bit_length() - 1
@@ -120,15 +153,17 @@ def _search(
                 else:
                     counters.items_eliminated += 1
                 mask ^= low
-        else:
-            candidate = mask
 
         if candidate:
             skip_exclude = perfect_extension and candidate == intersection
             if k + 1 >= smin:
                 counters.containment_checks += 1
-                if candidate not in repository and not _contained_forward(
-                    candidate, transactions, position + 1, counters
+                if candidate not in repository and not (
+                    kernel.subset_any(trans_table, candidate, position + 1)
+                    if batched
+                    else _contained_forward(
+                        candidate, transactions, position + 1, counters
+                    )
                 ):
                     pairs.append((candidate, k + 1))
                     counters.reports += 1

@@ -24,7 +24,9 @@ from .bench.plotting import render_figure
 from .data.arff import read_arff, write_arff
 from .data.io import LoadReport, read_fimi, write_fimi
 from .datasets import DATASETS, load
+from .kernels import available_backends
 from .mining import ALGORITHMS, mine
+from .parallel import mine_parallel
 from .rules import generate_nonredundant_rules, generate_rules
 from .runtime import CorruptInputError, MiningInterrupted
 from .stats import OperationCounters
@@ -81,6 +83,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="item set family to report (default: closed)",
     )
     mine_parser.add_argument("-o", "--output", help="write result here instead of stdout")
+    mine_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="set-algebra kernel backend (default: REPRO_KERNEL_BACKEND "
+        "environment variable, else 'bitint')",
+    )
+    mine_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; >1 mines shards in parallel and merges "
+        "with a closedness re-verification pass (default: 1, serial)",
+    )
+    mine_parser.add_argument(
+        "--shard",
+        default="auto",
+        choices=("auto", "items", "transactions"),
+        help="sharding scheme for --workers >1 (default: auto — "
+        "transactions for the intersection family, items otherwise)",
+    )
     mine_parser.add_argument(
         "--stats", action="store_true", help="print timing and operation counters"
     )
@@ -198,20 +222,47 @@ def _parse_options(pairs: List[str]) -> dict:
 
 
 def _command_mine(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise ValueError("--workers must be at least 1")
+    if args.workers > 1 and args.fallback is not None:
+        raise ValueError(
+            "--workers >1 cannot be combined with --fallback: shards run "
+            "a single algorithm; pick one or drop --fallback"
+        )
+    if args.workers > 1 and args.target == "all":
+        raise ValueError(
+            "--workers >1 supports targets 'closed' and 'maximal' only "
+            "(the sharded merge re-verifies closedness)"
+        )
     db = _read_any(args.file, errors=args.errors)
     counters = OperationCounters()
     start = time.perf_counter()
-    result = mine(
-        db,
-        args.smin,
-        algorithm=args.algorithm,
-        target=args.target,
-        counters=counters,
-        timeout=args.timeout,
-        memory_limit_mb=args.memory_limit,
-        fallback=args.fallback,
-        on_partial=args.on_partial,
-    )
+    if args.workers > 1:
+        result = mine_parallel(
+            db,
+            args.smin,
+            algorithm=args.algorithm,
+            target=args.target,
+            n_workers=args.workers,
+            shard=args.shard,
+            backend=args.backend,
+            timeout=args.timeout,
+            memory_limit_mb=args.memory_limit,
+            on_partial=args.on_partial,
+        )
+    else:
+        result = mine(
+            db,
+            args.smin,
+            algorithm=args.algorithm,
+            target=args.target,
+            backend=args.backend,
+            counters=counters,
+            timeout=args.timeout,
+            memory_limit_mb=args.memory_limit,
+            fallback=args.fallback,
+            on_partial=args.on_partial,
+        )
     elapsed = time.perf_counter() - start
     lines = result.to_lines()
     if args.output:

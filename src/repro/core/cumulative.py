@@ -28,6 +28,7 @@ from typing import Dict, Optional
 from ..closure.verify import refine_anytime
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
+from ..kernels import resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -44,6 +45,7 @@ def mine_cumulative(
     prune_interval: int = 16,
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine closed frequent item sets with the flat cumulative scheme.
 
@@ -55,8 +57,11 @@ def mine_cumulative(
     (the loop that explodes on unfavourable inputs); on interruption
     the repository is salvaged through
     :func:`repro.closure.verify.refine_anytime` and attached to the
-    exception as an anytime result.
+    exception as an anytime result.  ``backend`` selects the
+    set-algebra kernel (:mod:`repro.kernels`); a vectorised backend
+    batches the whole repository scan of each transaction.
     """
+    kernel = resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )
@@ -64,15 +69,12 @@ def mine_cumulative(
         counters = OperationCounters()
     check = checker(guard, counters)
     transactions = prepared.transactions
+    n_items = prepared.n_items
+    batched = kernel.vectorized
 
-    remaining = [0] * prepared.n_items
+    remaining = [0] * n_items
     if prune:
-        for transaction in transactions:
-            mask = transaction
-            while mask:
-                low = mask & -mask
-                remaining[low.bit_length() - 1] += 1
-                mask ^= low
+        remaining = kernel.column_counts(transactions, n_items)
         if prune_interval < 1:
             raise ValueError(f"prune_interval must be positive, got {prune_interval}")
 
@@ -87,14 +89,28 @@ def mine_cumulative(
             # Support of every intersection: 1 (for t itself) + the largest
             # support among the repository sets that produce it.
             updates: Dict[int, int] = {transaction: 0}
-            for stored, support in repository.items():
+            if batched and repository:
                 check()
-                counters.intersections += 1
-                intersection = stored & transaction
-                if intersection:
-                    best = updates.get(intersection)
-                    if best is None or support > best:
-                        updates[intersection] = support
+                counters.intersections += len(repository)
+                intersections = kernel.intersect_many(
+                    list(repository), transaction, n_items
+                )
+                for intersection, support in zip(
+                    intersections, repository.values()
+                ):
+                    if intersection:
+                        best = updates.get(intersection)
+                        if best is None or support > best:
+                            updates[intersection] = support
+            else:
+                for stored, support in repository.items():
+                    check()
+                    counters.intersections += 1
+                    intersection = stored & transaction
+                    if intersection:
+                        best = updates.get(intersection)
+                        if best is None or support > best:
+                            updates[intersection] = support
             for intersection, support in updates.items():
                 repository[intersection] = support + 1
                 counters.support_updates += 1

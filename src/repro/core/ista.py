@@ -31,6 +31,7 @@ from typing import List, Optional
 from ..closure.verify import refine_anytime
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
+from ..kernels import resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -48,6 +49,7 @@ def mine_ista(
     prune_interval: int = 4,
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with the IsTa algorithm.
 
@@ -73,6 +75,11 @@ def mine_ista(
         :func:`repro.closure.verify.refine_anytime` (only sets closed
         in the *full* database survive, with exact supports) and
         attached to the exception as an anytime result.
+    backend:
+        Set-algebra kernel selection (:mod:`repro.kernels`).  The
+        prefix-tree merge itself is pointer-chasing and stays scalar
+        (see :mod:`repro.core.prefix_tree`); the backend batches the
+        remaining-occurrence sweep that seeds the pruning counters.
 
     Returns
     -------
@@ -80,6 +87,7 @@ def mine_ista(
         All closed frequent item sets with their exact supports, in the
         original item coding of ``db``.
     """
+    kernel = resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order=transaction_order
     )
@@ -99,14 +107,10 @@ def mine_ista(
                 processed += 1
             return finalize(tree.report(smin), code_map, db, "ista", smin)
 
-        # Remaining-occurrence counters over the unprocessed suffix.
-        remaining = [0] * prepared.n_items
-        for transaction in transactions:
-            mask = transaction
-            while mask:
-                low = mask & -mask
-                remaining[low.bit_length() - 1] += 1
-                mask ^= low
+        # Remaining-occurrence counters over the unprocessed suffix,
+        # seeded by one batched column-count sweep; the per-transaction
+        # decrements below keep them current incrementally.
+        remaining = kernel.column_counts(transactions, prepared.n_items)
 
         for index, transaction in enumerate(transactions):
             check()

@@ -29,6 +29,7 @@ from __future__ import annotations
 import sys
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..data import itemset
 from ..runtime import RunGuard, checker
 from ..stats import OperationCounters
 
@@ -52,6 +53,8 @@ class PrefixTreeNode:
 
 class PrefixTree:
     """Prefix tree over item codes, with in-place intersection merging."""
+
+    __slots__ = ("_root", "_step", "_n_nodes", "_depth_bound", "counters", "_check")
 
     def __init__(
         self,
@@ -108,7 +111,7 @@ class PrefixTree:
         # The intersection recursion can go as deep as the longest
         # root-to-leaf path, which is bounded by the largest transaction
         # seen so far (intersections are never longer than that).
-        size = mask.bit_count() if hasattr(mask, "bit_count") else bin(mask).count("1")
+        size = itemset.size(mask)
         if size > self._depth_bound:
             self._depth_bound = size
         if self._depth_bound + 200 > sys.getrecursionlimit():

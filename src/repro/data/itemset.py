@@ -39,6 +39,17 @@ __all__ = [
 #: The empty item set.
 EMPTY = 0
 
+# Popcount strategy, resolved once at import time.  ``int.bit_count``
+# exists on Python >= 3.10 and is a single C call; the ``bin(...)``
+# fallback covers older interpreters.  Resolving here keeps the
+# per-call ``hasattr`` probe out of the miners' innermost loops, where
+# :func:`size` is among the hottest calls in the package.
+try:
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - Python < 3.10 only
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
 
 def singleton(item: int) -> int:
     """Return the item set containing exactly ``item``.
@@ -105,7 +116,7 @@ def size(mask: int) -> int:
     >>> size(37)
     3
     """
-    return mask.bit_count() if hasattr(mask, "bit_count") else bin(mask).count("1")
+    return _popcount(mask)
 
 
 def contains(mask: int, item: int) -> bool:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
+from ..kernels import resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -31,6 +32,7 @@ def mine_apriori(
     target: str = "all",
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine frequent item sets level-wise.
 
@@ -39,10 +41,13 @@ def mine_apriori(
     (and expensive) way — the point of this miner is clarity, not speed.
     ``guard`` is polled in the candidate join loop; the levels completed
     before an interruption (exact supports) are attached to the
-    exception as an anytime result.
+    exception as an anytime result.  ``backend`` is accepted for API
+    uniformity (validated, not used: the level-wise join has no batched
+    counterpart worth the conversion cost).
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
+    resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order="identity", transaction_order="identity"
     )

@@ -13,6 +13,15 @@ Three targets:
   already-found closed sets prunes non-closed prefixes together with
   their entire subtrees;
 * ``"maximal"`` — closed sets filtered to maximal ones.
+
+The extension step — intersect the current tid mask with every
+remaining candidate's and count the survivors — is the hot loop, and it
+is exactly the shape of
+:meth:`repro.kernels.base.KernelBackend.intersect_count_many`; with a
+vectorised backend the whole sibling family is intersected and counted
+in one batch call.  Note that for a candidate ``joint ⊆ tids``,
+``joint == tids`` iff their popcounts agree, which is how the batched
+closed path detects perfect extensions from the support vector alone.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from typing import List, Optional, Tuple
 from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
+from ..kernels import KernelBackend, resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -37,6 +47,7 @@ def mine_eclat(
     item_order: str = "frequency-ascending",
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine frequent item sets with Eclat.
 
@@ -44,9 +55,13 @@ def mine_eclat(
     ``guard`` is polled at every search node; the sets found before an
     interruption (exact supports; genuinely closed for the closed
     target) are attached to the exception as an anytime result.
+    ``backend`` selects the set-algebra kernel (:mod:`repro.kernels`);
+    a vectorised backend batches the tid-mask intersections of each
+    extension family.
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
+    kernel = resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order="identity"
     )
@@ -54,6 +69,7 @@ def mine_eclat(
         counters = OperationCounters()
 
     tid_masks = prepared.vertical()
+    n = prepared.n_transactions
     n_items = prepared.n_items
     items = [
         (code, tid_masks[code])
@@ -65,7 +81,7 @@ def mine_eclat(
     if target == "all":
         pairs: List[Tuple[int, int]] = []
         try:
-            _mine_all(items, pairs, smin, counters, check)
+            _mine_all(items, pairs, smin, n, kernel, counters, check)
         except MiningInterrupted as exc:
             exc.attach_partial(
                 lambda: finalize(pairs, code_map, db, "eclat", smin),
@@ -76,7 +92,7 @@ def mine_eclat(
     else:
         store = ClosedSetStore(counters)
         try:
-            _mine_closed(items, store, smin, counters, check)
+            _mine_closed(items, store, smin, n, kernel, counters, check)
         except MiningInterrupted as exc:
             exc.attach_partial(
                 lambda: finalize(store.pairs(), code_map, db, "eclat-closed", smin),
@@ -94,10 +110,13 @@ def _mine_all(
     items: List[Tuple[int, int]],
     pairs: List[Tuple[int, int]],
     smin: int,
+    n_transactions: int,
+    kernel: KernelBackend,
     counters: OperationCounters,
     check,
 ) -> None:
     """Plain Eclat: stack of (prefix mask, candidate extension list)."""
+    batched = kernel.vectorized
     stack = [(0, items)]
     while stack:
         prefix, extensions = stack.pop()
@@ -108,12 +127,26 @@ def _mine_all(
             mask = prefix | (1 << item)
             pairs.append((mask, support))
             counters.reports += 1
+            tail = extensions[index + 1 :]
             narrowed = []
-            for other, other_tids in extensions[index + 1 :]:
-                counters.intersections += 1
-                joint = tids & other_tids
-                if itemset.size(joint) >= smin:
-                    narrowed.append((other, joint))
+            if batched and tail:
+                counters.intersections += len(tail)
+                joints, supports = kernel.intersect_count_many(
+                    [other_tids for _, other_tids in tail], tids, n_transactions
+                )
+                narrowed = [
+                    (tail[position][0], joint)
+                    for position, (joint, joint_support) in enumerate(
+                        zip(joints, supports)
+                    )
+                    if joint_support >= smin
+                ]
+            else:
+                for other, other_tids in tail:
+                    counters.intersections += 1
+                    joint = tids & other_tids
+                    if itemset.size(joint) >= smin:
+                        narrowed.append((other, joint))
             if narrowed:
                 stack.append((mask, narrowed))
 
@@ -122,6 +155,8 @@ def _mine_closed(
     items: List[Tuple[int, int]],
     store: ClosedSetStore,
     smin: int,
+    n_transactions: int,
+    kernel: KernelBackend,
     counters: OperationCounters,
     check,
 ) -> None:
@@ -132,6 +167,7 @@ def _mine_closed(
     the subsumption check relies on all closed supersets reachable
     through earlier items having been stored already.
     """
+    batched = kernel.vectorized
     stack: List[List] = [[0, items, 0]]
     while stack:
         check()
@@ -148,14 +184,27 @@ def _mine_closed(
         # Absorb perfect extensions: any later item whose tid mask
         # covers this prefix's belongs to the closure.  Items that
         # are not perfect extensions stay extension candidates.
+        tail = extensions[index + 1 :]
         narrowed = []
-        for other, other_tids in extensions[index + 1 :]:
-            counters.intersections += 1
-            joint = tids & other_tids
-            if joint == tids:
-                candidate |= 1 << other
-            elif itemset.size(joint) >= smin:
-                narrowed.append((other, joint))
+        if batched and tail:
+            counters.intersections += len(tail)
+            joints, supports = kernel.intersect_count_many(
+                [other_tids for _, other_tids in tail], tids, n_transactions
+            )
+            # joint ⊆ tids, so joint == tids iff the popcounts agree.
+            for position, (joint, joint_support) in enumerate(zip(joints, supports)):
+                if joint_support == support:
+                    candidate |= 1 << tail[position][0]
+                elif joint_support >= smin:
+                    narrowed.append((tail[position][0], joint))
+        else:
+            for other, other_tids in tail:
+                counters.intersections += 1
+                joint = tids & other_tids
+                if joint == tids:
+                    candidate |= 1 << other
+                elif itemset.size(joint) >= smin:
+                    narrowed.append((other, joint))
         counters.containment_checks += 1
         if store.subsumed(candidate, support):
             # The closure contains an item from an earlier branch;

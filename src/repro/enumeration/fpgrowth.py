@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
+from ..kernels import resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -126,6 +127,7 @@ def mine_fpgrowth(
     item_order: str = "frequency-ascending",
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine frequent item sets with FP-growth / FP-close.
 
@@ -133,9 +135,13 @@ def mine_fpgrowth(
     ``guard`` is polled at every search node; the sets found before an
     interruption (exact supports; genuinely closed for the closed
     target) are attached to the exception as an anytime result.
+    ``backend`` is accepted for API uniformity (validated, not used:
+    FP-growth's hot path is conditional-tree construction, a linked
+    structure with no batched set-algebra counterpart).
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
+    resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order="identity"
     )

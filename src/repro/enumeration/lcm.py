@@ -10,7 +10,13 @@ checks — the property that made LCM the FIMI'04 best implementation.
 
 Closures are computed by intersecting the covering transactions
 (single bitmask ANDs here), the honest Python counterpart of LCM's
-occurrence-deliver machinery.
+occurrence-deliver machinery.  With a vectorised kernel backend both
+halves of the node expansion are batched: the new covers of the whole
+extension range come from one
+:meth:`~repro.kernels.base.KernelBackend.intersect_count_rows` call
+over the packed tid-mask table, and each closure is one
+:meth:`~repro.kernels.base.KernelBackend.intersect_selected`
+AND-reduction over the packed transaction table.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import List, Optional, Tuple
 from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
+from ..kernels import resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -33,13 +40,16 @@ def mine_lcm(
     item_order: str = "frequency-ascending",
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with LCM.
 
     ``guard`` is polled at every search node; the closed sets reported
     before an interruption are exact and attached to the exception as
-    an anytime result.
+    an anytime result.  ``backend`` selects the set-algebra kernel
+    (:mod:`repro.kernels`).
     """
+    kernel = resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order="identity"
     )
@@ -47,6 +57,7 @@ def mine_lcm(
         counters = OperationCounters()
     transactions = prepared.transactions
     n = len(transactions)
+    n_items = prepared.n_items
     if n == 0 or smin > n:
         return finalize((), code_map, db, "lcm", smin)
 
@@ -54,8 +65,24 @@ def mine_lcm(
     all_tids = (1 << n) - 1
     pairs: List[Tuple[int, int]] = []
     check = checker(guard, counters)
+    batched = kernel.vectorized
+    if batched:
+        # Static tables, packed once for the whole run: transactions as
+        # item-bit rows (closures) and tid masks as transaction-bit rows
+        # (extension covers).
+        trans_table = kernel.pack(transactions, n_items)
+        tid_table = kernel.pack(tid_masks, n)
 
-    root = _closure(transactions, all_tids, counters)
+        def closure_of(cover: int) -> int:
+            counters.intersections += itemset.size(cover)
+            return kernel.intersect_selected(trans_table, cover)
+
+    else:
+
+        def closure_of(cover: int) -> int:
+            return _closure(transactions, cover, counters)
+
+    root = closure_of(all_tids)
     if root:
         pairs.append((root, n))
         counters.reports += 1
@@ -67,7 +94,34 @@ def mine_lcm(
         while stack:
             closed_set, cover, core = stack.pop()
             counters.recursion_calls += 1
-            for item in range(core + 1, prepared.n_items):
+            if batched:
+                extension_items = [
+                    item
+                    for item in range(core + 1, n_items)
+                    if not closed_set >> item & 1
+                ]
+                if not extension_items:
+                    continue
+                check()
+                counters.intersections += len(extension_items)
+                new_covers, supports = kernel.intersect_count_rows(
+                    tid_table, extension_items, cover
+                )
+                for item, new_cover, support in zip(
+                    extension_items, new_covers, supports
+                ):
+                    if support < smin:
+                        continue
+                    candidate = closure_of(new_cover)
+                    lower = (1 << item) - 1
+                    counters.containment_checks += 1
+                    if candidate & lower != closed_set & lower:
+                        continue
+                    pairs.append((candidate, support))
+                    counters.reports += 1
+                    stack.append((candidate, new_cover, item))
+                continue
+            for item in range(core + 1, n_items):
                 check()
                 if closed_set >> item & 1:
                     continue
@@ -76,7 +130,7 @@ def mine_lcm(
                 support = itemset.size(new_cover)
                 if support < smin:
                     continue
-                candidate = _closure(transactions, new_cover, counters)
+                candidate = closure_of(new_cover)
                 # Prefix-preserving check: the closure must not reach below
                 # ``item`` beyond what the parent already had.
                 lower = (1 << item) - 1

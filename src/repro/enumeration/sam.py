@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
+from ..kernels import resolve_backend
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -39,6 +40,7 @@ def mine_sam(
     item_order: str = "frequency-ascending",
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
+    backend=None,
 ) -> MiningResult:
     """Mine frequent item sets with SaM.
 
@@ -46,9 +48,13 @@ def mine_sam(
     ``guard`` is polled at every split; the sets found before an
     interruption (exact supports; genuinely closed for the closed
     target) are attached to the exception as an anytime result.
+    ``backend`` is accepted for API uniformity (validated, not used:
+    SaM's split-and-merge walks weighted suffix lists whose shape
+    changes at every step, so there is no static table to batch over).
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
+    resolve_backend(backend)
     prepared, code_map = prepare_for_mining(
         db, smin, item_order=item_order, transaction_order="identity"
     )

@@ -1,0 +1,93 @@
+"""Pluggable set-algebra kernel backends.
+
+The miners' innermost loops — intersecting one item set (or tid set)
+against a whole family, counting members, testing containment — are
+routed through a :class:`~repro.kernels.base.KernelBackend`.  Two
+interchangeable backends ship:
+
+``"bitint"``
+    The seed implementation: arbitrary-precision Python ints, one
+    big-int C operation per primitive, batches as Python loops.
+    Always available, and the default.
+
+``"numpy"``
+    Masks packed into little-endian ``uint64`` word rows; every batch
+    is a handful of vectorised word-parallel numpy operations.  Wins
+    on wide masks and large batches (the paper's gene-expression
+    regime); see ``docs/performance.md`` and
+    ``benchmarks/bench_kernels.py`` for the measured crossover.
+
+Selection, in precedence order:
+
+1. the ``backend=`` argument of :func:`repro.mining.mine` (a name or a
+   :class:`KernelBackend` instance), also exposed as the CLI flag
+   ``repro-mine mine --backend``;
+2. the ``REPRO_KERNEL_BACKEND`` environment variable;
+3. the default, ``"bitint"``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from typing import Dict, List, Optional, Union
+
+from .base import KernelBackend
+from .bitint import BitIntBackend, BitTable
+from .numpy_packed import NumpyBackend, PackedTable
+
+__all__ = [
+    "KernelBackend",
+    "BitIntBackend",
+    "NumpyBackend",
+    "BitTable",
+    "PackedTable",
+    "BACKEND_ENV_VAR",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is passed.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Name used when neither an argument nor the environment selects one.
+DEFAULT_BACKEND = "bitint"
+
+# Backends are stateless, so one shared instance per name suffices.
+_BACKENDS: Dict[str, KernelBackend] = {
+    BitIntBackend.name: BitIntBackend(),
+    NumpyBackend.name: NumpyBackend(),
+}
+
+
+def available_backends() -> List[str]:
+    """Sorted names of the registered kernel backends."""
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The backend registered under ``name`` (with a did-you-mean hint)."""
+    if not isinstance(name, str):
+        raise TypeError(f"backend name must be a string, got {type(name).__name__}")
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        close = difflib.get_close_matches(name, _BACKENDS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        raise ValueError(
+            f"unknown kernel backend {name!r}{hint}; available: "
+            f"{available_backends()}"
+        )
+    return backend
+
+
+def resolve_backend(
+    backend: Union[str, KernelBackend, None] = None,
+) -> KernelBackend:
+    """Resolve a backend spec: instance, name, environment, or default."""
+    if isinstance(backend, KernelBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    return get_backend(backend)

@@ -1,0 +1,134 @@
+"""The set-algebra kernel interface.
+
+Every miner in this package bottoms out in the same handful of bitmask
+operations: intersecting one set against many, counting members,
+testing containment, AND-reducing a selected family.  A
+:class:`KernelBackend` bundles *batched* forms of those primitives so a
+hot loop can hand a whole family of sets to the backend in one call
+instead of iterating in Python.
+
+Two representations appear in the interface:
+
+* **mask** — a plain Python integer bitmask, the package-wide canonical
+  item set / tid set encoding (:mod:`repro.data.itemset`);
+* **table** — an opaque, backend-specific packed form of a *fixed* list
+  of masks, built once via :meth:`KernelBackend.pack` and reused across
+  many calls (the numpy backend stores a ``(rows, words)`` ``uint64``
+  matrix; the pure-int backend keeps the list).
+
+All batch methods accept and return plain ints at the boundary, so a
+miner can switch backends without changing its own data structures —
+the backends differ only in how the batch is executed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend:
+    """Abstract batched set algebra; see the module docstring.
+
+    Concrete backends: :class:`repro.kernels.bitint.BitIntBackend`
+    (arbitrary-precision Python ints, the seed implementation) and
+    :class:`repro.kernels.numpy_packed.NumpyBackend` (packed ``uint64``
+    rows with vectorised word-parallel operations).
+    """
+
+    __slots__ = ()
+
+    #: Registry name of the backend.
+    name: str = "?"
+    #: True when the backend executes batches outside the interpreter
+    #: loop; miners use this to pick their batched code paths.
+    vectorized: bool = False
+
+    # -- packed tables --------------------------------------------------
+
+    def pack(self, masks: Sequence[int], n_bits: int):
+        """Pack a fixed list of masks into the backend's table form."""
+        raise NotImplementedError
+
+    def unpack(self, table) -> List[int]:
+        """The masks of a table, as plain ints, in row order."""
+        raise NotImplementedError
+
+    def table_len(self, table) -> int:
+        """Number of rows in a table."""
+        raise NotImplementedError
+
+    # -- scalar helpers --------------------------------------------------
+
+    def popcount(self, mask: int) -> int:
+        """Number of set bits of one mask."""
+        raise NotImplementedError
+
+    # -- batched primitives ---------------------------------------------
+
+    def popcount_many(self, masks: Sequence[int]) -> List[int]:
+        """Popcount of every mask in a list."""
+        raise NotImplementedError
+
+    def popcount_rows(self, table) -> List[int]:
+        """Popcount of every row of a packed table."""
+        raise NotImplementedError
+
+    def intersect_many(self, masks: Sequence[int], mask: int, n_bits: int) -> List[int]:
+        """``[m & mask for m in masks]`` as one batch."""
+        raise NotImplementedError
+
+    def intersect_count_many(
+        self, masks: Sequence[int], mask: int, n_bits: int
+    ) -> Tuple[List[int], List[int]]:
+        """Intersections *and* their popcounts in one pass.
+
+        Returns ``(joints, supports)`` with ``joints[i] = masks[i] & mask``
+        and ``supports[i]`` its popcount — the shape of the Eclat / CHARM
+        extension step, where every candidate's support is needed anyway.
+        """
+        raise NotImplementedError
+
+    def intersect_count_rows(
+        self, table, indices: Sequence[int], mask: int
+    ) -> Tuple[List[int], List[int]]:
+        """Like :meth:`intersect_count_many`, over selected table rows."""
+        raise NotImplementedError
+
+    def subset_any(self, table, mask: int, start: int = 0) -> bool:
+        """Is ``mask`` a subset of any table row at index >= ``start``?
+
+        The closedness backward check of the Carpenter family.
+        """
+        raise NotImplementedError
+
+    def intersect_selected(self, table, selector: int) -> int:
+        """AND-reduce the rows whose index bit is set in ``selector``.
+
+        The closure computation: intersect the transactions of a cover.
+        Returns the all-ones mask of the table width when ``selector``
+        is empty (the neutral element over the packed width).
+        """
+        raise NotImplementedError
+
+    def column_counts(self, masks: Sequence[int], n_bits: int) -> List[int]:
+        """Per-bit occurrence counts over a list of masks.
+
+        ``column_counts(transactions, n_items)[i]`` is the support of
+        item ``i`` — the remaining-occurrence counter family behind the
+        item-elimination pruning of IsTa and Carpenter.
+        """
+        raise NotImplementedError
+
+    def bound_filter(self, counts, mask: int, threshold: int) -> int:
+        """Bits of ``mask`` whose per-bit count reaches ``threshold``.
+
+        ``counts`` is one row of the Table-1 matrix (a sequence for the
+        pure-int backend, an ``ndarray`` row for numpy); the result is
+        the item-elimination filter of table-based Carpenter as a mask.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

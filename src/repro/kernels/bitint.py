@@ -1,0 +1,117 @@
+"""Pure Python-int kernel backend.
+
+The seed implementation of the set algebra: arbitrary-precision ints as
+bitmasks, one C-level big-int operation per primitive.  Batches are
+plain Python loops — this backend exists as the always-available
+reference and as the fair baseline the numpy backend is measured
+against in ``benchmarks/bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..data.itemset import _popcount
+from .base import KernelBackend
+
+__all__ = ["BitIntBackend", "BitTable"]
+
+
+class BitTable:
+    """Packed-table form of the pure-int backend: just the mask list."""
+
+    __slots__ = ("masks", "n_bits")
+
+    def __init__(self, masks: List[int], n_bits: int) -> None:
+        self.masks = masks
+        self.n_bits = n_bits
+
+    def __len__(self) -> int:
+        return len(self.masks)
+
+
+class BitIntBackend(KernelBackend):
+    """Batched set algebra over plain Python ints (reference backend)."""
+
+    __slots__ = ()
+
+    name = "bitint"
+    vectorized = False
+
+    # -- packed tables --------------------------------------------------
+
+    def pack(self, masks: Sequence[int], n_bits: int) -> BitTable:
+        return BitTable(list(masks), n_bits)
+
+    def unpack(self, table: BitTable) -> List[int]:
+        return list(table.masks)
+
+    def table_len(self, table: BitTable) -> int:
+        return len(table.masks)
+
+    # -- scalar helpers --------------------------------------------------
+
+    def popcount(self, mask: int) -> int:
+        return _popcount(mask)
+
+    # -- batched primitives ---------------------------------------------
+
+    def popcount_many(self, masks: Sequence[int]) -> List[int]:
+        return [_popcount(mask) for mask in masks]
+
+    def popcount_rows(self, table: BitTable) -> List[int]:
+        return [_popcount(mask) for mask in table.masks]
+
+    def intersect_many(self, masks: Sequence[int], mask: int, n_bits: int) -> List[int]:
+        return [m & mask for m in masks]
+
+    def intersect_count_many(
+        self, masks: Sequence[int], mask: int, n_bits: int
+    ) -> Tuple[List[int], List[int]]:
+        joints = [m & mask for m in masks]
+        return joints, [_popcount(joint) for joint in joints]
+
+    def intersect_count_rows(
+        self, table: BitTable, indices: Sequence[int], mask: int
+    ) -> Tuple[List[int], List[int]]:
+        masks = table.masks
+        joints = [masks[index] & mask for index in indices]
+        return joints, [_popcount(joint) for joint in joints]
+
+    def subset_any(self, table: BitTable, mask: int, start: int = 0) -> bool:
+        for row in table.masks[start:]:
+            if mask & ~row == 0:
+                return True
+        return False
+
+    def intersect_selected(self, table: BitTable, selector: int) -> int:
+        result = (1 << table.n_bits) - 1 if table.n_bits else 0
+        masks = table.masks
+        remaining = selector
+        while remaining:
+            low = remaining & -remaining
+            result &= masks[low.bit_length() - 1]
+            if not result:
+                break
+            remaining ^= low
+        return result
+
+    def column_counts(self, masks: Sequence[int], n_bits: int) -> List[int]:
+        counts = [0] * n_bits
+        for mask in masks:
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                counts[low.bit_length() - 1] += 1
+                remaining ^= low
+        return counts
+
+    def bound_filter(self, counts, mask: int, threshold: int) -> int:
+        result = 0
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            if counts[low.bit_length() - 1] >= threshold:
+                result |= low
+            remaining ^= low
+        return result

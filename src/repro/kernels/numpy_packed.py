@@ -1,0 +1,186 @@
+"""NumPy packed-``uint64`` kernel backend.
+
+Masks are packed into little-endian ``uint64`` word rows — a family of
+``n`` sets over ``b`` bits becomes an ``(n, ceil(b/64))`` matrix — and
+batched primitives run as vectorised word-parallel operations.  This is
+the bit-parallel layout the paper's C implementations get from machine
+words, recovered inside numpy.
+
+A profiling note that shapes this file: CPython's arbitrary-precision
+integers *already* execute ``&``, ``|`` and ``bit_count`` as C-level
+word loops, so a numpy rewrite of a primitive only wins when the
+pure-int form needs per-bit or per-row work in the interpreter.
+Concretely (see ``benchmarks/BENCH_kernels.json``):
+
+* ``column_counts`` (per-bit Python loop in the int backend),
+  ``bound_filter`` (per-bit loop), ``subset_any`` (per-row loop) and
+  ``popcount_rows`` (per-row method call) are vectorised here and win
+  by large factors on wide dense data;
+* ``intersect_many`` / ``intersect_count_many`` / ``intersect_selected``
+  and friends are *conversion-bound*: the ``int ↔ bytes ↔ ndarray``
+  round trip at the boundary costs more than the C big-int operation it
+  replaces.  For those this backend deliberately executes the same
+  plain-int code as the ``bitint`` backend — per-primitive best
+  implementation, never slower than the reference.
+
+Conversion between Python ints and packed rows goes through
+``int.to_bytes`` / ``int.from_bytes`` (C-level, linear in the word
+count).  Popcounts use ``numpy.bitwise_count`` (numpy >= 2.0) with a
+byte-table fallback.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.itemset import _popcount
+from .base import KernelBackend
+
+__all__ = ["NumpyBackend", "PackedTable"]
+
+_WORD_DTYPE = np.dtype("<u8")
+_WORD_BYTES = 8
+
+if hasattr(np, "bitwise_count"):
+    def _popcount_matrix(rows: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(rows).sum(axis=1, dtype=np.int64)
+else:  # pragma: no cover - numpy < 2.0 only
+    _BYTE_POPCOUNT = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def _popcount_matrix(rows: np.ndarray) -> np.ndarray:
+        as_bytes = rows.view(np.uint8).reshape(rows.shape[0], -1)
+        return _BYTE_POPCOUNT[as_bytes].sum(axis=1, dtype=np.int64)
+
+
+def _n_words(n_bits: int) -> int:
+    return max(1, (n_bits + 63) // 64)
+
+
+def _pack_mask(mask: int, n_words: int) -> np.ndarray:
+    """One mask as a little-endian word row."""
+    return np.frombuffer(mask.to_bytes(n_words * _WORD_BYTES, "little"), dtype=_WORD_DTYPE)
+
+
+def _pack_masks(masks: Sequence[int], n_bits: int) -> np.ndarray:
+    n_words = _n_words(n_bits)
+    row_bytes = n_words * _WORD_BYTES
+    buffer = b"".join(mask.to_bytes(row_bytes, "little") for mask in masks)
+    rows = np.frombuffer(buffer, dtype=_WORD_DTYPE)
+    return rows.reshape(len(masks), n_words) if masks else rows.reshape(0, n_words)
+
+
+class PackedTable:
+    """A fixed mask family: plain ints plus a lazily-built word matrix.
+
+    The ints serve the conversion-bound primitives at zero cost; the
+    ``(n, words)`` little-endian ``uint64`` matrix is built on first
+    use by a vectorised primitive (``subset_any``, ``popcount_rows``)
+    and cached for the table's lifetime.
+    """
+
+    __slots__ = ("ints", "n_bits", "_rows")
+
+    def __init__(self, ints: List[int], n_bits: int) -> None:
+        self.ints = ints
+        self.n_bits = n_bits
+        self._rows: Optional[np.ndarray] = None
+
+    @property
+    def rows(self) -> np.ndarray:
+        if self._rows is None:
+            self._rows = _pack_masks(self.ints, self.n_bits)
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self.ints)
+
+
+class NumpyBackend(KernelBackend):
+    """Word-parallel batched set algebra over packed uint64 rows."""
+
+    __slots__ = ()
+
+    name = "numpy"
+    vectorized = True
+
+    # -- packed tables --------------------------------------------------
+
+    def pack(self, masks: Sequence[int], n_bits: int) -> PackedTable:
+        return PackedTable(list(masks), n_bits)
+
+    def unpack(self, table: PackedTable) -> List[int]:
+        return list(table.ints)
+
+    def table_len(self, table: PackedTable) -> int:
+        return len(table.ints)
+
+    # -- scalar helpers --------------------------------------------------
+
+    def popcount(self, mask: int) -> int:
+        return _popcount(mask)
+
+    # -- conversion-bound primitives: plain-int execution ----------------
+    # (see the module docstring — the int↔ndarray round trip costs more
+    # than the C big-int operation it would replace)
+
+    def popcount_many(self, masks: Sequence[int]) -> List[int]:
+        return [_popcount(mask) for mask in masks]
+
+    def intersect_many(self, masks: Sequence[int], mask: int, n_bits: int) -> List[int]:
+        return [m & mask for m in masks]
+
+    def intersect_count_many(
+        self, masks: Sequence[int], mask: int, n_bits: int
+    ) -> Tuple[List[int], List[int]]:
+        joints = [m & mask for m in masks]
+        return joints, [_popcount(joint) for joint in joints]
+
+    def intersect_count_rows(
+        self, table: PackedTable, indices: Sequence[int], mask: int
+    ) -> Tuple[List[int], List[int]]:
+        ints = table.ints
+        joints = [ints[index] & mask for index in indices]
+        return joints, [_popcount(joint) for joint in joints]
+
+    def intersect_selected(self, table: PackedTable, selector: int) -> int:
+        result = (1 << table.n_bits) - 1 if table.n_bits else 0
+        ints = table.ints
+        remaining = selector
+        while remaining:
+            low = remaining & -remaining
+            result &= ints[low.bit_length() - 1]
+            if not result:
+                break
+            remaining ^= low
+        return result
+
+    # -- vectorised primitives -------------------------------------------
+
+    def popcount_rows(self, table: PackedTable) -> List[int]:
+        return _popcount_matrix(table.rows).tolist()
+
+    def subset_any(self, table: PackedTable, mask: int, start: int = 0) -> bool:
+        rows = table.rows[start:]
+        if not rows.shape[0]:
+            return False
+        candidate = _pack_mask(mask, table.rows.shape[1])
+        return bool(((rows & candidate) == candidate).all(axis=1).any())
+
+    def column_counts(self, masks: Sequence[int], n_bits: int) -> List[int]:
+        masks = list(masks)
+        if not masks:
+            return [0] * n_bits
+        rows = _pack_masks(masks, n_bits)
+        bits = np.unpackbits(
+            rows.view(np.uint8).reshape(rows.shape[0], -1), axis=1, bitorder="little"
+        )
+        return bits[:, :n_bits].sum(axis=0, dtype=np.int64).tolist()
+
+    def bound_filter(self, counts, mask: int, threshold: int) -> int:
+        counts = np.asarray(counts)
+        allowed = np.packbits(counts >= threshold, bitorder="little")
+        return int.from_bytes(allowed.tobytes(), "little") & mask

@@ -21,6 +21,7 @@ from .carpenter import mine_carpenter_lists, mine_carpenter_table, mine_cobbler
 from .core import mine_cumulative, mine_ista
 from .data.database import TransactionDatabase
 from .enumeration import mine_apriori, mine_eclat, mine_fpgrowth, mine_lcm, mine_sam
+from .kernels import resolve_backend
 from .result import MiningResult
 from .runtime import (
     FallbackPolicy,
@@ -133,6 +134,7 @@ def _run_one(
     target: str,
     counters: Optional[OperationCounters],
     guard: Optional[RunGuard],
+    backend,
     options: Dict,
 ) -> MiningResult:
     """Run a single named algorithm (no fallback)."""
@@ -143,12 +145,17 @@ def _run_one(
                 f"{algorithm!r} mines closed sets only; use an enumeration "
                 f"algorithm ({', '.join(ENUMERATION_ALGORITHMS)}) for target='all'"
             )
-        result = miner(db, smin, counters=counters, guard=guard, **options)
+        result = miner(
+            db, smin, counters=counters, guard=guard, backend=backend, **options
+        )
         if target == "maximal":
             result = result.maximal()
             result.algorithm = f"{algorithm}-maximal"
         return result
-    return miner(db, smin, target=target, counters=counters, guard=guard, **options)
+    return miner(
+        db, smin, target=target, counters=counters, guard=guard,
+        backend=backend, **options
+    )
 
 
 def mine(
@@ -156,6 +163,7 @@ def mine(
     smin: float,
     algorithm: str = "ista",
     target: str = "closed",
+    backend=None,
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     timeout: Optional[float] = None,
@@ -184,6 +192,14 @@ def mine(
         intersection algorithms and LCM produce closed sets natively;
         for them ``"maximal"`` filters the closed family and ``"all"``
         is rejected (use an enumeration algorithm).
+    backend:
+        Set-algebra kernel backend: a name from
+        :func:`repro.kernels.available_backends` (``"bitint"``,
+        ``"numpy"``), a :class:`~repro.kernels.base.KernelBackend`
+        instance, or ``None`` to consult the ``REPRO_KERNEL_BACKEND``
+        environment variable (default ``"bitint"``).  The backend
+        survives fallback chains: every attempted algorithm runs with
+        the same kernel.
     counters:
         Optional :class:`~repro.stats.OperationCounters` to fill in.
     guard:
@@ -225,6 +241,7 @@ def mine(
         raise ValueError(f"unknown target {target!r}")
     algorithm = _resolve_algorithm(algorithm, db, target)
     smin = _validate_smin(smin, db.n_transactions)
+    backend = resolve_backend(backend)
 
     if guard is not None and any(
         value is not None
@@ -289,7 +306,8 @@ def mine(
                 guard = attempt_guard
             try:
                 result = _run_one(
-                    name, db, smin, target, counters, attempt_guard, attempt_options
+                    name, db, smin, target, counters, attempt_guard,
+                    backend, attempt_options,
                 )
             except MiningCancelled as exc:
                 # Cancellation is a user decision, never retried.

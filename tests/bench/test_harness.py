@@ -1,10 +1,22 @@
 """Tests for the benchmark harness."""
 
 import math
+import os
+import time
 
 import pytest
 
-from repro.bench.harness import Measurement, SweepResult, run_sweep
+import repro.bench.harness as harness
+from repro.bench.harness import (
+    CELL_STATUSES,
+    Measurement,
+    SweepResult,
+    _measure_cell,
+    compare_kernel_baselines,
+    run_kernel_microbench,
+    run_sweep,
+)
+from repro.runtime import MiningInterrupted
 
 from ..conftest import db_from_strings
 
@@ -87,3 +99,108 @@ class TestMeasurement:
     def test_log_of_zero_is_minus_inf(self):
         cell = Measurement("x", 1, 0.0, 5, {})
         assert cell.log_seconds == -math.inf
+
+    def test_default_status_is_ok(self):
+        assert Measurement("x", 1, 1.0, 5, {}).status == "ok"
+        assert "ok" in CELL_STATUSES
+
+
+class TestCellStatuses:
+    """A worker crash must be reported as crashed — never as a budget trip."""
+
+    @pytest.fixture
+    def db(self):
+        return db_from_strings(["abc", "abd", "acd", "bcd", "ab", "cd"])
+
+    def test_ok(self, db):
+        status, measurement = _measure_cell(db, 2, "ista", {}, 1, 60.0, "process")
+        assert status == "ok"
+        assert measurement[1] > 0
+
+    def test_crashed_worker(self, db, monkeypatch):
+        # the fork inherits the monkeypatched mine and dies without a
+        # report: the pipe EOF must classify the cell as crashed
+        monkeypatch.setattr(harness, "mine", lambda *a, **k: os._exit(1))
+        status, measurement = _measure_cell(db, 2, "ista", {}, 1, 60.0, "process")
+        assert status == "crashed"
+        assert measurement is None
+
+    def test_budget_trip_in_worker(self, db, monkeypatch):
+        def trip(*args, **kwargs):
+            raise MiningInterrupted("budget exceeded", algorithm="ista")
+
+        monkeypatch.setattr(harness, "mine", trip)
+        status, measurement = _measure_cell(db, 2, "ista", {}, 1, 60.0, "process")
+        assert status == "budget"
+        assert measurement is None
+
+    def test_timeout_hard_kill(self, db, monkeypatch):
+        monkeypatch.setattr(harness, "mine", lambda *a, **k: time.sleep(60))
+        status, measurement = _measure_cell(db, 2, "ista", {}, 1, 0.05, "process")
+        assert status == "timeout"
+        assert measurement is None
+
+    def test_guard_isolation_budget(self, db):
+        # hard_limit 0 makes the in-process guard trip at its first poll
+        status, measurement = _measure_cell(db, 1, "ista", {}, 1, 0.0, "guard")
+        assert status == "budget"
+        assert measurement is None
+
+    def test_run_sweep_records_status(self, db, monkeypatch):
+        def trip(*args, **kwargs):
+            raise MiningInterrupted("budget exceeded", algorithm="ista")
+
+        monkeypatch.setattr(harness, "mine", trip)
+        sweep = run_sweep(db, [3, 1], ["ista"], time_limit=0.001, isolation="guard")
+        assert sweep.get("ista", 3).status == "budget"
+        assert sweep.get("ista", 3).skipped
+        assert sweep.get("ista", 1).status == "skipped"
+
+
+class TestKernelMicrobench:
+    def test_structure_and_parity_of_backends(self):
+        report = run_kernel_microbench(n_rows=16, n_bits=96, repeats=1)
+        assert set(report["backends"]) >= {"bitint", "numpy"}
+        for case, timings in report["cases"].items():
+            assert timings["bitint"] >= 0.0
+            assert "speedup:numpy" in timings
+        assert report["summary"]["geomean_speedup"] > 0
+
+    def test_compare_passes_against_itself(self):
+        report = run_kernel_microbench(n_rows=8, n_bits=64, repeats=1)
+        assert compare_kernel_baselines(report, report) == []
+        assert compare_kernel_baselines(report, report, mode="seconds") == []
+
+    def test_compare_flags_speedup_regression(self):
+        report = run_kernel_microbench(n_rows=8, n_bits=64, repeats=1)
+        slower = {
+            "cases": {
+                case: {
+                    key: (value * 0.1 if key.startswith("speedup:") else value)
+                    for key, value in timings.items()
+                }
+                for case, timings in report["cases"].items()
+            },
+            "summary": report["summary"],
+        }
+        failures = compare_kernel_baselines(report, slower, tolerance=0.5)
+        assert failures
+        assert all("speedup" in failure for failure in failures)
+
+    def test_compare_flags_missing_case(self):
+        report = run_kernel_microbench(n_rows=8, n_bits=64, repeats=1)
+        fresh = {"cases": {}, "summary": {"geomean_speedup": 1.0}}
+        assert compare_kernel_baselines(report, fresh)
+
+    def test_require_speedup(self):
+        report = run_kernel_microbench(n_rows=8, n_bits=64, repeats=1)
+        failures = compare_kernel_baselines(
+            report, report, require_speedup=1e9
+        )
+        assert any("geomean" in failure for failure in failures)
+
+    def test_compare_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            compare_kernel_baselines({}, {}, mode="wallclock")
+        with pytest.raises(ValueError):
+            compare_kernel_baselines({}, {}, tolerance=-1.0)

@@ -1,0 +1,196 @@
+"""Kernel backend registry, selection, and primitive parity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.kernels.base import KernelBackend
+from repro.kernels.bitint import BitIntBackend, BitTable
+from repro.kernels.numpy_packed import NumpyBackend, PackedTable
+
+BACKENDS = [get_backend(name) for name in available_backends()]
+
+
+class TestRegistry:
+    def test_bitint_always_available(self):
+        assert "bitint" in available_backends()
+
+    def test_numpy_registered(self):
+        assert "numpy" in available_backends()
+
+    def test_get_backend_returns_kernel(self):
+        for name in available_backends():
+            kernel = get_backend(name)
+            assert isinstance(kernel, KernelBackend)
+            assert kernel.name == name
+
+    def test_unknown_backend_suggests(self):
+        with pytest.raises(ValueError, match="bitint"):
+            get_backend("bitnit")
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("no-such-backend")
+
+
+class TestResolve:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None).name == DEFAULT_BACKEND
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_argument_overrides_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend("bitint").name == "bitint"
+
+    def test_instance_passes_through(self):
+        kernel = get_backend("numpy")
+        assert resolve_backend(kernel) is kernel
+
+    def test_bad_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(ValueError):
+            resolve_backend(None)
+
+
+masks_strategy = st.lists(st.integers(min_value=0), min_size=0, max_size=12)
+
+
+def _clip(masks, n_bits):
+    limit = (1 << n_bits) - 1
+    return [m & limit for m in masks]
+
+
+class TestPrimitiveParity:
+    """Every backend must compute exactly what the bitint reference does."""
+
+    @given(masks=masks_strategy, probe=st.integers(min_value=0), n_bits=st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_family(self, masks, probe, n_bits):
+        masks, probe = _clip(masks, n_bits), probe & ((1 << n_bits) - 1)
+        ref = get_backend("bitint")
+        for kernel in BACKENDS:
+            assert kernel.intersect_many(masks, probe, n_bits) == ref.intersect_many(
+                masks, probe, n_bits
+            )
+            assert kernel.intersect_count_many(
+                masks, probe, n_bits
+            ) == ref.intersect_count_many(masks, probe, n_bits)
+            assert kernel.popcount_many(masks) == ref.popcount_many(masks)
+
+    @given(masks=masks_strategy, n_bits=st.integers(1, 200), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_table_primitives(self, masks, n_bits, data):
+        masks = _clip(masks, n_bits)
+        ref = get_backend("bitint")
+        ref_table = ref.pack(masks, n_bits)
+        selector = data.draw(st.integers(0, (1 << len(masks)) - 1)) if masks else 0
+        needle = data.draw(st.integers(0, (1 << n_bits) - 1))
+        start = data.draw(st.integers(0, len(masks)))
+        indices = (
+            data.draw(st.lists(st.integers(0, len(masks) - 1), max_size=6))
+            if masks
+            else []
+        )
+        for kernel in BACKENDS:
+            table = kernel.pack(masks, n_bits)
+            assert kernel.unpack(table) == masks
+            assert kernel.table_len(table) == len(masks)
+            assert kernel.popcount_rows(table) == ref.popcount_rows(ref_table)
+            assert kernel.subset_any(table, needle, start) == ref.subset_any(
+                ref_table, needle, start
+            )
+            assert kernel.intersect_selected(table, selector) == ref.intersect_selected(
+                ref_table, selector
+            )
+            assert kernel.intersect_count_rows(
+                table, indices, needle
+            ) == ref.intersect_count_rows(ref_table, indices, needle)
+
+    @given(masks=masks_strategy, n_bits=st.integers(1, 200), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_column_primitives(self, masks, n_bits, data):
+        masks = _clip(masks, n_bits)
+        ref = get_backend("bitint")
+        counts = ref.column_counts(masks, n_bits)
+        threshold = data.draw(st.integers(0, len(masks) + 1))
+        mask = data.draw(st.integers(0, (1 << n_bits) - 1))
+        for kernel in BACKENDS:
+            assert kernel.column_counts(masks, n_bits) == counts
+            assert kernel.bound_filter(counts, mask, threshold) == ref.bound_filter(
+                counts, mask, threshold
+            )
+
+    def test_empty_table(self):
+        for kernel in BACKENDS:
+            table = kernel.pack([], 65)
+            assert kernel.table_len(table) == 0
+            assert kernel.popcount_rows(table) == []
+            assert not kernel.subset_any(table, 1)
+            assert kernel.column_counts([], 65) == [0] * 65
+
+
+class TestSlots:
+    """Hot-path classes must stay dict-free (the ``__slots__`` audit)."""
+
+    @pytest.mark.parametrize(
+        "instance",
+        [
+            BitIntBackend(),
+            NumpyBackend(),
+            BitTable([3, 5], 4),
+            PackedTable([3, 5], 4),
+        ],
+        ids=lambda obj: type(obj).__name__,
+    )
+    def test_no_instance_dict(self, instance):
+        assert not hasattr(instance, "__dict__")
+        with pytest.raises(AttributeError):
+            instance.no_such_attribute = 1
+
+    def test_prefix_tree_classes_slotted(self):
+        from repro.core.prefix_tree import PrefixTree, PrefixTreeNode
+
+        node = PrefixTreeNode(0, 0, 0)
+        assert not hasattr(node, "__dict__")
+        assert not hasattr(PrefixTree(), "__dict__")
+
+    def test_shard_outcome_slotted(self):
+        from repro.parallel import ShardOutcome
+
+        assert not hasattr(ShardOutcome(0, "items", "ok", []), "__dict__")
+
+    def test_node_memory_bound(self):
+        """A prefix-tree node must stay a small fixed-size object."""
+        import sys
+
+        from repro.core.prefix_tree import PrefixTreeNode
+
+        node = PrefixTreeNode(1, 2, 3)
+        # 4 slots + object header: generously under 128 bytes, and far
+        # under the ~296 bytes a __dict__-backed instance would cost.
+        assert sys.getsizeof(node) < 128
+
+    def test_tracemalloc_tree_growth(self):
+        """Building many nodes must cost slot-sized, not dict-sized, memory."""
+        import tracemalloc
+
+        from repro.core.prefix_tree import PrefixTreeNode
+
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        nodes = [PrefixTreeNode(i & 63, i, 0) for i in range(2000)]
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        per_node = (after - before) / len(nodes)
+        assert per_node < 200, f"{per_node:.0f} bytes/node — slots audit regressed"

@@ -1,0 +1,57 @@
+"""Cross-backend differential tests: every algorithm, every backend.
+
+The kernel layer must be invisible in the output: for any database and
+support, every algorithm must report the identical closed family under
+every registered backend, serial or batched.
+"""
+
+import pytest
+
+from repro.closure.verify import check_closed_family
+from repro.kernels import available_backends
+from repro.mining import ALGORITHMS, mine
+
+from ..conftest import make_random_db
+
+SEEDS = range(6)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_backend_parity_random_dbs(algorithm, backend):
+    for seed in SEEDS:
+        db = make_random_db(seed, max_transactions=12, max_items=9)
+        smin = 1 + seed % 3
+        reference = dict(mine(db, smin, algorithm="ista", backend="bitint"))
+        got = dict(mine(db, smin, algorithm=algorithm, backend=backend))
+        assert got == reference, f"seed={seed} smin={smin}"
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_backend_parity_verified_against_oracle(backend, table1_db):
+    for smin in (1, 2, 3):
+        result = mine(table1_db, smin, algorithm="ista", backend=backend)
+        check_closed_family(table1_db, result, smin)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_backend_parity_wide_dense(algorithm, backend):
+    """Dense wide rows — the regime where the batched paths activate."""
+    db = make_random_db(97, max_transactions=8, max_items=12, density=0.8)
+    reference = dict(mine(db, 2, algorithm="ista", backend="bitint"))
+    assert dict(mine(db, 2, algorithm=algorithm, backend=backend)) == reference
+
+
+def test_env_var_selects_backend_end_to_end(monkeypatch, table1_db):
+    from repro.kernels import BACKEND_ENV_VAR
+
+    monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+    via_env = dict(mine(table1_db, 2, algorithm="carpenter-table"))
+    monkeypatch.delenv(BACKEND_ENV_VAR)
+    assert via_env == dict(mine(table1_db, 2, algorithm="carpenter-table"))
+
+
+def test_mine_rejects_unknown_backend(table1_db):
+    with pytest.raises(ValueError):
+        mine(table1_db, 2, backend="cuda")

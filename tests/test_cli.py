@@ -46,6 +46,35 @@ class TestMineCommand:
         with pytest.raises(SystemExit):
             main(["mine", fimi_file, "-s", "2", "-a", "bogus"])
 
+    def test_backend_flag(self, fimi_file, capsys):
+        baseline = None
+        for backend in ("bitint", "numpy"):
+            main(["mine", fimi_file, "-s", "2", "--backend", backend])
+            out = capsys.readouterr().out
+            if baseline is None:
+                baseline = out
+            assert out == baseline
+
+    def test_bad_backend_exits(self, fimi_file):
+        with pytest.raises(SystemExit):
+            main(["mine", fimi_file, "-s", "2", "--backend", "cuda"])
+
+    def test_workers_flag_matches_serial(self, fimi_file, capsys):
+        main(["mine", fimi_file, "-s", "2"])
+        serial = capsys.readouterr().out
+        main(["mine", fimi_file, "-s", "2", "--workers", "2", "--shard", "items"])
+        assert capsys.readouterr().out == serial
+
+    def test_workers_incompatible_with_target_all(self, fimi_file, capsys):
+        code = main(["mine", fimi_file, "-s", "2", "--workers", "2", "-t", "all"])
+        assert code == 2
+        assert "closed" in capsys.readouterr().err
+
+    def test_workers_incompatible_with_fallback(self, fimi_file, capsys):
+        code = main(["mine", fimi_file, "-s", "2", "--workers", "2", "--fallback"])
+        assert code == 2
+        assert "--fallback" in capsys.readouterr().err
+
 
 class TestGenCommand:
     def test_generate_writes_fimi(self, tmp_path, capsys):

@@ -1,0 +1,192 @@
+"""Sharded multiprocess mining: exactness, budgets, failure reporting."""
+
+import pytest
+
+import repro.parallel as parallel_module
+from repro import TransactionDatabase, mine, mine_parallel
+from repro.parallel import ShardOutcome, _shard_masks, plan_shards
+from repro.runtime import MiningInterrupted
+
+from .conftest import make_random_db
+
+PARALLEL_ALGORITHMS = ("ista", "carpenter-lists", "carpenter-table", "eclat", "lcm")
+
+
+class TestPlanShards:
+    def test_partitions_items(self):
+        db = make_random_db(3, max_transactions=8, max_items=8)
+        ranges = plan_shards(db, "items", 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == db.n_items
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start
+
+    def test_partitions_transactions(self):
+        db = make_random_db(4, max_transactions=9)
+        ranges = plan_shards(db, "transactions", 4)
+        assert sum(end - start for start, end in ranges) == db.n_transactions
+
+    def test_more_shards_than_units(self):
+        db = make_random_db(5, max_transactions=3, max_items=3)
+        ranges = plan_shards(db, "items", 50)
+        assert len(ranges) <= db.n_items
+        assert all(start < end for start, end in ranges)
+
+    def test_empty_database(self):
+        db = TransactionDatabase.from_masks([], n_items=0)
+        assert plan_shards(db, "items", 4) == []
+
+    def test_shard_masks_cover_database(self):
+        db = make_random_db(6, max_transactions=10, max_items=8)
+        for scheme in ("items", "transactions"):
+            ranges = plan_shards(db, scheme, 3)
+            union = 0
+            for start, end in ranges:
+                for mask in _shard_masks(db, scheme, start, end):
+                    union |= mask
+            full = 0
+            for t in db.transactions:
+                full |= t
+            assert union == full
+
+
+class TestExactness:
+    """The merged parallel result must equal the serial result, always."""
+
+    @pytest.mark.parametrize("algorithm", PARALLEL_ALGORITHMS)
+    @pytest.mark.parametrize("shard", ["items", "transactions"])
+    def test_inline_parity(self, algorithm, shard):
+        for seed in range(4):
+            db = make_random_db(seed, max_transactions=12, max_items=9)
+            smin = 1 + seed % 3
+            serial = dict(mine(db, smin, algorithm=algorithm))
+            got = mine_parallel(
+                db, smin, algorithm=algorithm, shard=shard, n_workers=1
+            )
+            assert dict(got) == serial, f"seed={seed}"
+            assert got.algorithm == f"{algorithm}+parallel"
+
+    @pytest.mark.parametrize("shard", ["items", "transactions"])
+    def test_process_pool_parity(self, shard):
+        db = make_random_db(21, max_transactions=14, max_items=10)
+        serial = dict(mine(db, 2, algorithm="ista"))
+        got = mine_parallel(db, 2, algorithm="ista", shard=shard, n_workers=3)
+        assert dict(got) == serial
+
+    def test_auto_shard_scheme(self):
+        db = make_random_db(8, max_transactions=10, max_items=8)
+        for algorithm in ("ista", "eclat"):
+            serial = dict(mine(db, 2, algorithm=algorithm))
+            assert dict(mine_parallel(db, 2, algorithm=algorithm, n_workers=2)) == serial
+
+    def test_maximal_target(self):
+        db = make_random_db(13, max_transactions=12, max_items=8)
+        serial = dict(mine(db, 2, algorithm="ista", target="maximal"))
+        got = mine_parallel(db, 2, algorithm="ista", target="maximal", n_workers=2)
+        assert dict(got) == serial
+        assert got.algorithm == "ista+parallel-maximal"
+
+    @pytest.mark.parametrize("backend", ["bitint", "numpy"])
+    def test_backend_forwarded(self, backend):
+        db = make_random_db(17, max_transactions=10, max_items=8)
+        serial = dict(mine(db, 2, algorithm="carpenter-table"))
+        got = mine_parallel(
+            db, 2, algorithm="carpenter-table", backend=backend, n_workers=2
+        )
+        assert dict(got) == serial
+
+    def test_empty_database(self):
+        db = TransactionDatabase.from_masks([], n_items=0)
+        result = mine_parallel(db, 1, n_workers=2)
+        assert dict(result) == {}
+
+    def test_relative_smin(self):
+        db = make_random_db(9, max_transactions=10, max_items=8)
+        serial = dict(mine(db, 0.3, algorithm="ista"))
+        assert dict(mine_parallel(db, 0.3, n_workers=2)) == serial
+
+
+class TestValidation:
+    @pytest.fixture
+    def db(self):
+        return make_random_db(2, max_transactions=8, max_items=6)
+
+    def test_rejects_target_all(self, db):
+        with pytest.raises(ValueError, match="closed"):
+            mine_parallel(db, 2, target="all")
+
+    def test_rejects_unknown_shard(self, db):
+        with pytest.raises(ValueError, match="shard"):
+            mine_parallel(db, 2, shard="columns")
+
+    def test_rejects_bad_on_partial(self, db):
+        with pytest.raises(ValueError, match="on_partial"):
+            mine_parallel(db, 2, on_partial="ignore")
+
+    def test_rejects_bad_workers(self, db):
+        with pytest.raises(ValueError, match="n_workers"):
+            mine_parallel(db, 2, n_workers=0)
+
+    def test_rejects_unknown_backend(self, db):
+        with pytest.raises(ValueError):
+            mine_parallel(db, 2, backend="cuda")
+
+
+class TestFailureModes:
+    @pytest.fixture
+    def db(self):
+        return make_random_db(7, max_transactions=12, max_items=9)
+
+    def test_interrupted_shard_raises_with_partial(self, db, monkeypatch):
+        outcomes_real = parallel_module._run_shards
+
+        def interrupt_first(payloads, n_workers):
+            outcomes = outcomes_real(payloads, 1)
+            first = outcomes[0]
+            outcomes[0] = ShardOutcome(
+                first.index, first.scheme, "interrupted", first.pairs, "budget"
+            )
+            return outcomes
+
+        monkeypatch.setattr(parallel_module, "_run_shards", interrupt_first)
+        with pytest.raises(MiningInterrupted) as info:
+            mine_parallel(db, 2, n_workers=1)
+        partial = info.value.partial
+        assert partial is not None
+        serial = dict(mine(db, 2))
+        # anytime guarantee: every reported set is correct, support exact
+        for mask, support in partial.items():
+            assert serial[mask] == support
+
+    def test_interrupted_shard_on_partial_return(self, db, monkeypatch):
+        def interrupt_all(payloads, n_workers):
+            return [
+                ShardOutcome(p["index"], p["scheme"], "interrupted", [], "budget")
+                for p in payloads
+            ]
+
+        monkeypatch.setattr(parallel_module, "_run_shards", interrupt_all)
+        result = mine_parallel(db, 2, n_workers=1, on_partial="return")
+        assert result.interrupted
+        assert dict(result) == {}
+
+    def test_crashed_shard_raises_runtime_error(self, db, monkeypatch):
+        def crash_first(payloads, n_workers):
+            return [
+                ShardOutcome(p["index"], p["scheme"], "crashed", [], "worker died")
+                for p in payloads
+            ]
+
+        monkeypatch.setattr(parallel_module, "_run_shards", crash_first)
+        with pytest.raises(RuntimeError, match="crashed"):
+            mine_parallel(db, 2, n_workers=1)
+
+    def test_per_worker_budget_tiny_timeout(self, db):
+        # With a zero-ish budget every shard trips its guard; the merge
+        # must then raise MiningInterrupted, never report wrong sets.
+        try:
+            result = mine_parallel(db, 2, n_workers=1, timeout=0.0)
+        except MiningInterrupted:
+            return
+        serial = dict(mine(db, 2))
+        for mask, support in result.items():
+            assert serial[mask] == support
