@@ -1,0 +1,146 @@
+"""Observability invariant gate: cost-model counters on a fixed fixture.
+
+Mines the committed yeast-style fixture with IsTa under an
+observability probe and gates on the *cost model*, not on wall clock:
+the intersection count (and the other ``ops.*`` counters) of a
+deterministic serial run must stay within a small tolerance of the
+committed baseline.  Wall-clock gates drown in runner noise; operation
+counts are exact, so a drift here means the algorithm itself changed —
+a different pruning schedule, a lost elimination, a double-counted
+fallback — which is precisely what a reproduction repo must notice.
+
+Usage::
+
+    # Record (refresh) the committed baseline
+    PYTHONPATH=src python benchmarks/bench_obs_invariants.py \
+        --record benchmarks/BENCH_obs.json
+
+    # CI gate: +-1% on every ops.* counter, exact result count
+    PYTHONPATH=src python benchmarks/bench_obs_invariants.py \
+        --compare benchmarks/BENCH_obs.json --tolerance 0.01 \
+        --out obs-metrics-fresh.json
+
+Exit codes: 0 = pass/recorded, 1 = drift detected.
+
+The run is pinned to the ``bitint`` backend and serial execution: the
+vectorised backend batches some checks differently and parallel shards
+mine masked sub-databases, so their counts are legitimately different
+(see docs/observability.md).  The fixture is a *committed file*, not a
+generator call, so NumPy RNG stream changes cannot move the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.data.io import read_fimi
+from repro.mining import mine
+from repro.obs import Probe
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "yeast_gate.fimi")
+ALGORITHM = "ista"
+SMIN = 5
+BACKEND = "bitint"
+
+
+def measure() -> dict:
+    """One probed serial run; returns the gate record."""
+    db = read_fimi(FIXTURE)
+    probe = Probe()
+    result = mine(db, SMIN, algorithm=ALGORITHM, backend=BACKEND, probe=probe)
+    snapshot = probe.metrics.snapshot()
+    return {
+        "fixture": os.path.relpath(FIXTURE, os.path.dirname(__file__)),
+        "algorithm": ALGORITHM,
+        "smin": SMIN,
+        "backend": BACKEND,
+        "n_closed": len(result),
+        "counters": {
+            name: value
+            for name, value in snapshot["counters"].items()
+            if name.startswith("ops.")
+        },
+        "metrics": snapshot,
+    }
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Drift messages (empty = gate passes)."""
+    failures = []
+    if fresh["n_closed"] != baseline["n_closed"]:
+        failures.append(
+            f"n_closed: {fresh['n_closed']} != baseline {baseline['n_closed']} "
+            "(result family changed)"
+        )
+    for name, base_value in sorted(baseline.get("counters", {}).items()):
+        fresh_value = fresh["counters"].get(name)
+        if fresh_value is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        allowed = abs(base_value) * tolerance
+        if abs(fresh_value - base_value) > allowed:
+            failures.append(
+                f"{name}: {fresh_value} drifted from baseline {base_value} "
+                f"(tolerance +-{tolerance:.1%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--record", metavar="FILE", help="run the gate workload and write the baseline"
+    )
+    action.add_argument(
+        "--compare", metavar="FILE", help="run the gate workload and compare"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.01,
+        help="relative counter tolerance (default 0.01 = 1%%)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="also write the fresh record (full metrics) here"
+    )
+    args = parser.parse_args(argv)
+
+    fresh = measure()
+    print(
+        f"# {ALGORITHM} on {fresh['fixture']} at smin={SMIN} ({BACKEND}): "
+        f"{fresh['n_closed']} closed sets"
+    )
+    for name, value in sorted(fresh["counters"].items()):
+        print(f"{name:28s} {value}")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.record:
+        record = dict(fresh)
+        del record["metrics"]  # the baseline pins counters, not histograms
+        with open(args.record, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# baseline written to {args.record}")
+        return 0
+
+    with open(args.compare, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"# {len(failures)} invariant drift(s) against {args.compare}:")
+        for failure in failures:
+            print(f"DRIFT {failure}")
+        return 1
+    print(f"# all counters within +-{args.tolerance:.1%} of {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,11 +24,13 @@ from repro.bench.figures import FIGURES, run_figure
 from repro.bench.plotting import render_figure
 
 
-def render(name: str, scale: float, repeats: int, time_limit: Optional[float]) -> str:
+def render(name: str, scale: float, repeats: int, time_limit: Optional[float], sweeps=None) -> str:
     spec = FIGURES[name]
     started = time.perf_counter()
     sweep = run_figure(name, scale=scale, repeats=repeats, time_limit=time_limit)
     elapsed = time.perf_counter() - started
+    if sweeps is not None:
+        sweeps[name] = sweep.as_dict()
     lines = [
         f"## {spec.paper_exhibit} — {name}",
         "",
@@ -76,6 +78,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--time-limit", type=float, default=None)
     parser.add_argument("--markdown", help="also write the report to this file")
+    parser.add_argument(
+        "--json",
+        help="also write the raw sweeps (timings + counter snapshots) "
+        "to this file as JSON",
+    )
     args = parser.parse_args(argv)
 
     names = args.figures or sorted(FIGURES)
@@ -84,9 +91,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown figures: {unknown}; available: {sorted(FIGURES)}")
 
     sections = []
+    sweeps = {} if args.json else None
     for name in names:
         print(f"=== running {name} (scale {args.scale}) ===", file=sys.stderr)
-        section = render(name, args.scale, args.repeats, args.time_limit)
+        section = render(name, args.scale, args.repeats, args.time_limit, sweeps)
         print(section)
         sections.append(section)
 
@@ -94,6 +102,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.markdown, "w", encoding="utf-8") as handle:
             handle.write("\n".join(sections))
         print(f"wrote {args.markdown}", file=sys.stderr)
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(sweeps, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 

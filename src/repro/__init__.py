@@ -37,6 +37,7 @@ from .mining import (
     choose_algorithm,
     mine,
 )
+from .obs import MetricsRegistry, Probe, Tracer
 from .parallel import mine_parallel
 from .result import MiningResult
 from .rules import AssociationRule, generate_rules, support_of
@@ -61,6 +62,9 @@ __all__ = [
     "TransactionDatabase",
     "MiningResult",
     "OperationCounters",
+    "Probe",
+    "MetricsRegistry",
+    "Tracer",
     "IncrementalMiner",
     "mine",
     "mine_parallel",

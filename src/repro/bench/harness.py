@@ -33,6 +33,7 @@ from ..closure.verify import check_closed_family
 from ..data.database import TransactionDatabase
 from ..kernels import available_backends, get_backend
 from ..mining import mine
+from ..obs import InstrumentedBackend, MetricsRegistry
 from ..runtime import MiningInterrupted
 from ..stats import OperationCounters
 
@@ -115,6 +116,30 @@ class SweepResult:
             if b is None or b.skipped or a.seconds < b.seconds:
                 return smin
         return None
+
+    def as_dict(self) -> Dict:
+        """JSON-serialisable form; cells keep their counter snapshots.
+
+        This is what the ``BENCH_*.json`` records are built from, so a
+        committed sweep carries the cost-model telemetry (intersections,
+        node counts, eliminations) alongside the timings.
+        """
+        return {
+            "dataset": self.dataset,
+            "smin_values": list(self.smin_values),
+            "algorithms": list(self.algorithms),
+            "cells": [
+                {
+                    "algorithm": cell.algorithm,
+                    "smin": cell.smin,
+                    "seconds": None if cell.skipped else cell.seconds,
+                    "n_closed": cell.n_closed,
+                    "status": cell.status,
+                    "counters": dict(cell.counters),
+                }
+                for (_, _), cell in sorted(self.cells.items())
+            ],
+        }
 
     def format_table(self, value: str = "seconds") -> str:
         """Paper-style table: rows = smin, columns = algorithms.
@@ -433,10 +458,25 @@ def run_kernel_microbench(
         }
 
     cases: Dict[str, Dict[str, float]] = {}
+    kernel_metrics: Dict[str, Dict[str, int]] = {}
     for name in names:
         kernel = get_backend(name)
         for case, call in cases_for(kernel).items():
             cases.setdefault(case, {})[name] = _time_call(call, repeats)
+        # One instrumented pass per backend: the per-primitive call and
+        # estimated-bytes counters for the exact case workload above.
+        # Kept as its own top-level section (not inside ``cases``) so
+        # the speedup/seconds comparison of compare_kernel_baselines is
+        # untouched by counter churn.
+        registry = MetricsRegistry()
+        instrumented = InstrumentedBackend(kernel, registry)
+        for call in cases_for(instrumented).values():
+            call()
+        kernel_metrics[name] = {
+            metric_name: value
+            for metric_name, value in registry.snapshot()["counters"].items()
+            if value
+        }
 
     for case, timings in cases.items():
         reference = timings.get("bitint")
@@ -466,6 +506,7 @@ def run_kernel_microbench(
         },
         "backends": names,
         "cases": cases,
+        "kernel_metrics": kernel_metrics,
         "summary": {"geomean_speedup": geomean},
     }
 

@@ -34,6 +34,7 @@ from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..enumeration.closedness import ClosedSetStore
 from ..kernels import resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -53,6 +54,7 @@ def mine_cobbler(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with Cobbler.
 
@@ -69,15 +71,17 @@ def mine_cobbler(
     if switch_ratio < 0:
         raise ValueError(f"switch_ratio must be non-negative, got {switch_ratio}")
     resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order=transaction_order
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    with obs.phase("recode", algorithm="cobbler"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order=transaction_order
+        )
+    counters = obs.ensure_counters(counters)
     transactions = prepared.transactions
     n = len(transactions)
     n_items = prepared.n_items
     if n == 0 or smin > n:
+        obs.record_counters(counters)
         return finalize((), code_map, db, "cobbler", smin)
 
     repository = make_repository(repository_kind, n_items)
@@ -87,17 +91,22 @@ def mine_cobbler(
 
     stack: List[Tuple[int, int, int]] = [(full, 0, 0)]
     try:
-        _row_search(
-            stack, transactions, n, n_items, full, smin, switch_ratio,
-            min_rows_to_switch, repository, pairs, counters, check,
-        )
+        with obs.phase("mine", algorithm="cobbler", transactions=n):
+            _row_search(
+                stack, transactions, n, n_items, full, smin, switch_ratio,
+                min_rows_to_switch, repository, pairs, counters, check,
+            )
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: finalize(pairs, code_map, db, "cobbler", smin),
             algorithm="cobbler",
         )
+        obs.record_counters(counters)
         raise
-    return finalize(pairs, code_map, db, "cobbler", smin)
+    with obs.phase("report", algorithm="cobbler"):
+        result = finalize(pairs, code_map, db, "cobbler", smin)
+    obs.record_counters(counters)
+    return result
 
 
 def _row_search(

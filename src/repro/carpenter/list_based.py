@@ -26,6 +26,7 @@ from typing import List, Optional
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..kernels import resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -45,6 +46,7 @@ def mine_carpenter_lists(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with list-based Carpenter.
 
@@ -55,16 +57,18 @@ def mine_carpenter_lists(
     backend batches the forward containment check of the closedness
     test over the packed transaction table.
     """
-    kernel = resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order=transaction_order
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    kernel = obs.wrap_kernel(resolve_backend(backend))
+    with obs.phase("recode", algorithm="carpenter-lists"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order=transaction_order
+        )
+    counters = obs.ensure_counters(counters)
     transactions = prepared.transactions
     n = len(transactions)
     n_items = prepared.n_items
     if n == 0 or smin > n:
+        obs.record_counters(counters)
         return finalize((), code_map, db, "carpenter-lists", smin)
 
     # Vertical representation: sorted tid list per item.  The remaining
@@ -88,18 +92,23 @@ def mine_carpenter_lists(
     # required for the repository check to be sound.
     stack: List[tuple] = [(full, 0, 0)]
     try:
-        _search(
-            stack, transactions, n, smin, tid_lists, repository, pairs,
-            eliminate_items, perfect_extension, counters, check,
-            kernel, trans_table,
-        )
+        with obs.phase("mine", algorithm="carpenter-lists", transactions=n):
+            _search(
+                stack, transactions, n, smin, tid_lists, repository, pairs,
+                eliminate_items, perfect_extension, counters, check,
+                kernel, trans_table,
+            )
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: finalize(pairs, code_map, db, "carpenter-lists", smin),
             algorithm="carpenter-lists",
         )
+        obs.record_counters(counters)
         raise
-    return finalize(pairs, code_map, db, "carpenter-lists", smin)
+    with obs.phase("report", algorithm="carpenter-lists"):
+        result = finalize(pairs, code_map, db, "carpenter-lists", smin)
+    obs.record_counters(counters)
+    return result
 
 
 def _search(

@@ -35,6 +35,7 @@ from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..data.matrix import build_matrix
 from ..kernels import KernelBackend, resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -54,6 +55,7 @@ def mine_carpenter_table(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with table-based Carpenter.
 
@@ -62,16 +64,18 @@ def mine_carpenter_table(
     attached to the exception as an anytime result.  ``backend``
     selects the set-algebra kernel (:mod:`repro.kernels`).
     """
-    kernel = resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order=transaction_order
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    kernel = obs.wrap_kernel(resolve_backend(backend))
+    with obs.phase("recode", algorithm="carpenter-table"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order=transaction_order
+        )
+    counters = obs.ensure_counters(counters)
     transactions = prepared.transactions
     n = len(transactions)
     n_items = prepared.n_items
     if n == 0 or smin > n:
+        obs.record_counters(counters)
         return finalize((), code_map, db, "carpenter-table", smin)
 
     matrix = build_matrix(prepared)
@@ -89,18 +93,23 @@ def mine_carpenter_table(
     # the include branch runs first (repository soundness).
     stack: List[tuple] = [(full, 0, 0)]
     try:
-        _search(
-            stack, transactions, matrix, n, smin, repository, pairs,
-            eliminate_items, perfect_extension, counters, check,
-            kernel, trans_table,
-        )
+        with obs.phase("mine", algorithm="carpenter-table", transactions=n):
+            _search(
+                stack, transactions, matrix, n, smin, repository, pairs,
+                eliminate_items, perfect_extension, counters, check,
+                kernel, trans_table,
+            )
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: finalize(pairs, code_map, db, "carpenter-table", smin),
             algorithm="carpenter-table",
         )
+        obs.record_counters(counters)
         raise
-    return finalize(pairs, code_map, db, "carpenter-table", smin)
+    with obs.phase("report", algorithm="carpenter-table"):
+        result = finalize(pairs, code_map, db, "carpenter-table", smin)
+    obs.record_counters(counters)
+    return result
 
 
 def _search(

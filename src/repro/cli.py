@@ -26,6 +26,7 @@ from .data.io import LoadReport, read_fimi, write_fimi
 from .datasets import DATASETS, load
 from .kernels import available_backends
 from .mining import ALGORITHMS, mine
+from .obs import Probe, resolve_probe
 from .parallel import mine_parallel
 from .rules import generate_nonredundant_rules, generate_rules
 from .runtime import CorruptInputError, MiningInterrupted
@@ -145,6 +146,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="corrupt input lines: 'raise' stops with exit code 2, "
         "'skip' drops them with a note on stderr",
     )
+    mine_parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot here after the run ('-' for stdout); "
+        "enables the observability probe",
+    )
+    mine_parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default="json",
+        help="metrics snapshot format: 'json' (default) or 'prom' "
+        "(Prometheus text exposition)",
+    )
+    mine_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSON-lines phase trace here ('-' for stdout); "
+        "enables the observability probe",
+    )
 
     bench_parser = subparsers.add_parser("bench", help="run a paper exhibit")
     bench_parser.add_argument("figure", choices=sorted(FIGURES), help="exhibit name")
@@ -184,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
         "-s", "--smin", type=int, default=None,
         help="also mine at this support and profile the closed family",
     )
+    stats_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="budget for the -s mining pass; a tripped budget still "
+        "profiles the salvaged partial family, marked PARTIAL (exit code 3)",
+    )
 
     rules_parser = subparsers.add_parser(
         "rules", help="mine closed sets and derive association rules"
@@ -221,6 +251,32 @@ def _parse_options(pairs: List[str]) -> dict:
     return options
 
 
+def _emit_observability(probe: Optional[Probe], args: argparse.Namespace) -> None:
+    """Write the probe's metrics snapshot and trace where requested.
+
+    ``'-'`` means stdout.  Called from a ``finally`` so budget-tripped
+    runs still leave their telemetry behind.
+    """
+    if probe is None:
+        return
+    if args.metrics:
+        if args.metrics_format == "prom":
+            payload = probe.metrics.to_prom()
+        else:
+            payload = probe.metrics.to_json() + "\n"
+        if args.metrics == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+    if args.trace:
+        if args.trace == "-":
+            probe.tracer.write_jsonl(sys.stdout)
+        else:
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                probe.tracer.write_jsonl(handle)
+
+
 def _command_mine(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise ValueError("--workers must be at least 1")
@@ -234,35 +290,45 @@ def _command_mine(args: argparse.Namespace) -> int:
             "--workers >1 supports targets 'closed' and 'maximal' only "
             "(the sharded merge re-verifies closedness)"
         )
-    db = _read_any(args.file, errors=args.errors)
+    probe = Probe() if (args.metrics or args.trace) else None
+    obs = resolve_probe(probe)
     counters = OperationCounters()
     start = time.perf_counter()
-    if args.workers > 1:
-        result = mine_parallel(
-            db,
-            args.smin,
-            algorithm=args.algorithm,
-            target=args.target,
-            n_workers=args.workers,
-            shard=args.shard,
-            backend=args.backend,
-            timeout=args.timeout,
-            memory_limit_mb=args.memory_limit,
-            on_partial=args.on_partial,
-        )
-    else:
-        result = mine(
-            db,
-            args.smin,
-            algorithm=args.algorithm,
-            target=args.target,
-            backend=args.backend,
-            counters=counters,
-            timeout=args.timeout,
-            memory_limit_mb=args.memory_limit,
-            fallback=args.fallback,
-            on_partial=args.on_partial,
-        )
+    try:
+        with obs.phase("load", file=args.file):
+            db = _read_any(args.file, errors=args.errors)
+        if args.workers > 1:
+            result = mine_parallel(
+                db,
+                args.smin,
+                algorithm=args.algorithm,
+                target=args.target,
+                n_workers=args.workers,
+                shard=args.shard,
+                backend=args.backend,
+                timeout=args.timeout,
+                memory_limit_mb=args.memory_limit,
+                on_partial=args.on_partial,
+                probe=probe,
+            )
+        else:
+            result = mine(
+                db,
+                args.smin,
+                algorithm=args.algorithm,
+                target=args.target,
+                backend=args.backend,
+                counters=counters,
+                timeout=args.timeout,
+                memory_limit_mb=args.memory_limit,
+                fallback=args.fallback,
+                on_partial=args.on_partial,
+                probe=probe,
+            )
+    finally:
+        # Telemetry is most valuable exactly when the run died on a
+        # budget trip, so the files are written no matter how we exit.
+        _emit_observability(probe, args)
     elapsed = time.perf_counter() - start
     lines = result.to_lines()
     if args.output:
@@ -330,13 +396,29 @@ def _command_stats(args: argparse.Namespace) -> int:
     profile = profile_database(db)
     print(profile.describe())
     if args.smin is not None:
-        result = mine(db, args.smin, algorithm="auto")
+        # on_partial="return": a tripped budget must not masquerade as
+        # the complete family — the profile line says so explicitly and
+        # the exit code matches the other budget-tripped paths.
+        result = mine(
+            db,
+            args.smin,
+            algorithm="auto",
+            timeout=args.timeout,
+            on_partial="return",
+        )
         family = profile_family(result)
+        qualifier = (
+            " (PARTIAL: budget tripped, counts are lower bounds)"
+            if result.interrupted
+            else ""
+        )
         print(
-            f"closed family at smin={args.smin}: {family.n_sets} sets, "
+            f"closed family at smin={args.smin}{qualifier}: {family.n_sets} sets, "
             f"mean size {family.mean_size:.1f} (max {family.max_size}), "
             f"mean support {family.mean_support:.1f} (max {family.max_support})"
         )
+        if result.interrupted:
+            return EXIT_INTERRUPTED
     return 0
 
 

@@ -29,6 +29,7 @@ from ..closure.verify import refine_anytime
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..kernels import resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -46,6 +47,7 @@ def mine_cumulative(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine closed frequent item sets with the flat cumulative scheme.
 
@@ -61,12 +63,13 @@ def mine_cumulative(
     set-algebra kernel (:mod:`repro.kernels`); a vectorised backend
     batches the whole repository scan of each transaction.
     """
-    kernel = resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order=transaction_order
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    kernel = obs.wrap_kernel(resolve_backend(backend))
+    with obs.phase("recode", algorithm="cumulative-flat"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order=transaction_order
+        )
+    counters = obs.ensure_counters(counters)
     check = checker(guard, counters)
     transactions = prepared.transactions
     n_items = prepared.n_items
@@ -81,50 +84,55 @@ def mine_cumulative(
     repository: Dict[int, int] = {}
     processed = 0
     try:
-        for index, transaction in enumerate(transactions):
-            check()
-            if not transaction:
-                processed += 1
-                continue
-            # Support of every intersection: 1 (for t itself) + the largest
-            # support among the repository sets that produce it.
-            updates: Dict[int, int] = {transaction: 0}
-            if batched and repository:
+        with obs.phase(
+            "mine", algorithm="cumulative-flat", transactions=len(transactions)
+        ):
+            for index, transaction in enumerate(transactions):
                 check()
-                counters.intersections += len(repository)
-                intersections = kernel.intersect_many(
-                    list(repository), transaction, n_items
-                )
-                for intersection, support in zip(
-                    intersections, repository.values()
-                ):
-                    if intersection:
-                        best = updates.get(intersection)
-                        if best is None or support > best:
-                            updates[intersection] = support
-            else:
-                for stored, support in repository.items():
+                if not transaction:
+                    processed += 1
+                    continue
+                # Support of every intersection: 1 (for t itself) + the
+                # largest support among the repository sets producing it.
+                updates: Dict[int, int] = {transaction: 0}
+                if batched and repository:
                     check()
-                    counters.intersections += 1
-                    intersection = stored & transaction
-                    if intersection:
-                        best = updates.get(intersection)
-                        if best is None or support > best:
-                            updates[intersection] = support
-            for intersection, support in updates.items():
-                repository[intersection] = support + 1
-                counters.support_updates += 1
-            counters.observe_repository_size(len(repository))
-            processed += 1
+                    counters.intersections += len(repository)
+                    intersections = kernel.intersect_many(
+                        list(repository), transaction, n_items
+                    )
+                    for intersection, support in zip(
+                        intersections, repository.values()
+                    ):
+                        if intersection:
+                            best = updates.get(intersection)
+                            if best is None or support > best:
+                                updates[intersection] = support
+                else:
+                    for stored, support in repository.items():
+                        check()
+                        counters.intersections += 1
+                        intersection = stored & transaction
+                        if intersection:
+                            best = updates.get(intersection)
+                            if best is None or support > best:
+                                updates[intersection] = support
+                for intersection, support in updates.items():
+                    repository[intersection] = support + 1
+                    counters.support_updates += 1
+                counters.observe_repository_size(len(repository))
+                processed += 1
 
-            if prune:
-                mask = transaction
-                while mask:
-                    low = mask & -mask
-                    remaining[low.bit_length() - 1] -= 1
-                    mask ^= low
-                if (index + 1) % prune_interval == 0 and index + 1 < len(transactions):
-                    _prune_repository(repository, remaining, smin, counters)
+                if prune:
+                    mask = transaction
+                    while mask:
+                        low = mask & -mask
+                        remaining[low.bit_length() - 1] -= 1
+                        mask ^= low
+                    if (index + 1) % prune_interval == 0 and index + 1 < len(
+                        transactions
+                    ):
+                        _prune_repository(repository, remaining, smin, counters)
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: refine_anytime(
@@ -141,10 +149,19 @@ def mine_cumulative(
             algorithm="cumulative-flat",
             processed=processed,
         )
+        obs.record_counters(counters)
         raise
 
-    pairs = ((mask, supp) for mask, supp in repository.items() if supp >= smin)
-    return finalize(pairs, code_map, db, "cumulative-flat", smin)
+    def _report():
+        for mask, supp in repository.items():
+            if supp >= smin:
+                counters.reports += 1
+                yield mask, supp
+
+    with obs.phase("report", algorithm="cumulative-flat"):
+        result = finalize(_report(), code_map, db, "cumulative-flat", smin)
+    obs.record_counters(counters)
+    return result
 
 
 def _prune_repository(
@@ -174,9 +191,14 @@ def _prune_repository(
             counters.items_eliminated += 1
             stored &= ~drop
         if not stored:
+            counters.nodes_pruned += 1
             continue
         existing = rebuilt.get(stored)
-        if existing is None or support > existing:
+        if existing is None:
             rebuilt[stored] = support
+        else:
+            counters.nodes_merged += 1
+            if support > existing:
+                rebuilt[stored] = support
     repository.clear()
     repository.update(rebuilt)

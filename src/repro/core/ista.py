@@ -32,6 +32,7 @@ from ..closure.verify import refine_anytime
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..kernels import resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -50,6 +51,7 @@ def mine_ista(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with the IsTa algorithm.
 
@@ -80,6 +82,9 @@ def mine_ista(
         prefix-tree merge itself is pointer-chasing and stays scalar
         (see :mod:`repro.core.prefix_tree`); the backend batches the
         remaining-occurrence sweep that seeds the pruning counters.
+    probe:
+        Optional :class:`repro.obs.Probe` for metrics and phase traces
+        (``None``, the default, adds no instrumentation).
 
     Returns
     -------
@@ -87,10 +92,13 @@ def mine_ista(
         All closed frequent item sets with their exact supports, in the
         original item coding of ``db``.
     """
-    kernel = resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order=transaction_order
-    )
+    obs = resolve_probe(probe)
+    kernel = obs.wrap_kernel(resolve_backend(backend))
+    counters = obs.ensure_counters(counters)
+    with obs.phase("recode", algorithm="ista"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order=transaction_order
+        )
     if prune and prune_interval < 1:
         raise ValueError(f"prune_interval must be positive, got {prune_interval}")
     tree = PrefixTree(counters, guard)
@@ -100,30 +108,34 @@ def mine_ista(
     processed = 0
 
     try:
-        if not prune:
-            for transaction in transactions:
-                check()
-                tree.add_transaction(transaction)
-                processed += 1
-            return finalize(tree.report(smin), code_map, db, "ista", smin)
+        with obs.phase("mine", algorithm="ista", transactions=n):
+            if not prune:
+                for transaction in transactions:
+                    check()
+                    tree.add_transaction(transaction)
+                    processed += 1
+            else:
+                # Remaining-occurrence counters over the unprocessed
+                # suffix, seeded by one batched column-count sweep; the
+                # per-transaction decrements below keep them current
+                # incrementally.
+                remaining = kernel.column_counts(transactions, prepared.n_items)
 
-        # Remaining-occurrence counters over the unprocessed suffix,
-        # seeded by one batched column-count sweep; the per-transaction
-        # decrements below keep them current incrementally.
-        remaining = kernel.column_counts(transactions, prepared.n_items)
-
-        for index, transaction in enumerate(transactions):
-            check()
-            tree.add_transaction(transaction)
-            processed += 1
-            mask = transaction
-            while mask:
-                low = mask & -mask
-                remaining[low.bit_length() - 1] -= 1
-                mask ^= low
-            if (index + 1) % prune_interval == 0 and index + 1 < n:
-                _prune_tree(tree, remaining, smin)
-        return finalize(tree.report(smin), code_map, db, "ista", smin)
+                for index, transaction in enumerate(transactions):
+                    check()
+                    tree.add_transaction(transaction)
+                    processed += 1
+                    mask = transaction
+                    while mask:
+                        low = mask & -mask
+                        remaining[low.bit_length() - 1] -= 1
+                        mask ^= low
+                    if (index + 1) % prune_interval == 0 and index + 1 < n:
+                        _prune_tree(tree, remaining, smin)
+        with obs.phase("report", algorithm="ista"):
+            result = finalize(tree.report(smin), code_map, db, "ista", smin)
+        obs.record_counters(tree.counters)
+        return result
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: refine_anytime(
@@ -132,6 +144,7 @@ def mine_ista(
             algorithm="ista",
             processed=processed,
         )
+        obs.record_counters(tree.counters)
         raise
 
 
@@ -163,6 +176,7 @@ def _prune_tree(tree: PrefixTree, remaining: List[int], smin: int) -> None:
                 if child.supp + remaining[item] >= smin:
                     continue
                 counters.items_eliminated += 1
+                counters.nodes_pruned += 1
                 del parent.children[item]
                 tree._n_nodes -= 1
                 for grandchild in child.children.values():
@@ -185,9 +199,11 @@ def _merge_nodes(target: PrefixTreeNode, source: PrefixTreeNode, tree: PrefixTre
     the longest transaction.
     """
     stack = [(target, source)]
+    counters = tree.counters
     while stack:
         into, from_ = stack.pop()
         tree._n_nodes -= 1
+        counters.nodes_merged += 1
         if from_.supp > into.supp:
             into.supp = from_.supp
             into.step = from_.step

@@ -19,6 +19,7 @@ from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..kernels import resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -33,6 +34,7 @@ def mine_apriori(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine frequent item sets level-wise.
 
@@ -48,11 +50,12 @@ def mine_apriori(
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
     resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order="identity", transaction_order="identity"
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    with obs.phase("recode", algorithm="apriori"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order="identity", transaction_order="identity"
+        )
+    counters = obs.ensure_counters(counters)
     check = checker(guard, counters)
 
     tid_masks = prepared.vertical()
@@ -65,25 +68,29 @@ def mine_apriori(
 
     all_pairs: List[tuple] = []
     try:
-        while level:
-            check()
-            for mask, tids in level.items():
-                all_pairs.append((mask, itemset.size(tids)))
-                counters.reports += 1
-            level = _next_level(level, smin, counters, check)
+        with obs.phase("mine", algorithm="apriori", target=target):
+            while level:
+                check()
+                for mask, tids in level.items():
+                    all_pairs.append((mask, itemset.size(tids)))
+                    counters.reports += 1
+                level = _next_level(level, smin, counters, check)
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: finalize(all_pairs, code_map, db, "apriori", smin),
             algorithm="apriori",
         )
+        obs.record_counters(counters)
         raise
 
-    result = finalize(all_pairs, code_map, db, "apriori", smin)
-    if target == "closed":
-        result = _closed_filter(result)
-    elif target == "maximal":
-        result = result.maximal()
-        result.algorithm = "apriori-maximal"
+    with obs.phase("report", algorithm="apriori"):
+        result = finalize(all_pairs, code_map, db, "apriori", smin)
+        if target == "closed":
+            result = _closed_filter(result)
+        elif target == "maximal":
+            result = result.maximal()
+            result.algorithm = "apriori-maximal"
+    obs.record_counters(counters)
     return result
 
 

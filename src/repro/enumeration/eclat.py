@@ -32,6 +32,7 @@ from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..kernels import KernelBackend, resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -48,6 +49,7 @@ def mine_eclat(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine frequent item sets with Eclat.
 
@@ -61,12 +63,13 @@ def mine_eclat(
     """
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
-    kernel = resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order="identity"
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    kernel = obs.wrap_kernel(resolve_backend(backend))
+    with obs.phase("recode", algorithm="eclat"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order="identity"
+        )
+    counters = obs.ensure_counters(counters)
 
     tid_masks = prepared.vertical()
     n = prepared.n_transactions
@@ -81,28 +84,35 @@ def mine_eclat(
     if target == "all":
         pairs: List[Tuple[int, int]] = []
         try:
-            _mine_all(items, pairs, smin, n, kernel, counters, check)
+            with obs.phase("mine", algorithm="eclat", target=target):
+                _mine_all(items, pairs, smin, n, kernel, counters, check)
         except MiningInterrupted as exc:
             exc.attach_partial(
                 lambda: finalize(pairs, code_map, db, "eclat", smin),
                 algorithm="eclat",
             )
+            obs.record_counters(counters)
             raise
-        result = finalize(pairs, code_map, db, "eclat", smin)
+        with obs.phase("report", algorithm="eclat"):
+            result = finalize(pairs, code_map, db, "eclat", smin)
     else:
         store = ClosedSetStore(counters)
         try:
-            _mine_closed(items, store, smin, n, kernel, counters, check)
+            with obs.phase("mine", algorithm="eclat", target=target):
+                _mine_closed(items, store, smin, n, kernel, counters, check)
         except MiningInterrupted as exc:
             exc.attach_partial(
                 lambda: finalize(store.pairs(), code_map, db, "eclat-closed", smin),
                 algorithm="eclat",
             )
+            obs.record_counters(counters)
             raise
-        result = finalize(store.pairs(), code_map, db, "eclat-closed", smin)
-        if target == "maximal":
-            result = result.maximal()
-            result.algorithm = "eclat-maximal"
+        with obs.phase("report", algorithm="eclat"):
+            result = finalize(store.pairs(), code_map, db, "eclat-closed", smin)
+            if target == "maximal":
+                result = result.maximal()
+                result.algorithm = "eclat-maximal"
+    obs.record_counters(counters)
     return result
 
 

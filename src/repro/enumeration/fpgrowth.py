@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..kernels import resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -128,6 +129,7 @@ def mine_fpgrowth(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine frequent item sets with FP-growth / FP-close.
 
@@ -142,11 +144,12 @@ def mine_fpgrowth(
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
     resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order="identity"
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    with obs.phase("recode", algorithm="fpgrowth"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order="identity"
+        )
+    counters = obs.ensure_counters(counters)
     check = checker(guard, counters)
 
     weighted = [(mask, 1) for mask in prepared.transactions if mask]
@@ -155,28 +158,37 @@ def mine_fpgrowth(
     if target == "all":
         pairs: List[Tuple[int, int]] = []
         try:
-            _mine_all(tree, smin, pairs, counters, check)
+            with obs.phase("mine", algorithm="fpgrowth", target=target):
+                _mine_all(tree, smin, pairs, counters, check)
         except MiningInterrupted as exc:
             exc.attach_partial(
                 lambda: finalize(pairs, code_map, db, "fpgrowth", smin),
                 algorithm="fpgrowth",
             )
+            obs.record_counters(counters)
             raise
-        return finalize(pairs, code_map, db, "fpgrowth", smin)
+        with obs.phase("report", algorithm="fpgrowth"):
+            result = finalize(pairs, code_map, db, "fpgrowth", smin)
+        obs.record_counters(counters)
+        return result
 
     store = ClosedSetStore(counters)
     try:
-        _mine_closed(tree, smin, store, counters, check)
+        with obs.phase("mine", algorithm="fpgrowth", target=target):
+            _mine_closed(tree, smin, store, counters, check)
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: finalize(store.pairs(), code_map, db, "fpclose", smin),
             algorithm="fpgrowth",
         )
+        obs.record_counters(counters)
         raise
-    result = finalize(store.pairs(), code_map, db, "fpclose", smin)
-    if target == "maximal":
-        result = result.maximal()
-        result.algorithm = "fpmax"
+    with obs.phase("report", algorithm="fpgrowth"):
+        result = finalize(store.pairs(), code_map, db, "fpclose", smin)
+        if target == "maximal":
+            result = result.maximal()
+            result.algorithm = "fpmax"
+    obs.record_counters(counters)
     return result
 
 

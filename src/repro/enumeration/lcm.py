@@ -27,6 +27,7 @@ from ..common import finalize, prepare_for_mining
 from ..data import itemset
 from ..data.database import TransactionDatabase
 from ..kernels import resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -41,6 +42,7 @@ def mine_lcm(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine all closed frequent item sets with LCM.
 
@@ -49,16 +51,18 @@ def mine_lcm(
     an anytime result.  ``backend`` selects the set-algebra kernel
     (:mod:`repro.kernels`).
     """
-    kernel = resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order="identity"
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    kernel = obs.wrap_kernel(resolve_backend(backend))
+    with obs.phase("recode", algorithm="lcm"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order="identity"
+        )
+    counters = obs.ensure_counters(counters)
     transactions = prepared.transactions
     n = len(transactions)
     n_items = prepared.n_items
     if n == 0 or smin > n:
+        obs.record_counters(counters)
         return finalize((), code_map, db, "lcm", smin)
 
     tid_masks = prepared.vertical()
@@ -91,28 +95,49 @@ def mine_lcm(
     # exploration is irrelevant — each closed set has a unique parent.
     stack: List[Tuple[int, int, int]] = [(root, all_tids, -1)]
     try:
-        while stack:
-            closed_set, cover, core = stack.pop()
-            counters.recursion_calls += 1
-            if batched:
-                extension_items = [
-                    item
-                    for item in range(core + 1, n_items)
-                    if not closed_set >> item & 1
-                ]
-                if not extension_items:
+        with obs.phase("mine", algorithm="lcm", transactions=n):
+            while stack:
+                closed_set, cover, core = stack.pop()
+                counters.recursion_calls += 1
+                if batched:
+                    extension_items = [
+                        item
+                        for item in range(core + 1, n_items)
+                        if not closed_set >> item & 1
+                    ]
+                    if not extension_items:
+                        continue
+                    check()
+                    counters.intersections += len(extension_items)
+                    new_covers, supports = kernel.intersect_count_rows(
+                        tid_table, extension_items, cover
+                    )
+                    for item, new_cover, support in zip(
+                        extension_items, new_covers, supports
+                    ):
+                        if support < smin:
+                            continue
+                        candidate = closure_of(new_cover)
+                        lower = (1 << item) - 1
+                        counters.containment_checks += 1
+                        if candidate & lower != closed_set & lower:
+                            continue
+                        pairs.append((candidate, support))
+                        counters.reports += 1
+                        stack.append((candidate, new_cover, item))
                     continue
-                check()
-                counters.intersections += len(extension_items)
-                new_covers, supports = kernel.intersect_count_rows(
-                    tid_table, extension_items, cover
-                )
-                for item, new_cover, support in zip(
-                    extension_items, new_covers, supports
-                ):
+                for item in range(core + 1, n_items):
+                    check()
+                    if closed_set >> item & 1:
+                        continue
+                    counters.intersections += 1
+                    new_cover = cover & tid_masks[item]
+                    support = itemset.size(new_cover)
                     if support < smin:
                         continue
                     candidate = closure_of(new_cover)
+                    # Prefix-preserving check: the closure must not reach
+                    # below ``item`` beyond what the parent already had.
                     lower = (1 << item) - 1
                     counters.containment_checks += 1
                     if candidate & lower != closed_set & lower:
@@ -120,34 +145,18 @@ def mine_lcm(
                     pairs.append((candidate, support))
                     counters.reports += 1
                     stack.append((candidate, new_cover, item))
-                continue
-            for item in range(core + 1, n_items):
-                check()
-                if closed_set >> item & 1:
-                    continue
-                counters.intersections += 1
-                new_cover = cover & tid_masks[item]
-                support = itemset.size(new_cover)
-                if support < smin:
-                    continue
-                candidate = closure_of(new_cover)
-                # Prefix-preserving check: the closure must not reach below
-                # ``item`` beyond what the parent already had.
-                lower = (1 << item) - 1
-                counters.containment_checks += 1
-                if candidate & lower != closed_set & lower:
-                    continue
-                pairs.append((candidate, support))
-                counters.reports += 1
-                stack.append((candidate, new_cover, item))
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: finalize(pairs, code_map, db, "lcm", smin),
             algorithm="lcm",
         )
+        obs.record_counters(counters)
         raise
 
-    return finalize(pairs, code_map, db, "lcm", smin)
+    with obs.phase("report", algorithm="lcm"):
+        result = finalize(pairs, code_map, db, "lcm", smin)
+    obs.record_counters(counters)
+    return result
 
 
 def _closure(

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from ..common import finalize, prepare_for_mining
 from ..data.database import TransactionDatabase
 from ..kernels import resolve_backend
+from ..obs import resolve_probe
 from ..result import MiningResult
 from ..runtime import MiningInterrupted, RunGuard, checker
 from ..stats import OperationCounters
@@ -41,6 +42,7 @@ def mine_sam(
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
+    probe=None,
 ) -> MiningResult:
     """Mine frequent item sets with SaM.
 
@@ -55,11 +57,12 @@ def mine_sam(
     if target not in ("all", "closed", "maximal"):
         raise ValueError(f"unknown target {target!r}")
     resolve_backend(backend)
-    prepared, code_map = prepare_for_mining(
-        db, smin, item_order=item_order, transaction_order="identity"
-    )
-    if counters is None:
-        counters = OperationCounters()
+    obs = resolve_probe(probe)
+    with obs.phase("recode", algorithm="sam"):
+        prepared, code_map = prepare_for_mining(
+            db, smin, item_order=item_order, transaction_order="identity"
+        )
+    counters = obs.ensure_counters(counters)
     check = checker(guard, counters)
 
     # The working representation: {transaction mask: weight}, duplicates
@@ -75,28 +78,37 @@ def mine_sam(
     if target == "all":
         pairs: List[Tuple[int, int]] = []
         try:
-            _sam_all(weighted, 0, smin, pairs, counters, check)
+            with obs.phase("mine", algorithm="sam", target=target):
+                _sam_all(weighted, 0, smin, pairs, counters, check)
         except MiningInterrupted as exc:
             exc.attach_partial(
                 lambda: finalize(pairs, code_map, db, "sam", smin),
                 algorithm="sam",
             )
+            obs.record_counters(counters)
             raise
-        return finalize(pairs, code_map, db, "sam", smin)
+        with obs.phase("report", algorithm="sam"):
+            result = finalize(pairs, code_map, db, "sam", smin)
+        obs.record_counters(counters)
+        return result
 
     store = ClosedSetStore(counters)
     try:
-        _sam_closed(weighted, 0, smin, store, counters, check)
+        with obs.phase("mine", algorithm="sam", target=target):
+            _sam_closed(weighted, 0, smin, store, counters, check)
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: finalize(store.pairs(), code_map, db, "sam-closed", smin),
             algorithm="sam",
         )
+        obs.record_counters(counters)
         raise
-    result = finalize(store.pairs(), code_map, db, "sam-closed", smin)
-    if target == "maximal":
-        result = result.maximal()
-        result.algorithm = "sam-maximal"
+    with obs.phase("report", algorithm="sam"):
+        result = finalize(store.pairs(), code_map, db, "sam-closed", smin)
+        if target == "maximal":
+            result = result.maximal()
+            result.algorithm = "sam-maximal"
+    obs.record_counters(counters)
     return result
 
 

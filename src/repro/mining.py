@@ -22,6 +22,7 @@ from .core import mine_cumulative, mine_ista
 from .data.database import TransactionDatabase
 from .enumeration import mine_apriori, mine_eclat, mine_fpgrowth, mine_lcm, mine_sam
 from .kernels import resolve_backend
+from .obs import resolve_probe
 from .result import MiningResult
 from .runtime import (
     FallbackPolicy,
@@ -135,6 +136,7 @@ def _run_one(
     counters: Optional[OperationCounters],
     guard: Optional[RunGuard],
     backend,
+    probe,
     options: Dict,
 ) -> MiningResult:
     """Run a single named algorithm (no fallback)."""
@@ -146,7 +148,8 @@ def _run_one(
                 f"algorithm ({', '.join(ENUMERATION_ALGORITHMS)}) for target='all'"
             )
         result = miner(
-            db, smin, counters=counters, guard=guard, backend=backend, **options
+            db, smin, counters=counters, guard=guard, backend=backend,
+            probe=probe, **options
         )
         if target == "maximal":
             result = result.maximal()
@@ -154,7 +157,7 @@ def _run_one(
         return result
     return miner(
         db, smin, target=target, counters=counters, guard=guard,
-        backend=backend, **options
+        backend=backend, probe=probe, **options
     )
 
 
@@ -165,6 +168,7 @@ def mine(
     target: str = "closed",
     backend=None,
     counters: Optional[OperationCounters] = None,
+    probe=None,
     guard: Optional[RunGuard] = None,
     timeout: Optional[float] = None,
     memory_limit_mb: Optional[float] = None,
@@ -202,6 +206,13 @@ def mine(
         the same kernel.
     counters:
         Optional :class:`~repro.stats.OperationCounters` to fill in.
+    probe:
+        Optional :class:`repro.obs.Probe`.  When given, the run fills
+        the probe's metrics registry (operation counters, kernel
+        primitive calls and bytes, guard samples) and its tracer
+        (``recode`` / ``mine`` / ``report`` phase spans).  ``None``
+        (default) keeps every hot path identical to the uninstrumented
+        code; see ``docs/observability.md``.
     guard:
         A preconfigured :class:`~repro.runtime.RunGuard`.  Mutually
         exclusive with the ``timeout`` / ``memory_limit_mb`` / ``cancel``
@@ -242,6 +253,7 @@ def mine(
     algorithm = _resolve_algorithm(algorithm, db, target)
     smin = _validate_smin(smin, db.n_transactions)
     backend = resolve_backend(backend)
+    obs = resolve_probe(probe)
 
     if guard is not None and any(
         value is not None
@@ -263,20 +275,11 @@ def mine(
         # still fail loudly on empty input).
         return MiningResult({}, db.item_labels, algorithm, smin)
 
-    if guard is None and any(
-        value is not None
-        for value in (timeout, memory_limit_mb, cancel, progress, fault_plan)
-    ):
-        guard = RunGuard(
-            timeout=timeout,
-            memory_limit_mb=memory_limit_mb,
-            cancel=cancel,
-            fault_plan=fault_plan,
-            progress=progress,
-        )
-
     # Attempt order: the requested algorithm, then the chain members
     # (skipping duplicates and, for target="all", closed-only miners).
+    # Validated *before* any guard is constructed so a bad chain cannot
+    # leak guard resources (the memory meter keeps tracemalloc enabled
+    # until finish()).
     attempts = [algorithm]
     if policy is not None:
         for name in policy.chain:
@@ -292,6 +295,21 @@ def mine(
                 continue
             attempts.append(name)
 
+    if guard is None and any(
+        value is not None
+        for value in (timeout, memory_limit_mb, cancel, progress, fault_plan)
+    ):
+        guard = RunGuard(
+            timeout=timeout,
+            memory_limit_mb=memory_limit_mb,
+            cancel=cancel,
+            fault_plan=fault_plan,
+            progress=progress,
+            probe=obs,
+        )
+    elif guard is not None and obs.active and guard.probe is None:
+        guard.probe = obs
+
     path = []
     best_partial: Optional[MiningResult] = None
     last_exc: Optional[MiningInterrupted] = None
@@ -304,10 +322,11 @@ def mine(
             if guard is not None and attempt_index > 0:
                 attempt_guard = guard.respawn()
                 guard = attempt_guard
+            obs.count("mine.attempts")
             try:
                 result = _run_one(
                     name, db, smin, target, counters, attempt_guard,
-                    backend, attempt_options,
+                    backend, probe, attempt_options,
                 )
             except MiningCancelled as exc:
                 # Cancellation is a user decision, never retried.
@@ -316,6 +335,8 @@ def mine(
             except MiningInterrupted as exc:
                 path.append(name)
                 exc.fallback_path = tuple(path)
+                obs.count("mine.interruptions")
+                obs.event("fallback", failed=name, error=type(exc).__name__)
                 last_exc = exc
                 if exc.partial is not None and (
                     best_partial is None or len(exc.partial) > len(best_partial)

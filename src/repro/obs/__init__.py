@@ -1,0 +1,60 @@
+"""repro.obs — zero-overhead-when-off mining observability.
+
+The paper's central claims are about *internal* costs — transaction
+intersections, prefix-tree nodes, items eliminated by the
+remaining-occurrence bound — so this package makes those costs
+first-class run artifacts:
+
+* :class:`MetricsRegistry` — counters / gauges / histograms with JSON
+  and Prometheus text exports (:mod:`repro.obs.metrics`);
+* :class:`Tracer` — span-based phase timing with JSON-lines export
+  (:mod:`repro.obs.trace`);
+* :class:`Probe` — the single object threaded through every algorithm
+  driver, both kernel backends, :class:`~repro.runtime.RunGuard` and
+  :func:`repro.parallel.mine_parallel` (:mod:`repro.obs.probe`);
+* :class:`InstrumentedBackend` — the kernel-primitive counting proxy
+  (:mod:`repro.obs.kernel_proxy`).
+
+Usage::
+
+    from repro import TransactionDatabase, mine
+    from repro.obs import Probe
+
+    probe = Probe()
+    result = mine(db, smin=2, algorithm="ista", probe=probe)
+    print(probe.metrics.to_prom())          # or .to_json()
+    probe.tracer.write_jsonl(open("trace.jsonl", "w"))
+
+Passing no probe (the default) keeps every hot path bit-identical to
+the uninstrumented code; see ``docs/observability.md`` for the metric
+catalogue and the trace schema.
+"""
+
+from .kernel_proxy import PRIMITIVES, InstrumentedBackend
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prom_name,
+)
+from .probe import NULL_PROBE, NullProbe, Probe, resolve_probe
+from .trace import Span, Tracer
+
+__all__ = [
+    "Probe",
+    "NullProbe",
+    "NULL_PROBE",
+    "resolve_probe",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "prom_name",
+    "Tracer",
+    "Span",
+    "InstrumentedBackend",
+    "PRIMITIVES",
+]

@@ -1,0 +1,169 @@
+"""Kernel instrumentation: per-primitive call counts and bytes touched.
+
+An :class:`InstrumentedBackend` wraps any
+:class:`~repro.kernels.base.KernelBackend` and forwards every primitive
+unchanged while incrementing two counters per primitive in the probe's
+registry::
+
+    kernel.<primitive>.calls   # invocations
+    kernel.<primitive>.bytes   # estimated bytes of mask data touched
+
+The byte figures are *estimates* (row count x packed row width, before
+any early exit), which is the right currency for comparing backends:
+they measure the work handed to the kernel, not what a short-circuit
+saved.  The proxy is only ever constructed when a probe is active, so
+the probe-off hot path runs the raw backend with zero indirection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..kernels.base import KernelBackend
+
+__all__ = ["InstrumentedBackend", "PRIMITIVES"]
+
+#: Every instrumented primitive, in interface order.
+PRIMITIVES = (
+    "pack",
+    "unpack",
+    "popcount",
+    "popcount_many",
+    "popcount_rows",
+    "intersect_many",
+    "intersect_count_many",
+    "intersect_count_rows",
+    "subset_any",
+    "intersect_selected",
+    "column_counts",
+    "bound_filter",
+)
+
+
+def _mask_bytes(n_bits: int) -> int:
+    """Packed width of an ``n_bits``-wide mask, in bytes (word-rounded)."""
+    return ((n_bits + 63) // 64) * 8
+
+
+class InstrumentedBackend(KernelBackend):
+    """Counting proxy around a concrete kernel backend."""
+
+    __slots__ = ("_inner", "_calls", "_bytes", "_widths")
+
+    def __init__(self, inner: KernelBackend, registry) -> None:
+        self._inner = inner
+        # Pre-resolved counter objects: the per-call cost is two integer
+        # adds, not a registry lookup.
+        self._calls: Dict[str, object] = {}
+        self._bytes: Dict[str, object] = {}
+        for primitive in PRIMITIVES:
+            self._calls[primitive] = registry.counter(
+                f"kernel.{primitive}.calls",
+                f"invocations of the {primitive} kernel primitive",
+            )
+            self._bytes[primitive] = registry.counter(
+                f"kernel.{primitive}.bytes",
+                f"estimated mask bytes touched by {primitive}",
+            )
+        # Packed-table widths, keyed by table identity; every table used
+        # by a probed miner is packed through this proxy, so lookups hit.
+        self._widths: Dict[int, int] = {}
+
+    # The wrapped backend's registry identity and vectorisation flag.
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self._inner.name
+
+    @property
+    def vectorized(self) -> bool:  # type: ignore[override]
+        return self._inner.vectorized
+
+    @property
+    def wrapped(self) -> KernelBackend:
+        """The raw backend underneath (for tests and introspection)."""
+        return self._inner
+
+    def _hit(self, primitive: str, touched: int) -> None:
+        self._calls[primitive].value += 1
+        self._bytes[primitive].value += touched
+
+    def _width(self, table) -> int:
+        width = self._widths.get(id(table))
+        if width is None:
+            # Table packed outside the proxy: fall back to a row probe.
+            rows = self._inner.unpack(table)
+            width = _mask_bytes(max((m.bit_length() for m in rows), default=0))
+            self._widths[id(table)] = width
+        return width
+
+    # -- packed tables ---------------------------------------------------
+
+    def pack(self, masks: Sequence[int], n_bits: int):
+        self._hit("pack", len(masks) * _mask_bytes(n_bits))
+        table = self._inner.pack(masks, n_bits)
+        self._widths[id(table)] = _mask_bytes(n_bits)
+        return table
+
+    def unpack(self, table) -> List[int]:
+        self._hit("unpack", self._inner.table_len(table) * self._width(table))
+        return self._inner.unpack(table)
+
+    def table_len(self, table) -> int:
+        return self._inner.table_len(table)
+
+    # -- scalar helpers --------------------------------------------------
+
+    def popcount(self, mask: int) -> int:
+        self._hit("popcount", _mask_bytes(mask.bit_length()))
+        return self._inner.popcount(mask)
+
+    # -- batched primitives ----------------------------------------------
+
+    def popcount_many(self, masks: Sequence[int]) -> List[int]:
+        widest = max((m.bit_length() for m in masks), default=0)
+        self._hit("popcount_many", len(masks) * _mask_bytes(widest))
+        return self._inner.popcount_many(masks)
+
+    def popcount_rows(self, table) -> List[int]:
+        self._hit(
+            "popcount_rows", self._inner.table_len(table) * self._width(table)
+        )
+        return self._inner.popcount_rows(table)
+
+    def intersect_many(self, masks: Sequence[int], mask: int, n_bits: int) -> List[int]:
+        self._hit("intersect_many", len(masks) * _mask_bytes(n_bits))
+        return self._inner.intersect_many(masks, mask, n_bits)
+
+    def intersect_count_many(
+        self, masks: Sequence[int], mask: int, n_bits: int
+    ) -> Tuple[List[int], List[int]]:
+        self._hit("intersect_count_many", len(masks) * _mask_bytes(n_bits))
+        return self._inner.intersect_count_many(masks, mask, n_bits)
+
+    def intersect_count_rows(
+        self, table, indices: Sequence[int], mask: int
+    ) -> Tuple[List[int], List[int]]:
+        self._hit("intersect_count_rows", len(indices) * self._width(table))
+        return self._inner.intersect_count_rows(table, indices, mask)
+
+    def subset_any(self, table, mask: int, start: int = 0) -> bool:
+        rows = max(0, self._inner.table_len(table) - start)
+        self._hit("subset_any", rows * self._width(table))
+        return self._inner.subset_any(table, mask, start)
+
+    def intersect_selected(self, table, selector: int) -> int:
+        rows = bin(selector).count("1") if selector >= 0 else 0
+        self._hit("intersect_selected", rows * self._width(table))
+        return self._inner.intersect_selected(table, selector)
+
+    def column_counts(self, masks: Sequence[int], n_bits: int) -> List[int]:
+        self._hit("column_counts", len(masks) * _mask_bytes(n_bits))
+        return self._inner.column_counts(masks, n_bits)
+
+    def bound_filter(self, counts, mask: int, threshold: int) -> int:
+        self._hit("bound_filter", len(counts) * 8)
+        return self._inner.bound_filter(counts, mask, threshold)
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedBackend around {self._inner!r}>"

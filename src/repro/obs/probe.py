@@ -1,0 +1,235 @@
+"""The probe: the one object threaded through miners, guard and workers.
+
+A :class:`Probe` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.trace.Tracer` behind the narrow interface the
+instrumented code calls:
+
+* :meth:`Probe.phase` — span a named phase (``load``, ``recode``,
+  ``mine``, ``report``, ``merge``); the duration also lands in a
+  ``phase.<name>.seconds`` histogram so metrics stay self-contained;
+* :meth:`Probe.record_counters` — fold an
+  :class:`~repro.stats.OperationCounters` into ``ops.*`` metrics,
+  *delta-aware* so fallback chains that reuse one counters object never
+  double-count;
+* :meth:`Probe.wrap_kernel` — interpose the per-primitive counting
+  proxy (:mod:`repro.obs.kernel_proxy`);
+* :meth:`Probe.sample_guard` — ingest a :class:`~repro.runtime.RunGuard`
+  real-check sample (deadline headroom, memory high water);
+* :meth:`Probe.merge_worker` — fold a worker-process snapshot in at the
+  parallel join.
+
+:data:`NULL_PROBE` is the do-nothing twin.  Every hook on it is a pass
+(and :meth:`NullProbe.phase` hands back one shared no-op context
+manager), so a driver written against the probe interface costs a few
+dict-free attribute calls per *run* — not per operation — when
+observability is off.  The probe-off differential test in
+``tests/obs/test_overhead.py`` holds this to <5% wall clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..stats import OperationCounters
+from .kernel_proxy import InstrumentedBackend
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["Probe", "NullProbe", "NULL_PROBE", "resolve_probe"]
+
+#: Gauge-style counter fields of OperationCounters (merged by maximum).
+_GAUGE_FIELDS = frozenset({"repository_peak"})
+
+
+class _NullSpan:
+    """Shared no-op context manager for the null probe's phases."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullProbe:
+    """The probe that observes nothing; see the module docstring."""
+
+    __slots__ = ()
+
+    active = False
+
+    def phase(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def gauge_max(self, name: str, value: float) -> None:
+        return None
+
+    def wrap_kernel(self, kernel):
+        return kernel
+
+    def ensure_counters(
+        self, counters: Optional[OperationCounters]
+    ) -> OperationCounters:
+        return counters if counters is not None else OperationCounters()
+
+    def record_counters(self, counters: Optional[OperationCounters]) -> None:
+        return None
+
+    def sample_guard(
+        self,
+        elapsed: float,
+        remaining: Optional[float],
+        memory_used: Optional[int],
+    ) -> None:
+        return None
+
+    def merge_worker(self, snapshot: Optional[Dict], index: Optional[int] = None) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "<NullProbe>"
+
+
+#: The shared inactive probe; ``resolve_probe(None)`` returns it.
+NULL_PROBE = NullProbe()
+
+
+class Probe(NullProbe):
+    """Live probe: metrics registry + tracer, see the module docstring."""
+
+    __slots__ = ("metrics", "tracer", "_counter_marks")
+
+    active = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        # Last-ingested snapshot per OperationCounters identity: fallback
+        # chains pass one counters object through several attempts, and
+        # each attempt's record_counters must only add the delta.
+        self._counter_marks: Dict[int, Dict[str, int]] = {}
+
+    # -- spans -----------------------------------------------------------
+
+    def phase(self, name: str, **attrs: Any) -> "_ProbeSpan":
+        return _ProbeSpan(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.tracer.event(name, **attrs)
+
+    # -- metrics ---------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set_max(value)
+
+    def wrap_kernel(self, kernel):
+        if isinstance(kernel, InstrumentedBackend):
+            return kernel
+        return InstrumentedBackend(kernel, self.metrics)
+
+    def record_counters(self, counters: Optional[OperationCounters]) -> None:
+        if counters is None:
+            return
+        current = counters.as_dict()
+        previous = self._counter_marks.get(id(counters), {})
+        for field, value in current.items():
+            if field in _GAUGE_FIELDS:
+                self.metrics.gauge(f"ops.{field}").set_max(value)
+            else:
+                # Register even the zero counters so every snapshot
+                # carries the full cost-model catalogue.
+                self.metrics.counter(f"ops.{field}").inc(
+                    value - previous.get(field, 0)
+                )
+        self._counter_marks[id(counters)] = current
+
+    # -- guard samples ---------------------------------------------------
+
+    def sample_guard(
+        self,
+        elapsed: float,
+        remaining: Optional[float],
+        memory_used: Optional[int],
+    ) -> None:
+        self.metrics.counter("guard.real_checks").inc()
+        if remaining is not None:
+            self.metrics.histogram(
+                "guard.headroom.seconds",
+                "seconds left until the deadline at each real guard check",
+            ).observe(max(0.0, remaining))
+        if memory_used is not None:
+            self.metrics.gauge(
+                "guard.memory_high_water.bytes",
+                "largest allocation delta observed by the memory meter",
+            ).set_max(memory_used)
+
+    # -- parallel merge --------------------------------------------------
+
+    def merge_worker(self, snapshot: Optional[Dict], index: Optional[int] = None) -> None:
+        """Fold one worker's metrics snapshot in at the join."""
+        if not snapshot:
+            return
+        self.metrics.merge_snapshot(snapshot)
+        self.metrics.counter("parallel.workers_merged").inc()
+        if index is not None:
+            self.tracer.event("worker-merged", shard=index)
+
+    def __repr__(self) -> str:
+        return f"Probe({self.metrics!r}, {self.tracer!r})"
+
+
+class _ProbeSpan:
+    """Span that records into both the tracer and the phase histogram."""
+
+    __slots__ = ("_probe", "_name", "_span")
+
+    def __init__(self, probe: Probe, name: str, attrs: Dict[str, Any]) -> None:
+        self._probe = probe
+        self._name = name
+        self._span = probe.tracer.span(name, **attrs)
+
+    def __enter__(self) -> "_ProbeSpan":
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.__exit__(exc_type, exc, tb)
+        span = self._span
+        self._probe.metrics.histogram(f"phase.{self._name}.seconds").observe(
+            span.end - span.start
+        )
+
+
+def resolve_probe(probe: Optional[NullProbe]) -> NullProbe:
+    """Normalise a ``probe=`` argument: ``None`` means the null probe."""
+    if probe is None:
+        return NULL_PROBE
+    if not isinstance(probe, NullProbe):
+        raise TypeError(
+            f"probe must be a repro.obs.Probe (or None), got {type(probe).__name__}"
+        )
+    return probe

@@ -1,0 +1,119 @@
+"""Span-based phase tracing with JSON-lines export.
+
+A :class:`Tracer` records *spans* — named intervals with attributes —
+and point *events*.  The drivers emit the canonical phase spans
+``load -> recode -> mine -> report`` (plus algorithm-specific extras),
+so a trace answers the question the wall-clock column of the benchmark
+tables cannot: *where* the time went.
+
+The export format is JSON lines, one record per event, ordered by
+completion time::
+
+    {"type": "span", "name": "mine", "depth": 1, "start": 0.0012,
+     "end": 0.8451, "duration": 0.8439, "attrs": {"algorithm": "ista"}}
+
+``start`` / ``end`` are seconds relative to the tracer's origin (a
+``time.perf_counter`` reading), ``wall`` on the tracer header record is
+the absolute Unix time of the origin, so consumers can reconstruct
+absolute timestamps without every record carrying one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Tracer", "Span"]
+
+
+class Span:
+    """One open interval; close it via the context-manager protocol."""
+
+    __slots__ = ("tracer", "name", "attrs", "depth", "start", "end")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.depth = 0
+        self.start = 0.0
+        self.end: Optional[float] = None
+
+    def __enter__(self) -> "Span":
+        self.depth = self.tracer._depth
+        self.tracer._depth += 1
+        self.start = time.perf_counter() - self.tracer.origin
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter() - self.tracer.origin
+        self.tracer._depth -= 1
+        if exc_type is not None:
+            self.attrs.setdefault("status", "error")
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._record(
+            {
+                "type": "span",
+                "name": self.name,
+                "depth": self.depth,
+                "start": round(self.start, 9),
+                "end": round(self.end, 9),
+                "duration": round(self.end - self.start, 9),
+                "attrs": self.attrs,
+            }
+        )
+
+
+class Tracer:
+    """Collects span/event records; export via :meth:`write_jsonl`."""
+
+    __slots__ = ("origin", "wall", "records", "_depth")
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.wall = time.time()
+        self.records: List[Dict[str, Any]] = []
+        self._depth = 0
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A context manager recording one named interval."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous point event."""
+        self._record(
+            {
+                "type": "event",
+                "name": name,
+                "depth": self._depth,
+                "at": round(time.perf_counter() - self.origin, 9),
+                "attrs": attrs,
+            }
+        )
+
+    def _record(self, record: Dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def write_jsonl(self, handle) -> None:
+        """Write the trace as JSON lines to an open text handle.
+
+        The first line is a header record carrying the wall-clock
+        origin; span records follow in completion order.
+        """
+        handle.write(
+            json.dumps(
+                {"type": "trace", "version": 1, "wall": self.wall,
+                 "records": len(self.records)},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        for record in self.records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"Tracer(records={len(self.records)})"

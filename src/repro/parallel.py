@@ -64,6 +64,7 @@ from .data import itemset
 from .data.database import TransactionDatabase
 from .kernels import resolve_backend
 from .mining import ALGORITHMS, _CLOSED_ONLY, _resolve_algorithm, _validate_smin, mine
+from .obs import Probe, resolve_probe
 from .result import MiningResult
 from .runtime import MiningInterrupted
 
@@ -81,9 +82,13 @@ class ShardOutcome:
     ``"interrupted"`` (per-worker guard tripped; ``pairs`` holds the
     anytime partial, possibly empty) or ``"crashed"`` (the worker
     process died; synthesised by the parent, ``pairs`` empty).
+
+    ``metrics`` is the worker-local metrics snapshot
+    (:meth:`repro.obs.MetricsRegistry.snapshot`) when the run was
+    probed, else ``None``; the parent folds it in at the join.
     """
 
-    __slots__ = ("index", "scheme", "status", "pairs", "error")
+    __slots__ = ("index", "scheme", "status", "pairs", "error", "metrics")
 
     def __init__(
         self,
@@ -92,12 +97,14 @@ class ShardOutcome:
         status: str,
         pairs: List[Tuple[int, int]],
         error: Optional[str] = None,
+        metrics: Optional[Dict] = None,
     ) -> None:
         self.index = index
         self.scheme = scheme
         self.status = status
         self.pairs = pairs
         self.error = error
+        self.metrics = metrics
 
     def __repr__(self) -> str:
         return (
@@ -144,6 +151,10 @@ def _shard_masks(
 def _shard_worker(payload: Dict) -> ShardOutcome:
     """Mine one shard (runs in a worker process; must stay top-level)."""
     db = TransactionDatabase.from_masks(payload["masks"], payload["n_items"])
+    # Each probed worker gets its own registry; the snapshot (plain
+    # dicts, hence picklable) travels home in the outcome and is merged
+    # by the parent probe at the join.
+    probe = Probe() if payload.get("probe") else None
     try:
         result = mine(
             db,
@@ -153,15 +164,25 @@ def _shard_worker(payload: Dict) -> ShardOutcome:
             backend=payload["backend"],
             timeout=payload["timeout"],
             memory_limit_mb=payload["memory_limit_mb"],
+            probe=probe,
             **payload["options"],
         )
     except MiningInterrupted as exc:
         pairs = list(exc.partial.items()) if exc.partial is not None else []
         return ShardOutcome(
-            payload["index"], payload["scheme"], "interrupted", pairs, str(exc)
+            payload["index"],
+            payload["scheme"],
+            "interrupted",
+            pairs,
+            str(exc),
+            metrics=probe.metrics.snapshot() if probe is not None else None,
         )
     return ShardOutcome(
-        payload["index"], payload["scheme"], "ok", list(result.items())
+        payload["index"],
+        payload["scheme"],
+        "ok",
+        list(result.items()),
+        metrics=probe.metrics.snapshot() if probe is not None else None,
     )
 
 
@@ -217,6 +238,7 @@ def mine_parallel(
     timeout: Optional[float] = None,
     memory_limit_mb: Optional[float] = None,
     on_partial: str = "raise",
+    probe=None,
     **options,
 ) -> MiningResult:
     """Mine closed frequent item sets across worker processes.
@@ -249,6 +271,15 @@ def mine_parallel(
         ``interrupted=True``.  Every surviving set is genuinely closed
         frequent with exact support either way — interruption only
         costs completeness.
+    probe:
+        Optional :class:`repro.obs.Probe`.  Each worker runs its own
+        registry and ships a snapshot home in its
+        :class:`ShardOutcome`; the parent folds every snapshot into
+        this probe at the join (counters sum, gauges max, histograms
+        merge bucket-wise).  Note that shard counter totals measure the
+        *sharded* computation — shards mine masked sub-databases, so
+        their sums need not equal a serial run's counts (see
+        ``docs/observability.md``).
     options:
         Algorithm-specific options, forwarded to every shard.
     """
@@ -264,6 +295,7 @@ def mine_parallel(
         raise ValueError(f"on_partial must be 'raise' or 'return', got {on_partial!r}")
     algorithm = _resolve_algorithm(algorithm, db, target)
     smin = _validate_smin(smin, db.n_transactions)
+    obs = resolve_probe(probe)
     kernel = resolve_backend(backend)
     if shard == "auto":
         shard = "transactions" if algorithm in _CLOSED_ONLY else "items"
@@ -275,35 +307,42 @@ def mine_parallel(
     if db.n_transactions == 0:
         return MiningResult({}, db.item_labels, f"{algorithm}+parallel", smin)
 
-    ranges = plan_shards(db, shard, n_workers * _SHARDS_PER_WORKER)
-    payloads = [
-        {
-            "index": index,
-            "scheme": shard,
-            "masks": _shard_masks(db, shard, start, end),
-            "n_items": db.n_items,
-            "smin": smin,
-            "algorithm": algorithm,
-            # Workers always mine the closed family; maximal filtering
-            # needs the merged closed family, so it happens after merge.
-            "target": "closed",
-            "backend": kernel.name,
-            "timeout": timeout,
-            "memory_limit_mb": memory_limit_mb,
-            "options": options,
-        }
-        for index, (start, end) in enumerate(ranges)
-    ]
+    with obs.phase("plan", algorithm=algorithm, scheme=shard, workers=n_workers):
+        ranges = plan_shards(db, shard, n_workers * _SHARDS_PER_WORKER)
+        payloads = [
+            {
+                "index": index,
+                "scheme": shard,
+                "masks": _shard_masks(db, shard, start, end),
+                "n_items": db.n_items,
+                "smin": smin,
+                "algorithm": algorithm,
+                # Workers always mine the closed family; maximal filtering
+                # needs the merged closed family, so it happens after merge.
+                "target": "closed",
+                "backend": kernel.name,
+                "timeout": timeout,
+                "memory_limit_mb": memory_limit_mb,
+                "probe": obs.active,
+                "options": options,
+            }
+            for index, (start, end) in enumerate(ranges)
+        ]
+    obs.count("parallel.shards", len(payloads))
 
-    outcomes = _run_shards(payloads, n_workers)
+    with obs.phase("mine", algorithm=algorithm, shards=len(payloads)):
+        outcomes = _run_shards(payloads, n_workers)
 
-    candidates: Dict[int, None] = {}
-    for outcome in outcomes:
-        for mask, _ in outcome.pairs:
-            candidates[mask] = None
-    supports = _verify_candidates(
-        db, list(candidates), smin, kernel, require_closed=True
-    )
+    with obs.phase("merge", algorithm=algorithm):
+        for outcome in outcomes:
+            obs.merge_worker(outcome.metrics, outcome.index)
+        candidates: Dict[int, None] = {}
+        for outcome in outcomes:
+            for mask, _ in outcome.pairs:
+                candidates[mask] = None
+        supports = _verify_candidates(
+            db, list(candidates), smin, obs.wrap_kernel(kernel), require_closed=True
+        )
 
     result = MiningResult(supports, db.item_labels, f"{algorithm}+parallel", smin)
     if target == "maximal":
@@ -312,6 +351,10 @@ def mine_parallel(
 
     interrupted = [o for o in outcomes if o.status == "interrupted"]
     crashed = [o for o in outcomes if o.status == "crashed"]
+    if interrupted:
+        obs.count("parallel.shards_interrupted", len(interrupted))
+    if crashed:
+        obs.count("parallel.shards_crashed", len(crashed))
     if crashed:
         details = "; ".join(
             f"shard {o.index}: {o.error or 'worker process died'}" for o in crashed

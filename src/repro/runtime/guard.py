@@ -93,6 +93,7 @@ class RunGuard:
         "stride",
         "memory_meter",
         "counters",
+        "probe",
         "checks",
         "real_checks",
         "_deadline",
@@ -116,6 +117,7 @@ class RunGuard:
         progress_interval: float = 1.0,
         stride: int = 64,
         memory_meter: str = "tracemalloc",
+        probe: Optional[Any] = None,
     ) -> None:
         if timeout is not None and timeout < 0:
             raise ValueError(f"timeout must be non-negative, got {timeout}")
@@ -140,6 +142,13 @@ class RunGuard:
         #: Operation counters bound by the running driver (see
         #: :func:`checker`); snapshotted into raised exceptions.
         self.counters: Any = None
+        #: Optional observability probe (duck-typed to avoid importing
+        #: :mod:`repro.obs` here): every *real* check feeds it one
+        #: ``sample_guard(elapsed, remaining, memory_used)`` sample —
+        #: deadline headroom and memory high water, the two quantities a
+        #: post-mortem of a budget trip needs.  ``None`` (or an inactive
+        #: probe) costs nothing.
+        self.probe = probe if probe is not None and getattr(probe, "active", False) else None
         self.checks = 0
         self.real_checks = 0
         self._started = time.monotonic()
@@ -221,15 +230,30 @@ class RunGuard:
             progress_interval=self.progress_interval,
             stride=self.stride,
             memory_meter=self.memory_meter,
+            probe=self.probe,
         )
 
     def finish(self) -> None:
-        """Release guard resources (stops tracemalloc if this guard started it)."""
+        """Release guard resources (stops tracemalloc if this guard started it).
+
+        Idempotent: safe to call from a ``finally`` block *and* from
+        :meth:`__exit__` on the same guard.
+        """
         if self._finished:
             return
         self._finished = True
         if self._owns_tracing and tracemalloc.is_tracing():
             tracemalloc.stop()
+
+    # Context-manager protocol: ``with RunGuard(...) as guard`` releases
+    # the memory meter even when an exception escapes between start and
+    # close — the leak the process-isolation bench path used to hit when
+    # tracemalloc stayed enabled after a failed run.
+    def __enter__(self) -> "RunGuard":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
 
     # ------------------------------------------------------------------
 
@@ -265,6 +289,12 @@ class RunGuard:
             message = "mining cancelled" + (f": {reason}" if reason else "")
             raise MiningCancelled(message, **self._interrupt_kwargs())
         now = time.monotonic()
+        if self.probe is not None:
+            self.probe.sample_guard(
+                now - self._started,
+                None if self._deadline is None else self._deadline - now,
+                self.memory_used(),
+            )
         if self._deadline is not None and now >= self._deadline:
             if self.timeout is not None:
                 message = (

@@ -20,6 +20,8 @@ _FIELDS = (
     "intersections",       # item set (or tid set) intersections formed
     "node_visits",         # repository / FP-tree / search-tree nodes visited
     "nodes_created",       # repository / tree nodes allocated
+    "nodes_merged",        # repository nodes folded into an existing node
+    "nodes_pruned",        # repository nodes spliced out by the bound
     "support_updates",     # support counter updates
     "containment_checks",  # subset / repository-membership tests
     "recursion_calls",     # search-tree recursion steps

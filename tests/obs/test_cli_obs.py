@@ -1,0 +1,147 @@
+"""CLI observability surface: --metrics / --trace / stats PARTIAL marking."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, main
+from repro.mining import ALGORITHMS
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    path = tmp_path / "data.fimi"
+    path.write_text("1 2 3\n1 2\n1 2 4\n2 3\n1 2 3 4\n2 4\n")
+    return str(path)
+
+
+def _read_jsonl(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestMetricsFlag:
+    def test_metrics_json_to_file(self, fimi_file, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["mine", fimi_file, "-s", "2", "--metrics", str(metrics_path)]) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["counters"]["ops.intersections"] >= 0
+        assert payload["counters"]["ops.reports"] > 0
+        assert any(name.startswith("phase.") for name in payload["histograms"])
+
+    def test_metrics_json_to_stdout(self, fimi_file, capsys):
+        assert main(["mine", fimi_file, "-s", "2", "--metrics", "-"]) == 0
+        out = capsys.readouterr().out
+        # The JSON document shares stdout with the result lines; it must
+        # still parse cleanly from its opening brace.
+        payload, _ = json.JSONDecoder().raw_decode(out, out.index("{"))
+        assert "counters" in payload
+
+    def test_metrics_prom_format(self, fimi_file, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "mine", fimi_file, "-s", "2",
+                    "--metrics", str(metrics_path),
+                    "--metrics-format", "prom",
+                ]
+            )
+            == 0
+        )
+        text = metrics_path.read_text()
+        assert "# TYPE repro_ops_reports_total counter" in text
+        for line in text.splitlines():
+            assert line.startswith(("#", "repro_"))
+
+    def test_no_flags_no_files(self, fimi_file, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["mine", fimi_file, "-s", "2"]) == 0
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "data.fimi"]
+        assert leftovers == []
+
+
+class TestTraceFlag:
+    def test_trace_jsonl_structure(self, fimi_file, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["mine", fimi_file, "-s", "2", "--trace", str(trace_path)]) == 0
+        records = _read_jsonl(trace_path)
+        assert records[0]["type"] == "trace"
+        spans = {r["name"] for r in records[1:] if r["type"] == "span"}
+        assert {"load", "mine"} <= spans
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_every_algorithm_traces_core_phases(self, fimi_file, tmp_path, algorithm):
+        trace_path = tmp_path / f"{algorithm}.jsonl"
+        metrics_path = tmp_path / f"{algorithm}.json"
+        code = main(
+            [
+                "mine", fimi_file, "-s", "2", "-a", algorithm,
+                "--trace", str(trace_path), "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        spans = {
+            r["name"] for r in _read_jsonl(trace_path)[1:] if r["type"] == "span"
+        }
+        assert {"load", "recode", "mine", "report"} <= spans, algorithm
+        payload = json.loads(metrics_path.read_text())
+        assert payload["counters"]["ops.reports"] > 0, algorithm
+
+    def test_parallel_run_traces_merge(self, fimi_file, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "mine", fimi_file, "-s", "2", "--workers", "2",
+                "--trace", str(trace_path), "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        spans = {
+            r["name"] for r in _read_jsonl(trace_path)[1:] if r["type"] == "span"
+        }
+        assert {"load", "plan", "mine", "merge"} <= spans
+        payload = json.loads(metrics_path.read_text())
+        assert (
+            payload["counters"]["parallel.workers_merged"]
+            == payload["counters"]["parallel.shards"]
+        )
+
+    def test_telemetry_written_even_on_budget_trip(self, tmp_path):
+        # Telemetry matters most for the post-mortem of a tripped run.
+        dense = tmp_path / "dense.fimi"
+        dense.write_text(
+            "\n".join(
+                " ".join(str(j) for j in range(36) if (i * 7 + j) % 3)
+                for i in range(36)
+            )
+            + "\n"
+        )
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "mine", str(dense), "-s", "2", "-a", "carpenter-table",
+                "--timeout", "0.0", "--on-partial", "return",
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == EXIT_INTERRUPTED
+        payload = json.loads(metrics_path.read_text())
+        assert "counters" in payload
+
+
+class TestStatsPartial:
+    def test_complete_family_is_unmarked(self, fimi_file, capsys):
+        assert main(["stats", fimi_file, "-s", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "closed family at smin=2:" in out
+        assert "PARTIAL" not in out
+
+    def test_tripped_budget_is_marked_partial(self, fimi_file, capsys):
+        code = main(["stats", fimi_file, "-s", "2", "--timeout", "0.0"])
+        out = capsys.readouterr().out
+        assert code == EXIT_INTERRUPTED
+        assert "PARTIAL: budget tripped, counts are lower bounds" in out

@@ -1,0 +1,135 @@
+"""S3: probing must never change results, and the off switch is free.
+
+Two claims, tested separately:
+
+* **Differential** — for every algorithm, ``mine(..., probe=Probe())``
+  returns exactly the item sets and supports of ``mine(..., probe=None)``.
+* **Zero overhead when off** — with ``probe=None`` the drivers make a
+  small, *input-size-independent* number of null-probe hook calls per
+  run (phases, ensure/record-counters — never per-operation hooks), and
+  the measured cost of those calls is far below 5% of the cheapest
+  mining run.  Counting hook calls instead of comparing wall clocks
+  keeps the test deterministic on noisy CI runners while still pinning
+  the property that matters: observability cost cannot scale with the
+  database.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mining import ALGORITHMS, mine
+from repro.obs import NullProbe, Probe
+from repro.obs.probe import _NULL_SPAN
+
+from ..conftest import make_random_db
+
+#: Ceiling on null-probe hook invocations for ONE mining run.  Phases,
+#: one ensure_counters, record_counters per exit path — order tens, not
+#: thousands.  A driver that starts calling the probe per operation
+#: blows straight through this.
+MAX_HOOKS_PER_RUN = 40
+
+
+class CountingNullProbe(NullProbe):
+    """Null probe that tallies how often the drivers touch it."""
+
+    __slots__ = ("calls",)
+
+    def __init__(self):
+        self.calls = 0
+
+    def phase(self, name, **attrs):
+        self.calls += 1
+        return _NULL_SPAN
+
+    def event(self, name, **attrs):
+        self.calls += 1
+
+    def count(self, name, amount=1):
+        self.calls += 1
+
+    def observe(self, name, value):
+        self.calls += 1
+
+    def gauge_max(self, name, value):
+        self.calls += 1
+
+    def wrap_kernel(self, kernel):
+        self.calls += 1
+        return kernel
+
+    def ensure_counters(self, counters):
+        self.calls += 1
+        return super().ensure_counters(counters)
+
+    def record_counters(self, counters):
+        self.calls += 1
+
+    def sample_guard(self, elapsed, remaining, memory_used):
+        self.calls += 1
+
+    def merge_worker(self, snapshot, index=None):
+        self.calls += 1
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+class TestProbedResultsIdentical:
+    def test_probe_on_equals_probe_off(self, algorithm, table1_db):
+        off = mine(table1_db, 3, algorithm=algorithm)
+        on = mine(table1_db, 3, algorithm=algorithm, probe=Probe())
+        assert sorted(on.items()) == sorted(off.items())
+
+    def test_probe_on_equals_probe_off_random(self, algorithm):
+        for seed in range(5):
+            db = make_random_db(seed, max_transactions=14, max_items=9)
+            off = mine(db, 2, algorithm=algorithm)
+            on = mine(db, 2, algorithm=algorithm, probe=Probe())
+            assert sorted(on.items()) == sorted(off.items()), f"seed={seed}"
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_null_probe_hook_calls_are_input_size_independent(algorithm):
+    counts = {}
+    for label, transactions in (("small", 8), ("large", 64)):
+        db = make_random_db(7, max_transactions=transactions, max_items=10)
+        probe = CountingNullProbe()
+        mine(db, 2, algorithm=algorithm, probe=probe)
+        counts[label] = probe.calls
+        assert probe.calls <= MAX_HOOKS_PER_RUN, (
+            f"{algorithm} made {probe.calls} probe hook calls on one run"
+        )
+    # Hooks mark run structure (phases, counter hand-off), so a database
+    # eight times larger must not add hook traffic.
+    assert counts["large"] <= counts["small"] + 2
+
+
+def test_null_probe_overhead_is_below_five_percent(table1_db):
+    # Price one hook call, then bound total hook cost per run against
+    # the cheapest real mining run.  Even a microsecond-scale hook rate
+    # times MAX_HOOKS_PER_RUN sits orders of magnitude below 5%.
+    probe = CountingNullProbe()
+    rounds = 20_000
+    started = time.perf_counter()
+    for _ in range(rounds):
+        with probe.phase("mine"):
+            pass
+        probe.count("x")
+        probe.record_counters(None)
+    hook_seconds = (time.perf_counter() - started) / (rounds * 3)
+
+    best_run = min(
+        _timed(lambda: mine(table1_db, 3, algorithm="ista")) for _ in range(5)
+    )
+    assert MAX_HOOKS_PER_RUN * hook_seconds < 0.05 * best_run, (
+        f"hook cost {hook_seconds * 1e9:.0f}ns x {MAX_HOOKS_PER_RUN} exceeds "
+        f"5% of a {best_run * 1e3:.2f}ms run"
+    )
+
+
+def _timed(thunk):
+    started = time.perf_counter()
+    thunk()
+    return time.perf_counter() - started

@@ -1,0 +1,104 @@
+"""S2: guard resource hygiene + guard-to-probe sampling."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.obs import Probe
+from repro.runtime import MemoryBudgetExceeded, RunGuard
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_tracing():
+    # These tests reason about tracemalloc ownership; they only make
+    # sense when nothing else is tracing.
+    if tracemalloc.is_tracing():
+        pytest.skip("tracemalloc already active outside the test")
+    yield
+    if tracemalloc.is_tracing():  # pragma: no cover - safety net
+        tracemalloc.stop()
+
+
+class TestTracemallocLifecycle:
+    def test_context_manager_releases_tracing_on_exception(self):
+        # The regression: an exception escaping between guard start and
+        # close used to leave tracemalloc running for the rest of the
+        # process, slowing every later allocation.
+        with pytest.raises(RuntimeError):
+            with RunGuard(memory_limit_mb=512):
+                assert tracemalloc.is_tracing()
+                raise RuntimeError("driver blew up before finish()")
+        assert not tracemalloc.is_tracing()
+
+    def test_finish_is_idempotent_with_exit(self):
+        with RunGuard(memory_limit_mb=512) as guard:
+            guard.finish()  # a driver's finally block runs first...
+            assert not tracemalloc.is_tracing()
+        # ...and __exit__ calling finish() again must not blow up.
+        assert not tracemalloc.is_tracing()
+
+    def test_budget_trip_then_respawn_does_not_leak(self):
+        # A fallback chain respawns the guard per attempt; every attempt
+        # tripping must still end with tracing released.
+        guard = RunGuard(memory_limit_mb=512)
+        for _ in range(3):
+            with pytest.raises(MemoryBudgetExceeded):
+                with guard:
+                    guard._memory_limit_bytes = 1  # force the trip
+                    guard._countdown = 1
+                    payload = [bytearray(4096) for _ in range(8)]
+                    del payload
+                    guard.check()
+            guard = guard.respawn()
+        guard.finish()
+        assert not tracemalloc.is_tracing()
+
+    def test_guard_respects_foreign_tracing(self):
+        tracemalloc.start()
+        try:
+            with RunGuard(memory_limit_mb=512):
+                pass
+            # Not ours to stop: the guard must leave it running.
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+
+class TestGuardProbeSampling:
+    def test_real_checks_feed_the_probe(self):
+        probe = Probe()
+        guard = RunGuard(timeout=60.0, stride=4, probe=probe)
+        with guard:
+            for _ in range(16):
+                guard.check()
+        snapshot = probe.metrics.snapshot()
+        assert snapshot["counters"]["guard.real_checks"] == guard.real_checks
+        headroom = snapshot["histograms"]["guard.headroom.seconds"]
+        assert headroom["count"] == guard.real_checks
+        assert headroom["max"] <= 60.0
+
+    def test_memory_high_water_is_sampled(self):
+        probe = Probe()
+        with RunGuard(memory_limit_mb=512, stride=1, probe=probe) as guard:
+            ballast = [bytearray(8192) for _ in range(4)]
+            guard.check()
+            del ballast
+        gauges = probe.metrics.snapshot()["gauges"]
+        assert gauges["guard.memory_high_water.bytes"] > 0
+
+    def test_inactive_probe_is_dropped(self):
+        from repro.obs import NULL_PROBE
+
+        guard = RunGuard(timeout=60.0, probe=NULL_PROBE)
+        assert guard.probe is None
+        guard.finish()
+
+    def test_unbounded_guard_samples_no_headroom(self):
+        probe = Probe()
+        with RunGuard(stride=1, probe=probe) as guard:
+            guard.check()
+        snapshot = probe.metrics.snapshot()
+        assert snapshot["counters"]["guard.real_checks"] >= 1
+        assert "guard.headroom.seconds" not in snapshot["histograms"]

@@ -1,0 +1,189 @@
+"""Metric primitives: registry semantics, snapshots, merge, exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    prom_name,
+)
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("ops.intersections").inc(3)
+        registry.counter("ops.intersections").inc(4)
+        assert registry.counter("ops.intersections").value == 7
+
+    def test_gauge_set_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("ops.repository_peak")
+        gauge.set_max(10)
+        gauge.set_max(4)
+        gauge.set_max(12)
+        assert gauge.value == 12
+
+    def test_gauge_set_max_accepts_lower_first_value(self):
+        # A fresh gauge starts at 0.0 but *unset*; a first sample below
+        # zero must still register.
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set_max(-5.0)
+        assert gauge.value == -5.0
+        assert gauge.updated
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0, 0.2):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(55.7)
+        assert histogram.min == 0.2
+        assert histogram.max == 50.0
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", buckets=(10.0, 1.0))
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="different type"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="different type"):
+            registry.histogram("x")
+
+    def test_len_counts_all_families(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert len(registry) == 3
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set_max(1.5)
+        registry.histogram("h").observe(0.3)
+        parsed = json.loads(json.dumps(registry.snapshot()))
+        assert parsed["counters"]["c"] == 2
+        assert parsed["gauges"]["g"] == 1.5
+        assert parsed["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_skips_untouched_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("silent")
+        assert "silent" not in registry.snapshot()["gauges"]
+
+    def test_merge_counters_add_gauges_max(self):
+        worker = MetricsRegistry()
+        worker.counter("ops.intersections").inc(5)
+        worker.gauge("ops.repository_peak").set_max(9)
+        main = MetricsRegistry()
+        main.counter("ops.intersections").inc(2)
+        main.gauge("ops.repository_peak").set_max(11)
+        main.merge_snapshot(worker.snapshot())
+        assert main.counter("ops.intersections").value == 7
+        assert main.gauge("ops.repository_peak").value == 11
+
+    def test_merge_histograms_bucketwise(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for value in (0.001, 0.5):
+            a.histogram("h").observe(value)
+        for value in (2.0, 100.0, 0.0001):
+            b.histogram("h").observe(value)
+        a.merge_snapshot(b.snapshot())
+        merged = a.histogram("h")
+        assert merged.count == 5
+        assert merged.total == pytest.approx(102.5011)
+        assert merged.min == 0.0001
+        assert merged.max == 100.0
+        assert sum(merged.bucket_counts) == 5
+
+    def test_merge_is_associative_with_serial_order(self):
+        # (a + b) + c must equal a + (b + c): the parallel join folds
+        # worker snapshots in completion order, which is nondeterministic.
+        def worker(seed):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(seed)
+            registry.gauge("g").set_max(seed * 1.5)
+            registry.histogram("h").observe(seed * 0.01)
+            return registry.snapshot()
+
+        left = MetricsRegistry()
+        for seed in (1, 2, 3):
+            left.merge_snapshot(worker(seed))
+        right = MetricsRegistry()
+        for seed in (3, 1, 2):
+            right.merge_snapshot(worker(seed))
+        assert left.snapshot() == right.snapshot()
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(5.0, 6.0)).observe(5.5)
+        with pytest.raises(ValueError, match="bucket"):
+            a.merge_snapshot(b.snapshot())
+
+    def test_merge_with_prefix_namespaces(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(4)
+        main = MetricsRegistry()
+        main.merge_snapshot(worker.snapshot(), prefix="shard0.")
+        assert main.counter("shard0.c").value == 4
+
+
+class TestPromExposition:
+    def test_prom_name_counter_total_suffix(self):
+        assert prom_name("ops.intersections", "counter") == (
+            "repro_ops_intersections_total"
+        )
+        assert prom_name("kernel.intersect_many.calls", "counter") == (
+            "repro_kernel_intersect_many_calls_total"
+        )
+
+    def test_prom_name_gauge_keeps_unit(self):
+        assert prom_name("guard.memory_high_water.bytes", "gauge") == (
+            "repro_guard_memory_high_water_bytes"
+        )
+
+    def test_to_prom_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("ops.intersections", "transaction intersections").inc(42)
+        registry.gauge("ops.repository_peak").set_max(7)
+        text = registry.to_prom()
+        assert "# TYPE repro_ops_intersections_total counter" in text
+        assert "repro_ops_intersections_total 42" in text
+        assert "# HELP repro_ops_intersections_total transaction intersections" in text
+        assert "repro_ops_repository_peak 7" in text
+        assert text.endswith("\n")
+
+    def test_to_prom_histogram_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("phase.mine.seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        text = registry.to_prom()
+        assert 'repro_phase_mine_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_phase_mine_seconds_bucket{le="1"} 2' in text
+        assert 'repro_phase_mine_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_phase_mine_seconds_count 3" in text
+
+    def test_to_prom_empty_registry(self):
+        assert MetricsRegistry().to_prom() == ""
+
+    def test_default_buckets_sorted_and_wide(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 1e9

@@ -1,0 +1,64 @@
+"""Parallel observability: per-worker snapshots merge exactly at the join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import mine, mine_parallel
+from repro.obs import Probe
+
+from ..conftest import make_random_db
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_random_db(11, max_transactions=24, max_items=12, density=0.45)
+
+
+class TestParallelMerge:
+    def test_every_shard_snapshot_is_merged(self, db):
+        probe = Probe()
+        mine_parallel(db, 2, algorithm="ista", n_workers=2, probe=probe)
+        snapshot = probe.metrics.snapshot()["counters"]
+        shards = snapshot["parallel.shards"]
+        assert shards >= 2
+        assert snapshot["parallel.workers_merged"] == shards
+
+    def test_probed_parallel_results_match_serial(self, db):
+        serial = mine(db, 2, algorithm="ista")
+        probed = mine_parallel(db, 2, algorithm="ista", n_workers=2, probe=Probe())
+        assert sorted(probed.items()) == sorted(serial.items())
+
+    def test_probe_off_parallel_results_unchanged(self, db):
+        plain = mine_parallel(db, 2, algorithm="ista", n_workers=2)
+        probed = mine_parallel(db, 2, algorithm="ista", n_workers=2, probe=Probe())
+        assert sorted(probed.items()) == sorted(plain.items())
+
+    def test_worker_cost_counters_reach_the_driver_probe(self, db):
+        # The shard miners run in worker processes; their ops.* counters
+        # only exist in the driver's registry if the snapshot pipeline
+        # (worker Probe -> ShardOutcome.metrics -> merge_worker) works.
+        probe = Probe()
+        mine_parallel(db, 2, algorithm="ista", n_workers=2, probe=probe)
+        counters = probe.metrics.snapshot()["counters"]
+        assert counters["ops.intersections"] > 0
+        assert counters["ops.reports"] > 0
+
+    def test_phases_traced_at_the_driver(self, db):
+        probe = Probe()
+        mine_parallel(db, 2, algorithm="ista", n_workers=2, probe=probe)
+        spans = {
+            record["name"]
+            for record in probe.tracer.records
+            if record["type"] == "span"
+        }
+        assert {"plan", "mine", "merge"} <= spans
+
+    def test_serial_fallback_path_also_merges(self, db):
+        # n_workers=1 short-circuits the process pool but must still
+        # produce the same observability surface.
+        probe = Probe()
+        mine_parallel(db, 2, algorithm="ista", n_workers=1, probe=probe)
+        counters = probe.metrics.snapshot()["counters"]
+        assert counters["parallel.workers_merged"] == counters["parallel.shards"]
+        assert counters["ops.intersections"] > 0

@@ -1,0 +1,152 @@
+"""Probe semantics: null twin, counter ingestion, resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import resolve_backend
+from repro.obs import NULL_PROBE, NullProbe, Probe, resolve_probe
+from repro.obs.kernel_proxy import InstrumentedBackend
+from repro.stats import OperationCounters
+
+
+class TestNullProbe:
+    def test_shared_instance_is_inactive(self):
+        assert NULL_PROBE.active is False
+
+    def test_phase_returns_reusable_noop_context(self):
+        span_a = NULL_PROBE.phase("mine", algorithm="ista")
+        span_b = NULL_PROBE.phase("report")
+        assert span_a is span_b  # one shared object, no allocation per phase
+        with span_a:
+            pass
+
+    def test_wrap_kernel_is_identity(self):
+        kernel = resolve_backend("bitint")
+        assert NULL_PROBE.wrap_kernel(kernel) is kernel
+
+    def test_ensure_counters_creates_when_missing(self):
+        counters = NULL_PROBE.ensure_counters(None)
+        assert isinstance(counters, OperationCounters)
+
+    def test_ensure_counters_preserves_callers_object(self):
+        counters = OperationCounters()
+        assert NULL_PROBE.ensure_counters(counters) is counters
+
+    def test_all_hooks_are_noops(self):
+        NULL_PROBE.event("x")
+        NULL_PROBE.count("x", 5)
+        NULL_PROBE.observe("x", 1.0)
+        NULL_PROBE.gauge_max("x", 1.0)
+        NULL_PROBE.record_counters(OperationCounters())
+        NULL_PROBE.sample_guard(0.1, None, None)
+        NULL_PROBE.merge_worker({"counters": {"c": 1}})
+
+
+class TestResolveProbe:
+    def test_none_resolves_to_shared_null(self):
+        assert resolve_probe(None) is NULL_PROBE
+
+    def test_probe_passes_through(self):
+        probe = Probe()
+        assert resolve_probe(probe) is probe
+
+    def test_wrong_type_raises(self):
+        with pytest.raises(TypeError, match="probe"):
+            resolve_probe(object())
+
+
+class TestRecordCounters:
+    def test_counters_land_as_ops_metrics(self):
+        probe = Probe()
+        counters = OperationCounters()
+        counters.intersections = 7
+        counters.repository_peak = 42
+        probe.record_counters(counters)
+        snapshot = probe.metrics.snapshot()
+        assert snapshot["counters"]["ops.intersections"] == 7
+        assert snapshot["gauges"]["ops.repository_peak"] == 42
+
+    def test_zero_counters_still_registered(self):
+        # The full cost-model catalogue must appear in every snapshot so
+        # baseline comparisons never hit missing keys.
+        probe = Probe()
+        probe.record_counters(OperationCounters())
+        snapshot = probe.metrics.snapshot()
+        assert snapshot["counters"]["ops.intersections"] == 0
+        assert snapshot["counters"]["ops.nodes_pruned"] == 0
+
+    def test_delta_aware_reingestion_never_double_counts(self):
+        # Fallback chains pass ONE counters object through several
+        # attempts, each ending in record_counters; only deltas may add.
+        probe = Probe()
+        counters = OperationCounters()
+        counters.intersections = 10
+        probe.record_counters(counters)
+        counters.intersections = 25  # attempt two did 15 more
+        probe.record_counters(counters)
+        assert probe.metrics.counter("ops.intersections").value == 25
+
+    def test_distinct_counters_objects_add(self):
+        probe = Probe()
+        first = OperationCounters()
+        first.intersections = 10
+        second = OperationCounters()
+        second.intersections = 5
+        probe.record_counters(first)
+        probe.record_counters(second)
+        assert probe.metrics.counter("ops.intersections").value == 15
+
+    def test_none_is_tolerated(self):
+        Probe().record_counters(None)
+
+
+class TestProbeSurface:
+    def test_phase_feeds_tracer_and_histogram(self):
+        probe = Probe()
+        with probe.phase("mine", algorithm="ista"):
+            pass
+        assert probe.tracer.records[0]["name"] == "mine"
+        assert probe.metrics.histogram("phase.mine.seconds").count == 1
+
+    def test_phase_histogram_recorded_on_error_too(self):
+        probe = Probe()
+        with pytest.raises(RuntimeError):
+            with probe.phase("mine"):
+                raise RuntimeError("boom")
+        assert probe.metrics.histogram("phase.mine.seconds").count == 1
+
+    def test_wrap_kernel_interposes_once(self):
+        probe = Probe()
+        kernel = resolve_backend("bitint")
+        wrapped = probe.wrap_kernel(kernel)
+        assert isinstance(wrapped, InstrumentedBackend)
+        assert probe.wrap_kernel(wrapped) is wrapped  # no double proxy
+
+    def test_sample_guard_records_headroom_and_memory(self):
+        probe = Probe()
+        probe.sample_guard(elapsed=0.5, remaining=9.5, memory_used=2048)
+        probe.sample_guard(elapsed=1.0, remaining=9.0, memory_used=1024)
+        snapshot = probe.metrics.snapshot()
+        assert snapshot["counters"]["guard.real_checks"] == 2
+        assert snapshot["histograms"]["guard.headroom.seconds"]["count"] == 2
+        assert snapshot["gauges"]["guard.memory_high_water.bytes"] == 2048
+
+    def test_merge_worker_counts_and_traces(self):
+        probe = Probe()
+        worker = Probe()
+        worker.count("ops.intersections", 9)
+        probe.merge_worker(worker.metrics.snapshot(), index=2)
+        assert probe.metrics.counter("ops.intersections").value == 9
+        assert probe.metrics.counter("parallel.workers_merged").value == 1
+        assert probe.tracer.records[-1]["attrs"] == {"shard": 2}
+
+    def test_merge_worker_ignores_empty_snapshot(self):
+        probe = Probe()
+        probe.merge_worker(None)
+        probe.merge_worker({})
+        assert len(probe.metrics) == 0
+
+    def test_probe_is_a_nullprobe(self):
+        # Drivers type-check against NullProbe; the live probe must pass.
+        assert isinstance(Probe(), NullProbe)

@@ -1,0 +1,86 @@
+"""Tracer: span nesting, events, error annotation, JSONL export."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.trace import Tracer
+
+
+class TestSpans:
+    def test_span_records_interval(self):
+        tracer = Tracer()
+        with tracer.span("mine", algorithm="ista"):
+            pass
+        (record,) = tracer.records
+        assert record["type"] == "span"
+        assert record["name"] == "mine"
+        assert record["attrs"] == {"algorithm": "ista"}
+        assert record["end"] >= record["start"]
+        assert record["duration"] >= 0
+
+    def test_nested_spans_carry_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # Completion order: inner closes first.
+        inner, outer = tracer.records
+        assert inner["name"] == "inner" and inner["depth"] == 1
+        assert outer["name"] == "outer" and outer["depth"] == 0
+
+    def test_exception_annotates_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("mine"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        (record,) = tracer.records
+        assert record["attrs"]["status"] == "error"
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_event_records_point(self):
+        tracer = Tracer()
+        with tracer.span("merge"):
+            tracer.event("worker-merged", shard=3)
+        event = tracer.records[0]
+        assert event["type"] == "event"
+        assert event["name"] == "worker-merged"
+        assert event["depth"] == 1
+        assert event["attrs"] == {"shard": 3}
+
+
+class TestJsonlExport:
+    def test_header_then_records(self):
+        tracer = Tracer()
+        with tracer.span("load"):
+            pass
+        tracer.event("done")
+        buffer = io.StringIO()
+        tracer.write_jsonl(buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "trace"
+        assert header["version"] == 1
+        assert header["records"] == 2
+        assert isinstance(header["wall"], float)
+        parsed = [json.loads(line) for line in lines[1:]]
+        assert [record["type"] for record in parsed] == ["span", "event"]
+
+    def test_every_line_is_valid_json(self):
+        tracer = Tracer()
+        for index in range(5):
+            with tracer.span("phase", index=index):
+                pass
+        buffer = io.StringIO()
+        tracer.write_jsonl(buffer)
+        for line in buffer.getvalue().splitlines():
+            json.loads(line)
+
+    def test_len_counts_records(self):
+        tracer = Tracer()
+        assert len(tracer) == 0
+        tracer.event("x")
+        assert len(tracer) == 1
