@@ -113,8 +113,13 @@ class IncrementalMiner:
         """Exact support of an arbitrary item set seen so far.
 
         The support of any set equals the support of the smallest closed
-        superset in the repository (Section 2.3) — found by one
-        traversal; unknown items give support 0.
+        superset in the repository (Section 2.3).  A label never seen in
+        any transaction short-circuits to support 0 before the tree is
+        touched; otherwise the answer comes from a guided prefix-tree
+        descent (:meth:`PrefixTree.superset_support`) that prunes every
+        subtree whose head item cannot cover the query, instead of
+        scanning the whole closed family.  The empty set is contained in
+        every transaction, so its support is the transaction count.
         """
         mask = 0
         for label in items:
@@ -122,8 +127,6 @@ class IncrementalMiner:
             if code is None:
                 return 0
             mask |= 1 << code
-        best = 0
-        for stored, support in self._tree.report(1):
-            if mask & ~stored == 0 and support > best:
-                best = support
-        return best
+        if mask == 0:
+            return self._n_transactions
+        return self._tree.superset_support(mask)

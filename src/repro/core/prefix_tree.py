@@ -93,6 +93,73 @@ class PrefixTree:
                 return None
         return node
 
+    def superset_support(self, mask: int, strict: bool = False) -> int:
+        """Largest support among stored sets that contain ``mask``.
+
+        This is the repository form of the Section 2.3 support query:
+        the support of an arbitrary item set equals the support of its
+        smallest closed superset, which (supports being antitone under
+        inclusion) is the largest support over *all* stored supersets.
+
+        The descent is guided rather than exhaustive.  Items strictly
+        decrease along every root-to-leaf path, so a subtree headed by
+        item ``j`` can only cover query items ``<= j``: any subtree
+        whose head item lies below the highest still-uncovered query
+        item is pruned wholesale.  Once the query is fully covered the
+        head node's support is the subtree maximum (deeper sets are
+        supersets with no larger support), so the walk stops there; a
+        branch whose head support cannot beat the best found so far is
+        skipped for the same reason.  Returns 0 when no stored superset
+        exists.
+
+        With ``strict=True`` only *proper* supersets count: the node
+        whose path equals ``mask`` itself is excluded (its children
+        still qualify) — the closedness test of the merge machinery.
+        """
+        counters = self.counters
+        best = 0
+        if mask == 0:
+            # Every stored (nonempty) set is a proper superset of the
+            # empty set; the per-branch maximum sits at the root fringe.
+            for child in self._root.children.values():
+                counters.node_visits += 1
+                if child.supp > best:
+                    best = child.supp
+            return best
+        # Frames: (node, remaining query bits, path-has-extra-items).
+        stack = [(self._root, mask, False)]
+        while stack:
+            node, remaining, extra = stack.pop()
+            hi = remaining.bit_length() - 1
+            for child in node.children.values():
+                counters.node_visits += 1
+                item = child.item
+                if item < hi or child.supp <= best:
+                    # Either the highest uncovered query item cannot
+                    # appear at or below this child, or the subtree
+                    # maximum (= child.supp) cannot improve the answer.
+                    continue
+                bit = 1 << item
+                if remaining & bit:
+                    rem2 = remaining ^ bit
+                    extra2 = extra
+                else:
+                    rem2 = remaining
+                    extra2 = True
+                if rem2 == 0:
+                    if extra2 or not strict:
+                        best = child.supp
+                    else:
+                        # Path equals the query exactly; only deeper
+                        # nodes are proper supersets.
+                        for grand in child.children.values():
+                            counters.node_visits += 1
+                            if grand.supp > best:
+                                best = grand.supp
+                elif child.children:
+                    stack.append((child, rem2, extra2))
+        return best
+
     # ------------------------------------------------------------------
     # The cumulative update (recursive relation (1) + Figure 2)
     # ------------------------------------------------------------------

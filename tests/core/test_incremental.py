@@ -90,10 +90,37 @@ class TestQueries:
     def test_support_of_unseen_item(self, miner):
         assert miner.support_of(["zzz"]) == 0
 
+    def test_support_of_unseen_item_skips_tree(self, miner):
+        """The unknown-label short-circuit must answer before any descent."""
+        before = miner._tree.counters.node_visits
+        assert miner.support_of(["a", "zzz", "b"]) == 0
+        assert miner._tree.counters.node_visits == before
+
+    def test_support_of_empty_set_is_transaction_count(self, miner):
+        assert miner.support_of([]) == 3
+        miner.add([])
+        assert miner.support_of([]) == 4
+
     def test_support_of_infrequent_combination(self):
         miner = IncrementalMiner()
         miner.extend([["a"], ["b"]])
         assert miner.support_of(["a", "b"]) == 0
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=6),
+            min_size=1,
+            max_size=8,
+        ),
+        st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=5),
+    )
+    def test_support_of_matches_bruteforce(self, rows, query):
+        miner = IncrementalMiner()
+        miner.extend(rows)
+        qset = set(query)
+        expected = sum(1 for row in rows if qset <= set(row))
+        assert miner.support_of(query) == expected
 
     def test_invalid_smin(self, miner):
         with pytest.raises(ValueError):

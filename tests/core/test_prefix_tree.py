@@ -128,6 +128,69 @@ class TestBasicBehaviour:
         assert reported[wide >> 1] == 2
 
 
+class TestSupersetSupport:
+    """The guided descent must agree with a scan over the full family."""
+
+    @staticmethod
+    def brute(tree, mask, strict=False):
+        best = 0
+        for stored, supp in tree.report(1):
+            if mask & ~stored:
+                continue
+            if strict and stored == mask:
+                continue
+            if supp > best:
+                best = supp
+        return best
+
+    def test_figure3_queries(self):
+        tree = PrefixTree()
+        add_all(tree, [E | C | A, E | D | B, D | C | B | A])
+        assert tree.superset_support(E) == 2
+        assert tree.superset_support(C | A) == 2
+        assert tree.superset_support(A) == 2
+        assert tree.superset_support(E | A) == 1
+        assert tree.superset_support(E | D | C) == 0
+
+    def test_strict_excludes_exact_match(self):
+        tree = PrefixTree()
+        add_all(tree, [E | C | A, E | D | B, D | C | B | A])
+        # {c,a} is stored with support 2; its only proper superset paths
+        # are the two size->=3 transactions with support 1.
+        assert tree.superset_support(C | A, strict=True) == 1
+        # {e} is stored; proper supersets are the two e-transactions.
+        assert tree.superset_support(E, strict=True) == 1
+        # {e,c,a} is a leaf: no proper superset exists.
+        assert tree.superset_support(E | C | A, strict=True) == 0
+
+    def test_empty_mask_is_overall_maximum(self):
+        tree = PrefixTree()
+        add_all(tree, [A | B, A | B | C, B | C])
+        assert tree.superset_support(0) == 3
+        assert tree.superset_support(0, strict=True) == 3
+        assert PrefixTree().superset_support(0) == 0
+
+    def test_item_outside_universe(self):
+        tree = PrefixTree()
+        add_all(tree, [A | B])
+        assert tree.superset_support(1 << 20) == 0
+
+    @settings(deadline=None, max_examples=80)
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=(1 << 7) - 1), min_size=1, max_size=10
+        ),
+        st.integers(min_value=1, max_value=(1 << 7) - 1),
+    )
+    def test_matches_full_scan(self, masks, query):
+        tree = PrefixTree()
+        add_all(tree, masks)
+        assert tree.superset_support(query) == self.brute(tree, query)
+        assert tree.superset_support(query, strict=True) == self.brute(
+            tree, query, strict=True
+        )
+
+
 class TestAgainstOracle:
     @settings(deadline=None, max_examples=60)
     @given(
