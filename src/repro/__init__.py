@@ -41,6 +41,15 @@ from .obs import MetricsRegistry, Probe, Tracer
 from .parallel import mine_parallel
 from .result import MiningResult
 from .rules import AssociationRule, generate_rules, support_of
+from .serving import (
+    SnapshotError,
+    build_miner_parallel,
+    dumps_snapshot,
+    load_snapshot,
+    loads_snapshot,
+    merge_miners,
+    save_snapshot,
+)
 from .runtime import (
     CancellationToken,
     CorruptInputError,
@@ -66,6 +75,13 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "IncrementalMiner",
+    "SnapshotError",
+    "dumps_snapshot",
+    "loads_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "merge_miners",
+    "build_miner_parallel",
     "mine",
     "mine_parallel",
     "choose_algorithm",

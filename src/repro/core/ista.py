@@ -48,6 +48,7 @@ def mine_ista(
     transaction_order: str = "size-ascending",
     prune: bool = True,
     prune_interval: int = 4,
+    dedup: bool = False,
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
@@ -68,6 +69,14 @@ def mine_ista(
         paper's implementation).
     prune_interval:
         Run a repository pruning pass every this many transactions.
+    dedup:
+        Collapse duplicate transactions into one weighted repository
+        update each (a weight-``w`` insertion is provably equivalent to
+        ``w`` repeated insertions, see
+        :meth:`~repro.core.prefix_tree.PrefixTree.add_transaction`).
+        Off by default: the result is identical either way, but the
+        per-transaction operation counts differ, and databases without
+        duplicates pay a small grouping cost for nothing.
     counters:
         Optional :class:`~repro.stats.OperationCounters` to fill in.
     guard:
@@ -105,15 +114,27 @@ def mine_ista(
     check = checker(guard, tree.counters)
     transactions = prepared.transactions
     n = len(transactions)
+    if dedup:
+        # Duplicates are adjacent-agnostic: a weighted insertion is
+        # equivalent to repeating the plain one, so grouping in
+        # first-occurrence order preserves the processing order of the
+        # distinct transactions.
+        grouped = {}
+        for transaction in transactions:
+            grouped[transaction] = grouped.get(transaction, 0) + 1
+        groups = list(grouped.items())
+        obs.count("ista.dedup.collapsed", n - len(groups))
+    else:
+        groups = [(transaction, 1) for transaction in transactions]
     processed = 0
 
     try:
         with obs.phase("mine", algorithm="ista", transactions=n):
             if not prune:
-                for transaction in transactions:
+                for transaction, weight in groups:
                     check()
-                    tree.add_transaction(transaction)
-                    processed += 1
+                    tree.add_transaction(transaction, weight)
+                    processed += weight
             else:
                 # Remaining-occurrence counters over the unprocessed
                 # suffix, seeded by one batched column-count sweep; the
@@ -121,16 +142,16 @@ def mine_ista(
                 # incrementally.
                 remaining = kernel.column_counts(transactions, prepared.n_items)
 
-                for index, transaction in enumerate(transactions):
+                for index, (transaction, weight) in enumerate(groups):
                     check()
-                    tree.add_transaction(transaction)
-                    processed += 1
+                    tree.add_transaction(transaction, weight)
+                    processed += weight
                     mask = transaction
                     while mask:
                         low = mask & -mask
-                        remaining[low.bit_length() - 1] -= 1
+                        remaining[low.bit_length() - 1] -= weight
                         mask ^= low
-                    if (index + 1) % prune_interval == 0 and index + 1 < n:
+                    if (index + 1) % prune_interval == 0 and processed < n:
                         _prune_tree(tree, remaining, smin)
         with obs.phase("report", algorithm="ista"):
             result = finalize(tree.report(smin), code_map, db, "ista", smin)

@@ -160,18 +160,67 @@ class PrefixTree:
                     stack.append((child, rem2, extra2))
         return best
 
+    def supersets(self, mask: int, smin: int = 1) -> Iterator[Tuple[int, int]]:
+        """Yield ``(stored mask, support)`` for closed frequent supersets.
+
+        Enumerates exactly the subset of :meth:`report` whose sets
+        contain ``mask`` (including ``mask`` itself when stored), but
+        with the same guided pruning as :meth:`superset_support`:
+        subtrees whose head item cannot cover the highest uncovered
+        query bit, and subtrees whose head support is already below
+        ``smin`` (supports are antitone downward), are never entered.
+        Order of the yielded pairs is unspecified.
+        """
+        if smin < 1:
+            raise ValueError(f"smin must be at least 1, got {smin}")
+        counters = self.counters
+        # Frames: (node, path mask, query bits not covered by the path).
+        stack = []
+        for child in self._root.children.values():
+            counters.node_visits += 1
+            remaining = mask & ~(1 << child.item)
+            if child.supp >= smin and (
+                not remaining or remaining.bit_length() - 1 <= child.item
+            ):
+                stack.append((child, 1 << child.item, remaining))
+        while stack:
+            node, path, remaining = stack.pop()
+            max_child_supp = 0
+            for child in node.children.values():
+                counters.node_visits += 1
+                if child.supp > max_child_supp:
+                    max_child_supp = child.supp
+                rem2 = remaining & ~(1 << child.item)
+                if child.supp >= smin and (
+                    not rem2 or rem2.bit_length() - 1 <= child.item
+                ):
+                    stack.append((child, path | (1 << child.item), rem2))
+            if not remaining and node.supp >= smin and node.supp > max_child_supp:
+                counters.reports += 1
+                yield path, node.supp
+
     # ------------------------------------------------------------------
     # The cumulative update (recursive relation (1) + Figure 2)
     # ------------------------------------------------------------------
 
-    def add_transaction(self, mask: int) -> None:
+    def add_transaction(self, mask: int, weight: int = 1) -> None:
         """Process one transaction: insert its path, then merge intersections.
 
         Implements one step of the recursive relation
         ``C(T ∪ {t}) = C(T) ∪ {t} ∪ { s ∩ t : s ∈ C(T) }`` with supports
         maintained through the step-flagged maximum rule of Figure 2.
         Empty transactions are ignored (no empty sets are ever kept).
+
+        ``weight`` processes the transaction as ``weight`` identical
+        copies in one pass — the Section 3.4 duplicate-collapsing
+        heuristic.  Duplicates generate exactly the same intersections,
+        so the only change is that every support contribution counts
+        ``weight`` instead of 1; the step-flag bookkeeping (subtract the
+        provisional contribution, re-maximise, re-add) carries over with
+        ``weight`` in place of 1.
         """
+        if weight < 1:
+            raise ValueError(f"weight must be at least 1, got {weight}")
         self._step += 1
         if not mask:
             return
@@ -184,7 +233,7 @@ class PrefixTree:
         if self._depth_bound + 200 > sys.getrecursionlimit():
             sys.setrecursionlimit(self._depth_bound + 1200)
         self._insert_path(mask)
-        self._intersect(mask)
+        self._intersect(mask, weight)
         self.counters.observe_repository_size(self._n_nodes)
 
     def _insert_path(self, mask: int) -> None:
@@ -202,7 +251,7 @@ class PrefixTree:
                 self.counters.nodes_created += 1
             node = child
 
-    def _intersect(self, mask: int) -> None:
+    def _intersect(self, mask: int, weight: int = 1) -> None:
         """Figure 2: intersect every stored set with ``mask``, merge in place.
 
         Recursive like the C original; Python 3.11+ makes deep Python
@@ -241,15 +290,15 @@ class PrefixTree:
                     stats[1] += 1
                     existing = target.children.get(item)
                     if existing is None:
-                        existing = PrefixTreeNode(item, node.supp + 1, step)
+                        existing = PrefixTreeNode(item, node.supp + weight, step)
                         target.children[item] = existing
                         stats[2] += 1
                     else:
                         if existing.step == step:
-                            existing.supp -= 1
+                            existing.supp -= weight
                         if existing.supp < node.supp:
                             existing.supp = node.supp
-                        existing.supp += 1
+                        existing.supp += weight
                         existing.step = step
                         stats[3] += 1
                     if item > imin and node.children:
@@ -303,6 +352,91 @@ class PrefixTree:
             if node.supp >= smin and node.supp > max_child_supp:
                 counters.reports += 1
                 yield mask, node.supp
+
+    # ------------------------------------------------------------------
+    # Canonical serial form (the snapshot codec's view of the tree)
+    # ------------------------------------------------------------------
+
+    def preorder(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(item, supp, n_children)`` for every node, canonically.
+
+        Depth-first preorder with the children of every node (including
+        the root's) visited in *descending* item order.  Two trees
+        holding the same node sets and supports produce identical
+        record streams regardless of insertion history, which is what
+        makes the snapshot encoding deterministic.
+        """
+        # Push in ascending item order so pops come out descending; a
+        # node's subtree is fully emitted before its next sibling.
+        stack = sorted(self._root.children.values(), key=lambda n: n.item)
+        while stack:
+            node = stack.pop()
+            yield node.item, node.supp, len(node.children)
+            stack.extend(sorted(node.children.values(), key=lambda n: n.item))
+
+    @classmethod
+    def from_closed_family(
+        cls,
+        pairs: Iterator[Tuple[int, int]],
+        counters: Optional[OperationCounters] = None,
+        step: int = 0,
+    ) -> "PrefixTree":
+        """Rebuild the repository tree from its closed family.
+
+        The organic tree is exactly the union of the closed sets' paths:
+        every node is a path prefix ``p`` of some stored set, and its
+        closure ``cl(p)`` adds only items *smaller* than ``min(p)`` (the
+        generating set's remaining items), so ``cl(p)`` lies in ``p``'s
+        own subtree.  Hence each prefix node's exact support equals the
+        maximum over the closed sets below it — recovered here by one
+        bottom-up pass — and the rebuilt tree is node-for-node,
+        support-for-support identical to the tree that grew organically.
+        Subsequent :meth:`add_transaction` calls therefore behave
+        exactly as if the tree had never been serialised.
+
+        ``step`` seeds the transaction counter (pass the number of
+        transactions already folded in) so step flags of later updates
+        never collide with the rebuilt nodes' flag value 0.
+        """
+        tree = cls(counters)
+        root = tree._root
+        n_nodes = 0
+        depth_bound = 0
+        for mask, supp in pairs:
+            node = root
+            size = 0
+            remaining = mask
+            while remaining:
+                item = remaining.bit_length() - 1
+                remaining ^= 1 << item
+                size += 1
+                child = node.children.get(item)
+                if child is None:
+                    child = PrefixTreeNode(item)
+                    node.children[item] = child
+                    n_nodes += 1
+                node = child
+            node.supp = supp
+            if size > depth_bound:
+                depth_bound = size
+        # Bottom-up support fill: reversed preorder sees every child
+        # before its parent.
+        order = []
+        stack = list(root.children.values())
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(node.children.values())
+        for node in reversed(order):
+            for child in node.children.values():
+                if child.supp > node.supp:
+                    node.supp = child.supp
+        tree._n_nodes = n_nodes
+        tree._depth_bound = depth_bound
+        tree._step = step
+        tree.counters.nodes_created += n_nodes
+        tree.counters.observe_repository_size(n_nodes)
+        return tree
 
     # ------------------------------------------------------------------
     # Introspection (used by the Figure 3 tests and debugging)

@@ -103,6 +103,16 @@ class KernelBackend:
         """
         raise NotImplementedError
 
+    def superset_max_support(self, table, supports: Sequence[int], mask: int) -> int:
+        """Largest ``supports[i]`` over rows that contain ``mask``.
+
+        ``supports`` is aligned with the table rows.  Returns 0 when no
+        row is a superset.  This is the repository support query of the
+        serving layer (support of a set = support of its smallest
+        closed superset) executed against a packed closed family.
+        """
+        raise NotImplementedError
+
     def intersect_selected(self, table, selector: int) -> int:
         """AND-reduce the rows whose index bit is set in ``selector``.
 

@@ -84,6 +84,15 @@ class BitIntBackend(KernelBackend):
                 return True
         return False
 
+    def superset_max_support(
+        self, table: BitTable, supports: Sequence[int], mask: int
+    ) -> int:
+        best = 0
+        for row, supp in zip(table.masks, supports):
+            if supp > best and mask & ~row == 0:
+                best = supp
+        return best
+
     def intersect_selected(self, table: BitTable, selector: int) -> int:
         result = (1 << table.n_bits) - 1 if table.n_bits else 0
         masks = table.masks

@@ -170,6 +170,21 @@ class NumpyBackend(KernelBackend):
         candidate = _pack_mask(mask, table.rows.shape[1])
         return bool(((rows & candidate) == candidate).all(axis=1).any())
 
+    def superset_max_support(
+        self, table: PackedTable, supports: Sequence[int], mask: int
+    ) -> int:
+        rows = table.rows
+        if not rows.shape[0]:
+            return 0
+        if mask >> (rows.shape[1] * 64):
+            # Query bits beyond the packed width: no row can cover them.
+            return 0
+        candidate = _pack_mask(mask, rows.shape[1])
+        selected = ((rows & candidate) == candidate).all(axis=1)
+        if not selected.any():
+            return 0
+        return int(np.asarray(supports, dtype=np.int64)[selected].max())
+
     def column_counts(self, masks: Sequence[int], n_bits: int) -> List[int]:
         masks = list(masks)
         if not masks:

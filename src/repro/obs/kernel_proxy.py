@@ -34,6 +34,7 @@ PRIMITIVES = (
     "intersect_count_many",
     "intersect_count_rows",
     "subset_any",
+    "superset_max_support",
     "intersect_selected",
     "column_counts",
     "bound_filter",
@@ -151,6 +152,12 @@ class InstrumentedBackend(KernelBackend):
         rows = max(0, self._inner.table_len(table) - start)
         self._hit("subset_any", rows * self._width(table))
         return self._inner.subset_any(table, mask, start)
+
+    def superset_max_support(self, table, supports: Sequence[int], mask: int) -> int:
+        self._hit(
+            "superset_max_support", self._inner.table_len(table) * self._width(table)
+        )
+        return self._inner.superset_max_support(table, supports, mask)
 
     def intersect_selected(self, table, selector: int) -> int:
         rows = bin(selector).count("1") if selector >= 0 else 0

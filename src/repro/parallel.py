@@ -68,7 +68,7 @@ from .obs import Probe, resolve_probe
 from .result import MiningResult
 from .runtime import MiningInterrupted
 
-__all__ = ["mine_parallel", "ShardOutcome", "plan_shards"]
+__all__ = ["mine_parallel", "ShardOutcome", "plan_shards", "map_in_processes"]
 
 #: Shards per worker: small multiple so a slow shard does not leave
 #: the pool idle, without drowning the run in per-shard overhead.
@@ -373,6 +373,37 @@ def mine_parallel(
     return result
 
 
+def _fork_pool(max_workers: int) -> ProcessPoolExecutor:
+    """A fork-context process pool (spawn fallback where fork is absent).
+
+    Fork keeps the interpreter state out of pickled spawn arguments;
+    the task payloads themselves are always pickled.
+    """
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+
+
+def map_in_processes(worker, payloads: Sequence, n_workers: int) -> List:
+    """Apply a top-level ``worker`` to every payload across processes.
+
+    Results come back in payload order.  With ``n_workers <= 1`` or a
+    single payload the work runs inline in this process — same code
+    path, no pickling.  A worker exception propagates to the caller.
+    Shared by the sharded miner and the serving layer's parallel
+    snapshot builds.
+    """
+    payloads = list(payloads)
+    if n_workers <= 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    with _fork_pool(min(n_workers, len(payloads))) as pool:
+        return list(pool.map(worker, payloads))
+
+
 def _run_shards(payloads: List[Dict], n_workers: int) -> List[ShardOutcome]:
     """Execute the shard payloads, inline or across a process pool.
 
@@ -382,18 +413,8 @@ def _run_shards(payloads: List[Dict], n_workers: int) -> List[ShardOutcome]:
     """
     if n_workers <= 1 or len(payloads) <= 1:
         return [_shard_worker(payload) for payload in payloads]
-    # Fork keeps the shard payloads out of pickled spawn arguments for
-    # the interpreter state; the payloads themselves are always pickled.
-    import multiprocessing
-
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platforms without fork
-        context = multiprocessing.get_context()
     outcomes: List[Optional[ShardOutcome]] = [None] * len(payloads)
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(payloads)), mp_context=context
-    ) as pool:
+    with _fork_pool(min(n_workers, len(payloads))) as pool:
         futures = {
             pool.submit(_shard_worker, payload): payload["index"]
             for payload in payloads

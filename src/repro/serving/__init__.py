@@ -1,0 +1,44 @@
+"""Warm-path serving layer over the IsTa prefix-tree repository.
+
+``repro.serving`` turns the incremental miner from a one-shot algorithm
+into a mine-once, serve-many system:
+
+* :mod:`~repro.serving.snapshot` — a compact, versioned, checksummed
+  binary codec for the repository.  ``save_snapshot`` /
+  ``load_snapshot`` warm-start an
+  :class:`~repro.core.incremental.IncrementalMiner` so a delta batch
+  costs only its new intersections, not a cold re-mine.
+* :mod:`~repro.serving.build` — exact repository merges
+  (:func:`merge_miners`) and the parallel bridge
+  (:func:`build_miner_parallel`) that mines shards in worker processes
+  and folds them into one servable repository.
+
+The query surface itself (``closed_sets``, ``support_of``, ``top_k``,
+``supersets_of``, memoization) lives on ``IncrementalMiner``, re-exported
+here for convenience.
+"""
+
+from ..core.incremental import IncrementalMiner
+from .build import build_miner_parallel, merge_miners
+from .snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    dumps_snapshot,
+    load_snapshot,
+    loads_snapshot,
+    save_snapshot,
+)
+
+__all__ = [
+    "IncrementalMiner",
+    "SnapshotError",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "dumps_snapshot",
+    "loads_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "merge_miners",
+    "build_miner_parallel",
+]

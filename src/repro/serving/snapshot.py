@@ -1,0 +1,339 @@
+"""Persistent repository snapshots: mine once, serve many.
+
+A snapshot is the serialised IsTa repository — the complete closed-set
+family of everything mined so far, together with the item recode tables
+— in a compact versioned binary form.  Loading one warm-starts an
+:class:`~repro.core.incremental.IncrementalMiner`: queries answer
+straight from the decoded family and a delta batch costs only the new
+intersections, never a cold re-mine.
+
+The repository is stored as the flat closed family, not as the prefix
+tree: the tree is *derivable* — rebuilding it from the family
+reproduces the organic tree node-for-node
+(:meth:`~repro.core.prefix_tree.PrefixTree.from_closed_family`), so the
+tree records would be pure redundancy.  Storing the family keeps the
+codec trivial, makes the bytes a canonical function of the mined
+multiset alone (independent of ingestion order or representation
+history), and lets the warm path decode with fixed-width reads instead
+of walking variable-length node records.
+
+Format (version 1; varints are unsigned LEB128)::
+
+    offset  size  field
+    0       4     magic  b"RSNP"
+    4       1     version (= 1)
+    5       var   n_items          number of item codes
+            var   n_transactions   transactions folded into the repository
+            var   n_sets           closed item sets in the family
+            var   labels_size      byte length of the labels block
+            ...   labels block     JSON array of the item labels, UTF-8,
+                                   index = item code
+            ...   family rows      n_sets fixed-width records, ascending
+                                   by mask: item mask as
+                                   ceil(n_items / 64) little-endian
+                                   64-bit words, then the support as a
+                                   32-bit little-endian integer
+    end-4   4     CRC-32 (little-endian) over bytes [4, end-4)
+
+Two miners holding the same repository produce byte-identical snapshots
+regardless of how they were grown, and ``dumps(loads(data))``
+reproduces ``data`` exactly.
+
+Labels must be JSON scalars (``str``/``int``/``float``/``bool``) so the
+recode table round-trips losslessly; richer label types are rejected at
+save time rather than silently corrupted.
+
+Decoding is lazy: :func:`loads_snapshot` validates the envelope (magic,
+version, checksum, section sizes) but leaves the family rows as bytes.
+The repository is materialised on first touch — directly into the flat
+closed family (a bulk fixed-width decode, vectorised when numpy is
+present) when a loaded snapshot serves queries and small delta batches,
+or as a rebuilt prefix tree when the miner keeps streaming.  That
+decode-to-flat path is what makes warm starts an order of magnitude
+cheaper than re-mining; ``benchmarks/bench_serving.py`` gates the
+ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, Tuple
+
+from ..core.incremental import IncrementalMiner
+from ..core.prefix_tree import PrefixTree
+
+try:  # pragma: no cover - exercised indirectly by both decode paths
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "dumps_snapshot",
+    "loads_snapshot",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+SNAPSHOT_MAGIC = b"RSNP"
+SNAPSHOT_VERSION = 1
+
+#: Label types that survive a JSON round trip unchanged.
+_LABEL_TYPES = (str, int, float, bool)
+
+#: Fixed width of the stored support field (u32 little-endian).
+_SUPPORT_BYTES = 4
+
+
+class SnapshotError(ValueError):
+    """Raised for unreadable, corrupt or unencodable snapshots.
+
+    Subclasses :class:`ValueError` so existing error handling (the CLI
+    exit-code mapping in particular) treats snapshot problems as user
+    errors without special-casing.
+    """
+
+
+def _append_uvarint(buf: bytearray, value: int) -> None:
+    while value >= 0x80:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    shift = 0
+    value = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return value, pos
+        shift += 7
+
+
+def dumps_snapshot(miner: IncrementalMiner) -> bytes:
+    """Serialise a miner's repository to snapshot bytes.
+
+    Emits the flat closed family in canonical (ascending-mask) order,
+    so the bytes depend only on the mined multiset.  Raises
+    :class:`SnapshotError` for labels that would not survive the JSON
+    recode-table round trip, or for repositories beyond the format's
+    fixed-width support field.
+    """
+    for label in miner._labels:
+        if not isinstance(label, _LABEL_TYPES):
+            raise SnapshotError(
+                "snapshot labels must be str/int/float/bool to round-trip "
+                f"losslessly; got {type(label).__name__}: {label!r}"
+            )
+    if miner.n_transactions >> (8 * _SUPPORT_BYTES):
+        raise SnapshotError(
+            f"snapshot format v{SNAPSHOT_VERSION} stores supports as "
+            f"{8 * _SUPPORT_BYTES}-bit integers; "
+            f"{miner.n_transactions} transactions exceed that"
+        )
+    with miner._obs.phase("serve.snapshot_save"):
+        flat = miner._ensure_flat()
+        mask_bytes = (miner.n_items + 63) // 64 * 8
+        labels_block = json.dumps(miner._labels, ensure_ascii=False).encode("utf-8")
+        buf = bytearray(SNAPSHOT_MAGIC)
+        buf.append(SNAPSHOT_VERSION)
+        _append_uvarint(buf, miner.n_items)
+        _append_uvarint(buf, miner.n_transactions)
+        _append_uvarint(buf, len(flat))
+        _append_uvarint(buf, len(labels_block))
+        buf += labels_block
+        for mask in sorted(flat):
+            buf += mask.to_bytes(mask_bytes, "little")
+            buf += flat[mask].to_bytes(_SUPPORT_BYTES, "little")
+        buf += (zlib.crc32(bytes(buf[4:])) & 0xFFFFFFFF).to_bytes(4, "little")
+        data = bytes(buf)
+    miner._obs.count("serving.snapshot.saved_bytes", len(data))
+    return data
+
+
+class _PendingRepository:
+    """Validated-but-undecoded family rows of a loaded snapshot.
+
+    Held by the miner until a query or mutation first touches the
+    repository; then decoded into the flat closed family, or further
+    into a rebuilt :class:`PrefixTree` when the access needs one.
+    """
+
+    __slots__ = ("_data", "_offset", "n_sets", "_n_words")
+
+    def __init__(self, data: bytes, offset: int, n_sets: int, n_words: int) -> None:
+        self._data = data
+        self._offset = offset
+        self.n_sets = n_sets
+        self._n_words = n_words
+
+    def build_flat(self) -> Dict[int, int]:
+        """Bulk-decode the fixed-width rows into ``mask -> support``."""
+        n_sets = self.n_sets
+        n_words = self._n_words
+        if _np is not None and n_sets:
+            row_type = _np.dtype(
+                [("mask", "<u8", (n_words,)), ("supp", "<u4")], align=False
+            )
+            rows = _np.frombuffer(
+                self._data, dtype=row_type, count=n_sets, offset=self._offset
+            )
+            supps = rows["supp"]
+            if int(supps.min()) < 1:
+                raise SnapshotError("snapshot family row with support 0")
+            masks = rows["mask"][:, 0].tolist()
+            for word in range(1, n_words):
+                shift = 64 * word
+                masks = [
+                    mask | (high << shift)
+                    for mask, high in zip(masks, rows["mask"][:, word].tolist())
+                ]
+            flat = dict(zip(masks, supps.tolist()))
+        else:
+            data = self._data
+            mask_bytes = n_words * 8
+            row_bytes = mask_bytes + _SUPPORT_BYTES
+            offset = self._offset
+            flat = {}
+            for _ in range(n_sets):
+                mask = int.from_bytes(data[offset : offset + mask_bytes], "little")
+                supp = int.from_bytes(
+                    data[offset + mask_bytes : offset + row_bytes], "little"
+                )
+                if supp < 1:
+                    raise SnapshotError("snapshot family row with support 0")
+                flat[mask] = supp
+                offset += row_bytes
+        if len(flat) != n_sets:
+            raise SnapshotError("snapshot family rows contain duplicate masks")
+        if 0 in flat:
+            raise SnapshotError("snapshot family row with empty mask")
+        return flat
+
+    def build_tree(self, counters, step: int) -> PrefixTree:
+        """Rebuild the prefix tree from the family (lossless, see
+        :meth:`PrefixTree.from_closed_family`)."""
+        return PrefixTree.from_closed_family(
+            iter(self.build_flat().items()), counters, step=step
+        )
+
+
+def loads_snapshot(
+    data: bytes,
+    counters=None,
+    guard=None,
+    backend=None,
+    probe=None,
+) -> IncrementalMiner:
+    """Rehydrate an :class:`IncrementalMiner` from snapshot bytes.
+
+    Validates the envelope (magic, version, CRC-32, header and section
+    sizes) eagerly and raises :class:`SnapshotError` on any mismatch;
+    the family rows themselves are decoded lazily on first repository
+    access.  ``counters``/``guard``/``backend``/``probe`` configure the
+    restored miner exactly as the :class:`IncrementalMiner` constructor
+    would.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SnapshotError(
+            f"snapshot data must be bytes, got {type(data).__name__}"
+        )
+    data = bytes(data)
+    if len(data) < len(SNAPSHOT_MAGIC) + 1 + 4:
+        raise SnapshotError("snapshot too short to hold an envelope")
+    if data[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        raise SnapshotError(
+            f"bad snapshot magic {data[:len(SNAPSHOT_MAGIC)]!r}; "
+            f"expected {SNAPSHOT_MAGIC!r}"
+        )
+    version = data[len(SNAPSHOT_MAGIC)]
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {version}; "
+            f"this reader handles version {SNAPSHOT_VERSION}"
+        )
+    stored_crc = int.from_bytes(data[-4:], "little")
+    actual_crc = zlib.crc32(data[4:-4]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        raise SnapshotError(
+            f"snapshot checksum mismatch: stored {stored_crc:#010x}, "
+            f"computed {actual_crc:#010x}"
+        )
+    pos = len(SNAPSHOT_MAGIC) + 1
+    try:
+        n_items, pos = _read_uvarint(data, pos)
+        n_transactions, pos = _read_uvarint(data, pos)
+        n_sets, pos = _read_uvarint(data, pos)
+        labels_size, pos = _read_uvarint(data, pos)
+        labels_block = data[pos : pos + labels_size]
+        if len(labels_block) != labels_size:
+            raise SnapshotError("snapshot labels block truncated")
+        pos += labels_size
+    except IndexError:
+        raise SnapshotError("snapshot header truncated") from None
+    try:
+        labels = json.loads(labels_block.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"snapshot labels block unreadable: {exc}") from None
+    if not isinstance(labels, list) or len(labels) != n_items:
+        raise SnapshotError(
+            "snapshot labels block inconsistent with the declared item count"
+        )
+    n_words = (n_items + 63) // 64
+    row_bytes = n_words * 8 + _SUPPORT_BYTES
+    if len(data) - 4 - pos != n_sets * row_bytes:
+        raise SnapshotError(
+            f"snapshot declares {n_sets} family rows of {row_bytes} bytes "
+            f"but carries {len(data) - 4 - pos} bytes of rows"
+        )
+    pending = _PendingRepository(data, pos, n_sets, n_words)
+    miner = IncrementalMiner._restore(
+        labels,
+        n_transactions,
+        pending,
+        counters=counters,
+        guard=guard,
+        backend=backend,
+        probe=probe,
+    )
+    miner._obs.count("serving.snapshot.loaded_bytes", len(data))
+    return miner
+
+
+def save_snapshot(miner: IncrementalMiner, path) -> int:
+    """Write a snapshot to ``path`` atomically; returns the byte count.
+
+    The snapshot lands under a temporary name in the destination
+    directory and is moved into place with :func:`os.replace`, so a
+    crashed save never leaves a half-written file where a serving
+    process would pick it up.
+    """
+    data = dumps_snapshot(miner)
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+    os.replace(tmp_path, path)
+    return len(data)
+
+
+def load_snapshot(
+    path,
+    counters=None,
+    guard=None,
+    backend=None,
+    probe=None,
+) -> IncrementalMiner:
+    """Read a snapshot file and rehydrate the miner (see :func:`loads_snapshot`)."""
+    with open(os.fspath(path), "rb") as handle:
+        data = handle.read()
+    return loads_snapshot(
+        data, counters=counters, guard=guard, backend=backend, probe=probe
+    )

@@ -119,6 +119,24 @@ class TestPrimitiveParity:
 
     @given(masks=masks_strategy, n_bits=st.integers(1, 200), data=st.data())
     @settings(max_examples=60, deadline=None)
+    def test_superset_max_support(self, masks, n_bits, data):
+        masks = _clip(masks, n_bits)
+        supports = data.draw(
+            st.lists(
+                st.integers(1, 50), min_size=len(masks), max_size=len(masks)
+            )
+        )
+        # Query beyond n_bits too: rows can never contain those bits.
+        needle = data.draw(st.integers(0, (1 << (n_bits + 3)) - 1))
+        expected = max(
+            (s for m, s in zip(masks, supports) if needle & ~m == 0), default=0
+        )
+        for kernel in BACKENDS:
+            table = kernel.pack(masks, n_bits)
+            assert kernel.superset_max_support(table, supports, needle) == expected
+
+    @given(masks=masks_strategy, n_bits=st.integers(1, 200), data=st.data())
+    @settings(max_examples=60, deadline=None)
     def test_column_primitives(self, masks, n_bits, data):
         masks = _clip(masks, n_bits)
         ref = get_backend("bitint")

@@ -1,0 +1,148 @@
+"""Repository merges and the parallel snapshot build."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import IncrementalMiner
+from repro.data.database import TransactionDatabase
+from repro.serving import (
+    build_miner_parallel,
+    dumps_snapshot,
+    loads_snapshot,
+    merge_miners,
+)
+
+
+def _family(miner, smin=1):
+    return {
+        frozenset(labels): supp
+        for labels, supp in miner.closed_sets(smin).items()
+    }
+
+
+rows_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=5),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestMergeMiners:
+    @settings(deadline=None, max_examples=30)
+    @given(left=rows_strategy, right=rows_strategy)
+    def test_merge_equals_combined_stream(self, left, right):
+        a = IncrementalMiner()
+        a.extend(left)
+        b = IncrementalMiner()
+        b.extend(right)
+        merged = merge_miners(a, b)
+        reference = IncrementalMiner()
+        reference.extend(left)
+        reference.extend(right)
+        assert _family(merged) == _family(reference)
+        assert merged.n_transactions == reference.n_transactions
+
+    def test_disjoint_label_spaces(self):
+        a = IncrementalMiner()
+        a.extend([["a", "b"], ["a"]])
+        b = IncrementalMiner()
+        b.extend([["x", "y"], ["y"]])
+        merged = merge_miners(a, b)
+        reference = IncrementalMiner()
+        reference.extend([["a", "b"], ["a"], ["x", "y"], ["y"]])
+        assert _family(merged) == _family(reference)
+
+    def test_overlapping_label_spaces_with_different_codes(self):
+        # "c" arrives first on one side and last on the other, so the
+        # two miners assign it different internal codes.
+        a = IncrementalMiner()
+        a.extend([["c", "a"], ["a", "b"]])
+        b = IncrementalMiner()
+        b.extend([["b", "a"], ["a", "c"], ["d"]])
+        merged = merge_miners(a, b)
+        reference = IncrementalMiner()
+        reference.extend([["c", "a"], ["a", "b"], ["b", "a"], ["a", "c"], ["d"]])
+        assert _family(merged) == _family(reference)
+        assert merged.support_of(["a", "c"]) == reference.support_of(["a", "c"])
+
+    def test_merge_with_empty_side(self):
+        a = IncrementalMiner()
+        a.extend([["a", "b"], ["b"]])
+        empty = IncrementalMiner()
+        assert _family(merge_miners(a, empty)) == _family(a)
+        assert _family(merge_miners(empty, a)) == _family(a)
+        assert merge_miners(empty, a).n_transactions == a.n_transactions
+
+    def test_inputs_left_untouched(self):
+        a = IncrementalMiner()
+        a.extend([["a", "b"], ["a"]])
+        b = IncrementalMiner()
+        b.extend([["b", "c"]])
+        family_a, family_b = _family(a), _family(b)
+        gen_a, gen_b = a.generation, b.generation
+        merge_miners(a, b)
+        assert _family(a) == family_a and a.generation == gen_a
+        assert _family(b) == family_b and b.generation == gen_b
+
+    def test_merged_miner_keeps_growing(self):
+        a = IncrementalMiner()
+        a.extend([["a", "b"], ["b", "c"]])
+        b = IncrementalMiner()
+        b.extend([["a", "c"]])
+        merged = merge_miners(a, b)
+        merged.add(["a", "b", "c"])
+        reference = IncrementalMiner()
+        reference.extend([["a", "b"], ["b", "c"], ["a", "c"], ["a", "b", "c"]])
+        assert _family(merged) == _family(reference)
+
+    def test_merged_miner_snapshots(self):
+        a = IncrementalMiner()
+        a.extend([["a", "b"], ["b"]])
+        b = IncrementalMiner()
+        b.extend([["b", "c"], ["c"]])
+        merged = merge_miners(a, b)
+        restored = loads_snapshot(dumps_snapshot(merged))
+        assert _family(restored) == _family(merged)
+
+
+class TestParallelBuild:
+    def _random_db(self, seed, n_rows=60, n_items=8):
+        rng = random.Random(seed)
+        masks = [
+            sum(1 << i for i in range(n_items) if rng.random() < 0.4)
+            for _ in range(n_rows)
+        ]
+        return TransactionDatabase(masks, n_items, [f"i{k}" for k in range(n_items)])
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_matches_serial_build(self, n_workers):
+        db = self._random_db(1)
+        serial = IncrementalMiner.from_database(db)
+        parallel = build_miner_parallel(db, n_workers=n_workers)
+        for smin in (1, 2, 5):
+            assert _family(parallel, smin) == _family(serial, smin)
+        assert parallel.n_transactions == serial.n_transactions
+
+    def test_result_is_servable(self, tmp_path):
+        from repro.serving import load_snapshot, save_snapshot
+
+        db = self._random_db(2)
+        miner = build_miner_parallel(db, n_workers=3)
+        path = tmp_path / "parallel.snap"
+        save_snapshot(miner, str(path))
+        restored = load_snapshot(str(path))
+        assert _family(restored) == _family(miner)
+        restored.extend([["i0", "i1"]])
+        assert restored.n_transactions == db.n_transactions + 1
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            build_miner_parallel(self._random_db(3), n_workers=0)
+
+    def test_tiny_database_runs_inline(self):
+        db = self._random_db(4, n_rows=2)
+        miner = build_miner_parallel(db, n_workers=8)
+        assert _family(miner) == _family(IncrementalMiner.from_database(db))

@@ -1,0 +1,264 @@
+"""Query engine semantics: memoization, invalidation, differential checks.
+
+The hypothesis differential here is the serving layer's ground truth:
+after *every* prefix of a random stream, the online engine's
+``closed_sets`` must equal a cold batch ``mine(..., algorithm="ista")``
+over that prefix, under both kernel backends.
+"""
+
+import random
+from types import MappingProxyType
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FaultPlan, MiningInterrupted, RunGuard, mine
+from repro.core.incremental import IncrementalMiner
+from repro.data.database import TransactionDatabase
+
+rows_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=6),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestDifferentialVsBatchMiner:
+    @settings(deadline=None, max_examples=25)
+    @given(rows=rows_strategy, smin=st.integers(1, 3))
+    @pytest.mark.parametrize("backend", ["bitint", "numpy"])
+    def test_every_prefix_matches_batch_ista(self, backend, rows, smin):
+        miner = IncrementalMiner(backend=backend)
+        for k, row in enumerate(rows, start=1):
+            miner.add(row)
+            db = TransactionDatabase.from_iterable(
+                rows[:k], item_order=list(range(7))
+            )
+            batch = mine(db, smin, algorithm="ista", backend=backend)
+            got = {
+                frozenset(labels): supp
+                for labels, supp in miner.closed_sets(smin).items()
+            }
+            assert got == batch.as_frozensets(), (k, smin)
+
+    @pytest.mark.parametrize("backend", ["bitint", "numpy"])
+    def test_snapshot_of_every_prefix_matches(self, backend):
+        """Warm-started continuation must track the batch miner too."""
+        from repro.serving import dumps_snapshot, loads_snapshot
+
+        rng = random.Random(42)
+        rows = [
+            [l for l in "abcde" if rng.random() < 0.5] for _ in range(12)
+        ]
+        miner = IncrementalMiner(backend=backend)
+        for k, row in enumerate(rows, start=1):
+            miner = loads_snapshot(dumps_snapshot(miner), backend=backend)
+            miner.add(row)
+            db = TransactionDatabase.from_iterable(rows[:k])
+            batch = mine(db, 1, algorithm="ista", backend=backend)
+            got = {
+                frozenset(labels): supp
+                for labels, supp in miner.closed_sets(1).items()
+            }
+            assert got == batch.as_frozensets(), k
+
+
+class TestGuardCancellation:
+    def test_mid_stream_cancel_keeps_processed_prefix(self):
+        rows = [["a", "b"], ["b", "c"], ["a", "c"], ["a", "b", "c"], ["c"]]
+        guard = RunGuard(fault_plan=FaultPlan(cancel_at=3, max_trips=1), stride=1)
+        miner = IncrementalMiner(guard=guard)
+        applied = 0
+        with pytest.raises(MiningInterrupted):
+            for row in rows:
+                miner.add(row)
+                applied += 1
+        assert 0 < miner.n_transactions < len(rows)
+        assert miner.n_transactions == applied  # tripped add was not applied
+        db = TransactionDatabase.from_iterable(rows[: miner.n_transactions])
+        batch = mine(db, 1, algorithm="ista")
+        got = {
+            frozenset(labels): supp
+            for labels, supp in miner.closed_sets(1).items()
+        }
+        assert got == batch.as_frozensets()
+
+    def test_mid_extend_cancel_leaves_reordered_prefix(self):
+        """An interrupted batch equals a fully-processed prefix of the
+        Section 3.4 reordering (transactions are atomic)."""
+        rng = random.Random(5)
+        rows = [[l for l in "abcd" if rng.random() < 0.6] for _ in range(20)]
+        guard = RunGuard(fault_plan=FaultPlan(cancel_at=8, max_trips=1), stride=1)
+        miner = IncrementalMiner(guard=guard)
+        with pytest.raises(MiningInterrupted):
+            miner.extend(rows)
+        assert 0 < miner.n_transactions < len(rows)
+        # Reconstruct the dedup + (size, mask)-sorted schedule the batch
+        # used; the miner must hold exactly its first groups.
+        masks = []
+        for row in rows:
+            mask = 0
+            for label in row:
+                mask |= 1 << miner._label_to_code[label]
+            masks.append(mask)
+        groups = {}
+        for mask in masks:
+            groups[mask] = groups.get(mask, 0) + 1
+        schedule = sorted(groups.items(), key=lambda e: (bin(e[0]).count("1"), e[0]))
+        prefix, total = [], 0
+        for mask, weight in schedule:
+            if total >= miner.n_transactions:
+                break
+            prefix.extend([mask] * weight)
+            total += weight
+        assert total == miner.n_transactions  # trip fell on a group boundary
+        labels = miner._labels
+        prefix_rows = [
+            [labels[i] for i in range(len(labels)) if mask >> i & 1]
+            for mask in prefix
+        ]
+        db = TransactionDatabase.from_iterable(prefix_rows)
+        batch = mine(db, 1, algorithm="ista")
+        got = {
+            frozenset(k): v for k, v in miner.closed_sets(1).items()
+        }
+        assert got == batch.as_frozensets()
+
+    def test_engine_usable_after_cancel(self):
+        guard = RunGuard(fault_plan=FaultPlan(cancel_at=2, max_trips=1), stride=1)
+        miner = IncrementalMiner(guard=guard)
+        miner.add(["a"])
+        with pytest.raises(MiningInterrupted):
+            miner.extend([["a", "b"], ["b", "c"]])
+        before = dict(miner.closed_sets(1))
+        miner.add(["a", "b"])  # guard disarmed after its single trip
+        assert dict(miner.closed_sets(1)) != before
+        assert miner.support_of(["a"]) >= 1
+
+
+class TestMemoization:
+    @pytest.fixture
+    def miner(self):
+        miner = IncrementalMiner()
+        miner.extend([["a", "b"], ["a", "b", "c"], ["a"], ["b", "c"]])
+        return miner
+
+    def test_repeat_query_returns_cached_object(self, miner):
+        assert miner.closed_sets(2) is miner.closed_sets(2)
+        assert miner.top_k(3) is miner.top_k(3)
+        assert miner.supersets_of(["a"]) is miner.supersets_of(["a"])
+
+    def test_distinct_smin_cached_separately(self, miner):
+        assert miner.closed_sets(1) is not miner.closed_sets(2)
+
+    def test_mutation_invalidates(self, miner):
+        first = miner.closed_sets(1)
+        generation = miner.generation
+        miner.add(["c"])
+        assert miner.generation > generation
+        second = miner.closed_sets(1)
+        assert second is not first
+        # cl({c}) was {b, c}; the new bare ["c"] row makes {c} closed.
+        assert ("c",) not in first
+        assert second[("c",)] == 3
+
+    def test_support_of_memoizes_zero(self, miner):
+        # "a" and "zzz" both known? no — force a known-but-absent combo.
+        miner.add(["z"])
+        assert miner.support_of(["a", "z"]) == 0
+        assert miner.support_of(["a", "z"]) == 0  # memo hit of a 0 value
+
+    def test_results_are_read_only(self, miner):
+        family = miner.closed_sets(1)
+        assert isinstance(family, MappingProxyType)
+        with pytest.raises(TypeError):
+            family[("a",)] = 99
+
+
+class TestDerivedQueries:
+    @pytest.fixture
+    def miner(self):
+        rng = random.Random(17)
+        miner = IncrementalMiner()
+        miner.extend(
+            [[l for l in "abcdef" if rng.random() < 0.5] for _ in range(30)]
+        )
+        return miner
+
+    def test_top_k_against_closed_sets(self, miner):
+        family = miner.closed_sets(2)
+        top = miner.top_k(5, smin=2)
+        assert len(top) == 5
+        supports = sorted(family.values(), reverse=True)
+        assert [supp for _, supp in top] == supports[:5]
+        for labels, supp in top:
+            assert family[labels] == supp
+
+    def test_top_k_larger_than_family(self, miner):
+        family = miner.closed_sets(1)
+        top = miner.top_k(10_000)
+        assert len(top) == len(family)
+        assert dict(top) == dict(family)
+
+    def test_top_k_zero(self, miner):
+        assert miner.top_k(0) == ()
+
+    def test_top_k_ties_break_by_size(self, miner):
+        top = miner.top_k(len(miner.closed_sets(1)))
+        for (a_labels, a_supp), (b_labels, b_supp) in zip(top, top[1:]):
+            assert (-a_supp, len(a_labels)) <= (-b_supp, len(b_labels))
+
+    def test_supersets_of_is_containment_filter(self, miner):
+        for query in (["a"], ["a", "b"], ["c", "f"]):
+            expected = {
+                labels: supp
+                for labels, supp in miner.closed_sets(2).items()
+                if set(query) <= set(labels)
+            }
+            assert dict(miner.supersets_of(query, smin=2)) == expected
+
+    def test_supersets_of_unknown_label(self, miner):
+        assert dict(miner.supersets_of(["nope"])) == {}
+
+    def test_supersets_of_empty_query(self, miner):
+        assert miner.supersets_of([], smin=3) == miner.closed_sets(3)
+
+    def test_invalid_arguments(self, miner):
+        with pytest.raises(ValueError):
+            miner.top_k(-1)
+        with pytest.raises(ValueError):
+            miner.top_k(1, smin=0)
+        with pytest.raises(ValueError):
+            miner.supersets_of(["a"], smin=0)
+
+
+class TestBatchedIngest:
+    @settings(deadline=None, max_examples=25)
+    @given(rows=rows_strategy)
+    def test_extend_equals_add_loop(self, rows):
+        batched = IncrementalMiner()
+        batched.extend(rows + rows)  # force duplicates through dedup
+        serial = IncrementalMiner()
+        for row in rows + rows:
+            serial.add(row)
+        assert dict(batched.closed_sets(1)) == dict(serial.closed_sets(1))
+        assert batched.n_transactions == serial.n_transactions
+
+    def test_duplicates_collapse_to_weighted_updates(self):
+        rows = [["a"], ["a", "b"], ["b", "c"]] * 20
+        batched = IncrementalMiner()
+        batched.extend(rows)
+        serial = IncrementalMiner()
+        for row in rows:
+            serial.add(row)
+        # Three weighted updates versus sixty plain ones.
+        assert batched.counters.intersections < serial.counters.intersections
+        assert batched.n_transactions == 60
+        assert batched.support_of(["a", "b"]) == serial.support_of(["a", "b"])
+
+    def test_empty_batch(self):
+        miner = IncrementalMiner()
+        miner.extend([])
+        assert miner.n_transactions == 0
+        assert miner.generation == 0  # no-op must not invalidate

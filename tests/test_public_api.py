@@ -12,6 +12,7 @@ import repro.data.itemset
 import repro.data.matrix
 import repro.mining
 import repro.rules
+import repro.serving
 from repro.core import incremental
 
 
@@ -27,12 +28,34 @@ class TestExports:
         for name, miner in repro.ALGORITHMS.items():
             assert callable(miner), name
 
+    def test_serving_surface(self):
+        """The warm-path serving API is reachable from the top level."""
+        for name in (
+            "IncrementalMiner",
+            "SnapshotError",
+            "dumps_snapshot",
+            "loads_snapshot",
+            "save_snapshot",
+            "load_snapshot",
+            "merge_miners",
+            "build_miner_parallel",
+        ):
+            assert name in repro.__all__, name
+            assert getattr(repro, name) is getattr(repro.serving, name), name
+
+    def test_snapshot_round_trip_through_top_level(self):
+        miner = repro.IncrementalMiner()
+        miner.extend([["a", "b"], ["b", "c"]])
+        restored = repro.loads_snapshot(repro.dumps_snapshot(miner))
+        assert dict(restored.closed_sets(1)) == dict(miner.closed_sets(1))
+
 
 class TestDocumentation:
     MODULES = [
         repro,
         repro.mining,
         repro.rules,
+        repro.serving,
         repro.data.itemset,
         repro.data.io,
         repro.closure.galois,
