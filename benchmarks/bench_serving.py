@@ -1,0 +1,217 @@
+"""Serving-path gate: warm-start and memoization ratios on a fixture.
+
+The serving layer's reason to exist is captured by two ratios on the
+committed yeast-style fixture:
+
+* **warm ratio** — loading a snapshot of the first 90% of the fixture,
+  folding the remaining 10% in as one delta batch and querying the
+  closed frequent sets must beat mining the full fixture cold by at
+  least 10x;
+* **memo ratio** — repeating a query against an unchanged repository
+  must beat the first evaluation by at least 100x.
+
+Both are gated as hard floors *and* against the committed baseline with
+a one-sided tolerance (an improvement always passes, a regression
+beyond the tolerance fails).  Ratios of two timings taken seconds apart
+on the same machine are far more runner-stable than absolute wall
+clock, and each side is measured best-of-N to shed scheduler noise;
+the floors carry the absolute guarantee.
+
+The gate also re-checks exactness: the warm-started family must equal
+the cold-mined family set-for-set before any timing is trusted.
+
+Usage::
+
+    # Record (refresh) the committed baseline
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --record benchmarks/BENCH_serving.json
+
+    # CI gate
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --compare benchmarks/BENCH_serving.json --tolerance 0.4 \
+        --out bench-serving-fresh.json
+
+Exit codes: 0 = pass/recorded, 1 = floor missed or drift detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.incremental import IncrementalMiner
+from repro.data.database import TransactionDatabase
+from repro.data.io import read_fimi
+from repro.mining import mine
+from repro.serving import dumps_snapshot, loads_snapshot
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "yeast_gate.fimi")
+SMIN = 5
+DELTA_FRACTION = 10  # delta = 1/10th of the fixture
+WARM_FLOOR = 10.0
+MEMO_FLOOR = 100.0
+COLD_REPEATS = 3
+WARM_REPEATS = 5
+MEMO_QUERY_REPEATS = 2000
+
+
+def measure() -> dict:
+    """Time the cold, warm and memoized paths; returns the gate record."""
+    db = read_fimi(FIXTURE)
+    rows = [list(db.decode(mask)) for mask in db.transactions]
+    split = len(rows) - len(rows) // DELTA_FRACTION
+    base_rows, delta_rows = rows[:split], rows[split:]
+
+    cold_times = []
+    for _ in range(COLD_REPEATS):
+        start = time.perf_counter()
+        mine(db, 1, algorithm="ista")
+        cold_times.append(time.perf_counter() - start)
+    cold_s = min(cold_times)
+
+    base = IncrementalMiner.from_database(
+        TransactionDatabase.from_iterable(base_rows)
+    )
+    blob = dumps_snapshot(base)
+
+    warm_times = []
+    memo_first_times = []
+    memo_repeat_times = []
+    family = None
+    for _ in range(WARM_REPEATS):
+        start = time.perf_counter()
+        warm = loads_snapshot(blob)
+        warm.extend(delta_rows)
+        family = warm.closed_sets(SMIN)
+        warm_times.append(time.perf_counter() - start)
+        # First evaluation versus memo hits, on the repository the warm
+        # run just produced.
+        warm.add(delta_rows[0])
+        start = time.perf_counter()
+        warm.closed_sets(SMIN)
+        memo_first_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(MEMO_QUERY_REPEATS):
+            warm.closed_sets(SMIN)
+        memo_repeat_times.append(
+            (time.perf_counter() - start) / MEMO_QUERY_REPEATS
+        )
+    warm_s = min(warm_times)
+    memo_first_s = min(memo_first_times)
+    memo_repeat_s = min(memo_repeat_times)
+
+    # Exactness before timing is trusted: warm family == cold family.
+    cold_family = mine(db, SMIN, algorithm="ista").as_frozensets()
+    warm_family = {
+        frozenset(labels): supp for labels, supp in family.items()
+    }
+    if warm_family != cold_family:
+        raise AssertionError(
+            "warm-started family diverged from the cold mine: "
+            f"{len(warm_family)} vs {len(cold_family)} sets"
+        )
+
+    return {
+        "fixture": os.path.relpath(FIXTURE, os.path.dirname(__file__)),
+        "smin": SMIN,
+        "base_transactions": len(base_rows),
+        "delta_transactions": len(delta_rows),
+        "snapshot_bytes": len(blob),
+        "n_closed": len(cold_family),
+        "cold_ms": round(cold_s * 1e3, 3),
+        "warm_ms": round(warm_s * 1e3, 3),
+        "memo_first_ms": round(memo_first_s * 1e3, 4),
+        "memo_repeat_us": round(memo_repeat_s * 1e6, 4),
+        "warm_ratio": round(cold_s / warm_s, 2),
+        "memo_ratio": round(memo_first_s / memo_repeat_s, 1),
+    }
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Failure messages (empty = gate passes)."""
+    failures = []
+    if fresh["n_closed"] != baseline["n_closed"]:
+        failures.append(
+            f"n_closed: {fresh['n_closed']} != baseline "
+            f"{baseline['n_closed']} (result family changed)"
+        )
+    for name, floor in (("warm_ratio", WARM_FLOOR), ("memo_ratio", MEMO_FLOOR)):
+        value = fresh[name]
+        if value < floor:
+            failures.append(f"{name}: {value} below the hard floor {floor}")
+        allowed = baseline[name] * (1.0 - tolerance)
+        if value < allowed:
+            failures.append(
+                f"{name}: {value} regressed below baseline {baseline[name]} "
+                f"- {tolerance:.0%} = {allowed:.1f}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--record", metavar="FILE", help="run the gate workload and write the baseline"
+    )
+    action.add_argument(
+        "--compare", metavar="FILE", help="run the gate workload and compare"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.4,
+        help="one-sided ratio regression tolerance (default 0.4 = 40%%)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="also write the fresh record here"
+    )
+    args = parser.parse_args(argv)
+
+    fresh = measure()
+    print(
+        f"# serving gate on {fresh['fixture']} "
+        f"({fresh['base_transactions']}+{fresh['delta_transactions']} "
+        f"transactions, smin={SMIN}, {fresh['n_closed']} closed sets)"
+    )
+    print(
+        f"cold {fresh['cold_ms']:.1f} ms   warm {fresh['warm_ms']:.1f} ms   "
+        f"warm_ratio {fresh['warm_ratio']}x (floor {WARM_FLOOR:.0f}x)"
+    )
+    print(
+        f"first query {fresh['memo_first_ms']:.2f} ms   "
+        f"memo hit {fresh['memo_repeat_us']:.2f} us   "
+        f"memo_ratio {fresh['memo_ratio']}x (floor {MEMO_FLOOR:.0f}x)"
+    )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.record:
+        with open(args.record, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# baseline written to {args.record}")
+        return 0
+
+    with open(args.compare, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"# {len(failures)} serving gate failure(s) against {args.compare}:")
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(
+        f"# serving ratios above their floors and within -{args.tolerance:.0%} "
+        f"of {args.compare}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

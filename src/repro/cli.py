@@ -1,14 +1,24 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
-    repro-mine mine  FILE -s SMIN [-a ALGORITHM] [-t TARGET] [-o OUT]
-    repro-mine bench FIGURE [--scale S] [--repeats R] [--value log|seconds|closed]
-    repro-mine gen   DATASET -o OUT [--option key=value ...]
+    repro-mine mine     FILE -s SMIN [-a ALGORITHM] [-t TARGET] [-o OUT]
+    repro-mine bench    FIGURE [--scale S] [--repeats R] [--value log|seconds|closed]
+    repro-mine gen      DATASET -o OUT [--option key=value ...]
+    repro-mine stats    FILE [-s SMIN]
+    repro-mine rules    FILE -s SMIN [-c CONF]
+    repro-mine snapshot FILE -o OUT.snap [--from SNAP] [--workers N]
+    repro-mine query    SNAP [-s SMIN] [--top K] [--supersets ITEMS] [--support ITEMS]
 
 ``mine`` reads a FIMI-format transaction file and prints (or writes)
 the closed frequent item sets, one per line with the support in
 parentheses — the output convention of the original fim tools.
+
+``snapshot`` and ``query`` are the serving workflow (mine once, serve
+many): ``snapshot`` folds a transaction file into a persistent
+repository snapshot — from scratch, or warm-starting from an existing
+snapshot so only the new transactions are paid for — and ``query``
+answers closed-set queries straight from a snapshot without re-mining.
 """
 
 from __future__ import annotations
@@ -29,7 +39,9 @@ from .mining import ALGORITHMS, mine
 from .obs import Probe, resolve_probe
 from .parallel import mine_parallel
 from .rules import generate_nonredundant_rules, generate_rules
-from .runtime import CorruptInputError, MiningInterrupted
+from .runtime import CorruptInputError, MiningInterrupted, RunGuard
+from .serving import build_miner_parallel, load_snapshot, save_snapshot
+from .core.incremental import IncrementalMiner
 from .stats import OperationCounters
 
 #: Exit codes: 0 success, 2 user/input error, 3 resource budget tripped.
@@ -231,6 +243,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--non-redundant",
         action="store_true",
         help="emit the min-max basis (minimal antecedents) instead of all rules",
+    )
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="fold a transaction file into a repository snapshot"
+    )
+    snapshot_parser.add_argument("file", help="transaction file (FIMI or ARFF)")
+    snapshot_parser.add_argument(
+        "-o", "--output", required=True, help="snapshot file to write"
+    )
+    snapshot_parser.add_argument(
+        "--from",
+        dest="warm_from",
+        default=None,
+        metavar="SNAP",
+        help="warm-start from this snapshot and fold the file in as a "
+        "delta batch instead of mining from scratch",
+    )
+    snapshot_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for a from-scratch build; shard "
+        "repositories are merged exactly (default: 1)",
+    )
+    snapshot_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="set-algebra kernel backend (default: REPRO_KERNEL_BACKEND "
+        "environment variable, else 'bitint')",
+    )
+    snapshot_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort the build after this much wall-clock time (exit code 3)",
+    )
+    snapshot_parser.add_argument(
+        "--memory-limit",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="abort when the build allocates more than this many MB "
+        "(exit code 3)",
+    )
+    snapshot_parser.add_argument(
+        "--errors",
+        choices=("raise", "skip"),
+        default="raise",
+        help="corrupt input lines: 'raise' stops with exit code 2, "
+        "'skip' drops them with a note on stderr",
+    )
+
+    query_parser = subparsers.add_parser(
+        "query", help="answer closed-set queries from a snapshot"
+    )
+    query_parser.add_argument("snapshot", help="snapshot file written by 'snapshot'")
+    query_parser.add_argument(
+        "-s", "--smin", type=int, default=1,
+        help="absolute minimum support (default: 1)",
+    )
+    query_parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="K",
+        help="print only the K highest-support closed sets",
+    )
+    query_parser.add_argument(
+        "--supersets",
+        default=None,
+        metavar="ITEMS",
+        help="comma-separated items; print only closed supersets of them",
+    )
+    query_parser.add_argument(
+        "--support",
+        default=None,
+        metavar="ITEMS",
+        help="comma-separated items; print just the support of that set",
+    )
+    query_parser.add_argument(
+        "-o", "--output", help="write result here instead of stdout"
+    )
+    query_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="set-algebra kernel backend for the query descent",
     )
     return parser
 
@@ -441,6 +543,113 @@ def _command_rules(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_snapshot(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise ValueError("--workers must be at least 1")
+    if args.workers > 1 and args.warm_from:
+        raise ValueError(
+            "--workers >1 applies to from-scratch builds only; a warm "
+            "start folds the file in as one serial delta batch"
+        )
+    guard = None
+    if args.timeout is not None or args.memory_limit is not None:
+        # Ingest polls the guard once per transaction, not per operation,
+        # so every poll must be a real check: the default stride would let
+        # a small file's entire build slip between samples.
+        guard = RunGuard(
+            timeout=args.timeout, memory_limit_mb=args.memory_limit, stride=1
+        )
+    db = _read_any(args.file, errors=args.errors)
+    if args.warm_from:
+        miner = load_snapshot(args.warm_from, guard=guard, backend=args.backend)
+        miner.extend(db.decode(mask) for mask in db.transactions)
+    elif args.workers > 1:
+        miner = build_miner_parallel(
+            db, n_workers=args.workers, guard=guard, backend=args.backend
+        )
+    else:
+        miner = IncrementalMiner.from_database(
+            db, guard=guard, backend=args.backend
+        )
+    n_bytes = save_snapshot(miner, args.output)
+    print(
+        f"# snapshot {args.output}: {len(miner._ensure_flat())} closed sets, "
+        f"{miner.n_transactions} transactions, {n_bytes} bytes",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _parse_query_items(spec: str, miner: "IncrementalMiner") -> List[object]:
+    """Split a comma-separated item spec, coercing tokens to known labels.
+
+    Command-line tokens are strings, but FIMI-derived labels are ints;
+    a token that is not itself a label falls back to its int reading
+    when that matches one.  Unknown items pass through unchanged —
+    ``support_of`` legitimately answers 0 for them.
+    """
+    labels = set(miner.item_labels)
+    items: List[object] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token not in labels:
+            try:
+                as_int = int(token)
+            except ValueError:
+                pass
+            else:
+                if as_int in labels:
+                    items.append(as_int)
+                    continue
+        items.append(token)
+    return items
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    chosen = [
+        name
+        for name, value in (
+            ("--top", args.top),
+            ("--supersets", args.supersets),
+            ("--support", args.support),
+        )
+        if value is not None
+    ]
+    if len(chosen) > 1:
+        raise ValueError(f"pick one of {', '.join(chosen)}")
+    miner = load_snapshot(args.snapshot, backend=args.backend)
+    if args.support is not None:
+        lines = [str(miner.support_of(_parse_query_items(args.support, miner)))]
+    elif args.top is not None:
+        lines = [
+            " ".join(str(label) for label in labels) + f" ({supp})"
+            for labels, supp in miner.top_k(args.top, smin=args.smin)
+        ]
+    else:
+        if args.supersets is not None:
+            items = _parse_query_items(args.supersets, miner)
+            family = miner.supersets_of(items, smin=args.smin)
+        else:
+            family = miner.closed_sets(args.smin)
+        ordered = sorted(
+            family.items(),
+            key=lambda e: (-e[1], [str(label) for label in e[0]]),
+        )
+        lines = [
+            " ".join(str(label) for label in labels) + f" ({supp})"
+            for labels, supp in ordered
+        ]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (also installed as the ``repro-mine`` script).
 
@@ -460,6 +669,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_stats(args)
         if args.command == "rules":
             return _command_rules(args)
+        if args.command == "snapshot":
+            return _command_snapshot(args)
+        if args.command == "query":
+            return _command_query(args)
     except MiningInterrupted as exc:
         print(f"repro-mine: {exc}", file=sys.stderr)
         if exc.fallback_path:

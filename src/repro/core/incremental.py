@@ -144,6 +144,11 @@ class IncrementalMiner:
         return self._generation
 
     @property
+    def item_labels(self) -> Tuple[Hashable, ...]:
+        """Item labels in code order (index = item code)."""
+        return tuple(self._labels)
+
+    @property
     def kernel(self):
         """The resolved kernel backend executing the set algebra."""
         return self._kernel

@@ -1,0 +1,135 @@
+"""The snapshot/query CLI workflow and its exit-code discipline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, EXIT_USER_ERROR, main
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.fimi"
+    path.write_text("1 2 3\n2 3\n1 3\n2 3\n")
+    return str(path)
+
+
+@pytest.fixture
+def snap_path(tmp_path, clean_file):
+    path = str(tmp_path / "repo.snap")
+    assert main(["snapshot", clean_file, "-o", path]) == 0
+    return path
+
+
+class TestSnapshotCommand:
+    def test_build_writes_file_and_summary(self, tmp_path, clean_file, capsys):
+        out = str(tmp_path / "repo.snap")
+        assert main(["snapshot", clean_file, "-o", out]) == 0
+        err = capsys.readouterr().err
+        assert "closed sets" in err and "4 transactions" in err
+        assert (tmp_path / "repo.snap").stat().st_size > 0
+
+    def test_query_matches_mine(self, tmp_path, clean_file, snap_path, capsys):
+        mine_out = str(tmp_path / "mine.txt")
+        query_out = str(tmp_path / "query.txt")
+        assert main(["mine", clean_file, "-s", "2", "-o", mine_out]) == 0
+        assert main(["query", snap_path, "-s", "2", "-o", query_out]) == 0
+        with open(mine_out) as a, open(query_out) as b:
+            assert sorted(a.read().splitlines()) == sorted(b.read().splitlines())
+
+    def test_warm_update_equals_full_build(self, tmp_path, capsys):
+        base = tmp_path / "base.fimi"
+        base.write_text("1 2\n2 3\n")
+        delta = tmp_path / "delta.fimi"
+        delta.write_text("1 2 3\n1 3\n")
+        full = tmp_path / "full.fimi"
+        full.write_text(base.read_text() + delta.read_text())
+        base_snap = str(tmp_path / "base.snap")
+        warm_snap = str(tmp_path / "warm.snap")
+        full_snap = str(tmp_path / "full.snap")
+        assert main(["snapshot", str(base), "-o", base_snap]) == 0
+        assert (
+            main(["snapshot", str(delta), "-o", warm_snap, "--from", base_snap])
+            == 0
+        )
+        assert main(["snapshot", str(full), "-o", full_snap]) == 0
+        out_a = str(tmp_path / "a.txt")
+        out_b = str(tmp_path / "b.txt")
+        assert main(["query", warm_snap, "-o", out_a]) == 0
+        assert main(["query", full_snap, "-o", out_b]) == 0
+        with open(out_a) as a, open(out_b) as b:
+            assert sorted(a.read().splitlines()) == sorted(b.read().splitlines())
+
+    def test_corrupt_input_exits_2(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.fimi"
+        corrupt.write_bytes(b"1 2\n2 \x00 3\n")
+        code = main(["snapshot", str(corrupt), "-o", str(tmp_path / "x.snap")])
+        assert code == EXIT_USER_ERROR
+
+    def test_bad_workers_exits_2(self, tmp_path, clean_file, capsys):
+        out = str(tmp_path / "x.snap")
+        assert main(["snapshot", clean_file, "-o", out, "--workers", "0"]) == 2
+        assert (
+            main(
+                ["snapshot", clean_file, "-o", out, "--workers", "2",
+                 "--from", out]
+            )
+            == EXIT_USER_ERROR
+        )
+
+    def test_timeout_trips_exit_3(self, tmp_path, capsys):
+        import random
+
+        rng = random.Random(7)
+        dense = tmp_path / "dense.fimi"
+        dense.write_text(
+            "\n".join(
+                " ".join(str(j) for j in range(72) if rng.random() < 0.6)
+                for _ in range(64)
+            )
+            + "\n"
+        )
+        code = main(
+            ["snapshot", str(dense), "-o", str(tmp_path / "x.snap"),
+             "--timeout", "0.2"]
+        )
+        assert code == EXIT_INTERRUPTED
+        assert not (tmp_path / "x.snap").exists()  # no partial file
+
+
+class TestQueryCommand:
+    def test_top_k_ordered(self, snap_path, capsys):
+        assert main(["query", snap_path, "--top", "2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        supports = [int(line.rsplit("(", 1)[1].rstrip(")")) for line in lines]
+        assert supports == sorted(supports, reverse=True)
+
+    def test_support_prints_number(self, snap_path, capsys):
+        assert main(["query", snap_path, "--support", "2,3"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_supersets_filter(self, snap_path, capsys):
+        assert main(["query", snap_path, "--supersets", "1"]) == 0
+        for line in capsys.readouterr().out.splitlines():
+            assert "1" in line.rsplit("(", 1)[0].split()
+
+    def test_missing_snapshot_exits_2(self, capsys):
+        assert main(["query", "/no/such.snap"]) == EXIT_USER_ERROR
+
+    def test_not_a_snapshot_exits_2(self, clean_file, capsys):
+        assert main(["query", clean_file]) == EXIT_USER_ERROR
+        assert "magic" in capsys.readouterr().err
+
+    def test_truncated_snapshot_exits_2(self, tmp_path, snap_path, capsys):
+        data = open(snap_path, "rb").read()
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(data[: len(data) // 2])
+        assert main(["query", str(bad)]) == EXIT_USER_ERROR
+
+    def test_conflicting_modes_exit_2(self, snap_path, capsys):
+        code = main(["query", snap_path, "--top", "1", "--support", "1"])
+        assert code == EXIT_USER_ERROR
+
+    def test_bad_smin_exits_2(self, snap_path, capsys):
+        assert main(["query", snap_path, "-s", "0"]) == EXIT_USER_ERROR
