@@ -1,0 +1,224 @@
+"""Streaming-ingest gate: recovery speed and sustained throughput.
+
+The durable streaming layer's reason to exist is captured by one ratio
+and one exactness check on the committed yeast-style fixture:
+
+* **recovery ratio** — after a simulated crash (the store is abandoned
+  with a folded snapshot plus an unfolded log tail), re-opening the
+  store (load newest snapshot + replay the tail) and answering a
+  closed-set query must beat cold-mining the same transactions by at
+  least 5x.  This is the whole point of snapshot + WAL: recovery cost
+  is proportional to the tail, not the history.
+* **exactness** — the recovered engine's family must equal the cold
+  mine's, set for set, before any timing is trusted.
+
+Sustained ingest throughput (transactions/s through the full
+log-fold-compact pipeline, ``fsync="batch"``) is recorded for trend
+visibility but deliberately *not* gated as an absolute: wall-clock
+throughput varies wildly across CI runners, while a same-process ratio
+is stable.  The ratio is gated as a hard floor *and* against the
+committed baseline with a one-sided tolerance (improvements always
+pass).
+
+Usage::
+
+    # Record (refresh) the committed baseline
+    PYTHONPATH=src python benchmarks/bench_streaming.py \
+        --record benchmarks/BENCH_streaming.json
+
+    # CI gate
+    PYTHONPATH=src python benchmarks/bench_streaming.py \
+        --compare benchmarks/BENCH_streaming.json --tolerance 0.5 \
+        --out bench-streaming-fresh.json
+
+Exit codes: 0 = pass/recorded, 1 = floor missed or drift detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.core.incremental import IncrementalMiner
+from repro.data.io import read_fimi
+from repro.serving import StreamingMiner
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "yeast_gate.fimi")
+SMIN = 5
+TAIL_FRACTION = 10  # unfolded tail = 1/10th of the fixture
+RECOVERY_FLOOR = 5.0
+COLD_REPEATS = 3
+RECOVERY_REPEATS = 5
+
+
+def measure() -> dict:
+    """Time cold mining vs crash recovery; returns the gate record."""
+    db = read_fimi(FIXTURE)
+    rows = [list(db.decode(mask)) for mask in db.transactions]
+    split = len(rows) - len(rows) // TAIL_FRACTION
+
+    workdir = tempfile.mkdtemp(prefix="bench_streaming_")
+    try:
+        store_dir = os.path.join(workdir, "store")
+
+        # Sustained ingest through the full pipeline: WAL append +
+        # micro-batch folds + compaction, batch fsync policy.
+        start = time.perf_counter()
+        store = StreamingMiner.open(
+            store_dir,
+            fsync="batch",
+            batch_records=32,
+            compact_segments=4,
+            segment_max_bytes=1 << 16,
+        )
+        for row in rows[:split]:
+            store.ingest(row)
+        store.close()  # folds + compacts: snapshot now covers the prefix
+        ingest_s = time.perf_counter() - start
+
+        # Leave an unfolded tail in the log, then abandon the store the
+        # way SIGKILL would: no fold, no compaction, no clean close.
+        tail_store = StreamingMiner.open(store_dir, batch_records=10**9)
+        for row in rows[split:]:
+            tail_store.ingest(row)
+        tail_store._wal.close()
+
+        cold_times = []
+        family_cold = None
+        for _ in range(COLD_REPEATS):
+            start = time.perf_counter()
+            cold = IncrementalMiner()
+            cold.extend(rows)
+            family_cold = cold.closed_sets(SMIN)
+            cold_times.append(time.perf_counter() - start)
+        cold_s = min(cold_times)
+
+        recovery_times = []
+        family_recovered = None
+        replayed = None
+        for _ in range(RECOVERY_REPEATS):
+            start = time.perf_counter()
+            recovered = StreamingMiner.open(store_dir)
+            family_recovered = recovered.closed_sets(SMIN)
+            recovery_times.append(time.perf_counter() - start)
+            replayed = recovered.recovery.replayed_records
+            recovered._wal.close()  # keep the tail unfolded for the next lap
+        recovery_s = min(recovery_times)
+
+        if replayed != len(rows) - split:
+            raise AssertionError(
+                f"recovery replayed {replayed} records, expected "
+                f"{len(rows) - split}"
+            )
+        if dict(family_recovered) != dict(family_cold):
+            raise AssertionError(
+                "recovered family diverged from the cold mine: "
+                f"{len(family_recovered)} vs {len(family_cold)} sets"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "fixture": os.path.relpath(FIXTURE, os.path.dirname(__file__)),
+        "smin": SMIN,
+        "ingested_transactions": split,
+        "tail_transactions": len(rows) - split,
+        "n_closed": len(family_cold),
+        "ingest_s": round(ingest_s, 3),
+        "ingest_tps": round(split / ingest_s, 1),
+        "cold_ms": round(cold_s * 1e3, 3),
+        "recovery_ms": round(recovery_s * 1e3, 3),
+        "recovery_ratio": round(cold_s / recovery_s, 2),
+    }
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Failure messages (empty = gate passes)."""
+    failures = []
+    if fresh["n_closed"] != baseline["n_closed"]:
+        failures.append(
+            f"n_closed: {fresh['n_closed']} != baseline "
+            f"{baseline['n_closed']} (result family changed)"
+        )
+    value = fresh["recovery_ratio"]
+    if value < RECOVERY_FLOOR:
+        failures.append(
+            f"recovery_ratio: {value} below the hard floor {RECOVERY_FLOOR}"
+        )
+    allowed = baseline["recovery_ratio"] * (1.0 - tolerance)
+    if value < allowed:
+        failures.append(
+            f"recovery_ratio: {value} regressed below baseline "
+            f"{baseline['recovery_ratio']} - {tolerance:.0%} = {allowed:.1f}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--record", metavar="FILE", help="run the gate workload and write the baseline"
+    )
+    action.add_argument(
+        "--compare", metavar="FILE", help="run the gate workload and compare"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="one-sided ratio regression tolerance (default 0.5 = 50%%)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="also write the fresh record here"
+    )
+    args = parser.parse_args(argv)
+
+    fresh = measure()
+    print(
+        f"# streaming gate on {fresh['fixture']} "
+        f"({fresh['ingested_transactions']}+{fresh['tail_transactions']} "
+        f"transactions, smin={SMIN}, {fresh['n_closed']} closed sets)"
+    )
+    print(
+        f"ingest {fresh['ingest_s']:.2f} s ({fresh['ingest_tps']:.0f} txn/s, "
+        f"informational)"
+    )
+    print(
+        f"cold {fresh['cold_ms']:.1f} ms   recovery {fresh['recovery_ms']:.1f} ms   "
+        f"recovery_ratio {fresh['recovery_ratio']}x (floor {RECOVERY_FLOOR:.0f}x)"
+    )
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.record:
+        with open(args.record, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# baseline written to {args.record}")
+        return 0
+
+    with open(args.compare, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"# {len(failures)} streaming gate failure(s) against {args.compare}:")
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(
+        f"# recovery ratio above its floor and within -{args.tolerance:.0%} "
+        f"of {args.compare}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

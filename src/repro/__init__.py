@@ -42,7 +42,11 @@ from .parallel import mine_parallel
 from .result import MiningResult
 from .rules import AssociationRule, generate_rules, support_of
 from .serving import (
+    RecoveryReport,
     SnapshotError,
+    StreamingMiner,
+    WalError,
+    WriteAheadLog,
     build_miner_parallel,
     dumps_snapshot,
     load_snapshot,
@@ -82,6 +86,10 @@ __all__ = [
     "load_snapshot",
     "merge_miners",
     "build_miner_parallel",
+    "StreamingMiner",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "WalError",
     "mine",
     "mine_parallel",
     "choose_algorithm",

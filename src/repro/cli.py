@@ -9,6 +9,8 @@ Subcommands::
     repro-mine rules    FILE -s SMIN [-c CONF]
     repro-mine snapshot FILE -o OUT.snap [--from SNAP] [--workers N]
     repro-mine query    SNAP [-s SMIN] [--top K] [--supersets ITEMS] [--support ITEMS]
+    repro-mine ingest   STORE FILE [--follow] [--fsync always|batch|os]
+    repro-mine recover  STORE [-o OUT.snap]
 
 ``mine`` reads a FIMI-format transaction file and prints (or writes)
 the closed frequent item sets, one per line with the support in
@@ -19,11 +21,21 @@ many): ``snapshot`` folds a transaction file into a persistent
 repository snapshot — from scratch, or warm-starting from an existing
 snapshot so only the new transactions are paid for — and ``query``
 answers closed-set queries straight from a snapshot without re-mining.
+
+``ingest`` and ``recover`` are the durable streaming workflow:
+``ingest`` runs a long-lived :class:`~repro.serving.StreamingMiner`
+over a store directory — every transaction is written to a CRC-framed
+write-ahead log before it is folded, micro-batches fold on a
+count/age cadence, and tiered compaction periodically merges the
+overlay into a canonical snapshot — and ``recover`` opens a store
+(possibly after a crash), repairs a torn log tail, replays the
+surviving records, and reports exactly what was salvaged.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -40,7 +52,13 @@ from .obs import Probe, resolve_probe
 from .parallel import mine_parallel
 from .rules import generate_nonredundant_rules, generate_rules
 from .runtime import CorruptInputError, MiningInterrupted, RunGuard
-from .serving import build_miner_parallel, load_snapshot, save_snapshot
+from .serving import (
+    StreamingMiner,
+    build_miner_parallel,
+    load_snapshot,
+    save_snapshot,
+)
+from .serving.wal import FSYNC_POLICIES
 from .core.incremental import IncrementalMiner
 from .stats import OperationCounters
 
@@ -334,6 +352,131 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         help="set-algebra kernel backend for the query descent",
     )
+
+    ingest_parser = subparsers.add_parser(
+        "ingest",
+        help="stream transactions into a durable store "
+        "(write-ahead log + tiered snapshot compaction)",
+    )
+    ingest_parser.add_argument("store", help="store directory (created if absent)")
+    ingest_parser.add_argument(
+        "file", help="FIMI-format transaction file, or '-' for stdin"
+    )
+    ingest_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep reading as the file grows (tail -f style) instead of "
+        "stopping at end of file",
+    )
+    ingest_parser.add_argument(
+        "--fsync",
+        default="batch",
+        choices=FSYNC_POLICIES,
+        help="WAL durability policy: 'always' fsyncs every record "
+        "(power-loss durable), 'batch' fsyncs at fold boundaries "
+        "(default), 'os' leaves flushing to the kernel "
+        "(process-crash durable only)",
+    )
+    ingest_parser.add_argument(
+        "--batch-records",
+        type=int,
+        default=64,
+        metavar="N",
+        help="fold the micro-batch after this many transactions "
+        "(default: 64)",
+    )
+    ingest_parser.add_argument(
+        "--batch-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also fold when the oldest buffered transaction is this old",
+    )
+    ingest_parser.add_argument(
+        "--compact-segments",
+        type=int,
+        default=4,
+        metavar="N",
+        help="compact when the log holds more than this many segments "
+        "(default: 4)",
+    )
+    ingest_parser.add_argument(
+        "--segment-max-bytes",
+        type=int,
+        default=1 << 20,
+        metavar="BYTES",
+        help="roll the log segment past this size (default: 1 MiB)",
+    )
+    ingest_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="--follow sleep between end-of-file polls (default: 0.2)",
+    )
+    ingest_parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="--follow exits cleanly after this long with no new data",
+    )
+    ingest_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-fold wall-clock budget; a tripped fold stops ingest "
+        "with exit code 3 (the logged batch is replayed on recovery)",
+    )
+    ingest_parser.add_argument(
+        "--memory-limit",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-fold memory budget (exit code 3 on a trip)",
+    )
+    ingest_parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a metrics snapshot here on exit ('-' for stdout); "
+        "enables the observability probe",
+    )
+    ingest_parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prom"),
+        default="json",
+        help="metrics snapshot format: 'json' (default) or 'prom'",
+    )
+    ingest_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSON-lines phase trace here ('-' for stdout); "
+        "enables the observability probe",
+    )
+
+    recover_parser = subparsers.add_parser(
+        "recover",
+        help="open a store after a crash: repair the log tail, replay, "
+        "and report what was salvaged",
+    )
+    recover_parser.add_argument("store", help="store directory to recover")
+    recover_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="SNAP",
+        help="also export the recovered repository as a standalone "
+        "snapshot file (answerable by 'query')",
+    )
+    recover_parser.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="report and repair only; leave the store's snapshot and "
+        "log tail exactly as recovered",
+    )
     return parser
 
 
@@ -562,6 +705,7 @@ def _command_snapshot(args: argparse.Namespace) -> int:
     db = _read_any(args.file, errors=args.errors)
     if args.warm_from:
         miner = load_snapshot(args.warm_from, guard=guard, backend=args.backend)
+        _check_label_universe(miner, db, args.warm_from, args.file)
         miner.extend(db.decode(mask) for mask in db.transactions)
     elif args.workers > 1:
         miner = build_miner_parallel(
@@ -578,6 +722,42 @@ def _command_snapshot(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0
+
+
+def _check_label_universe(miner, db, snap_path: str, delta_path: str) -> None:
+    """Refuse a warm ``--from`` fold whose labels cannot be the same items.
+
+    ``read_fimi`` coerces a file's tokens to ``int`` only when *every*
+    token in the file is numeric, so the same logical item can arrive
+    as ``int`` from one file and ``str`` from another.  Folding such a
+    delta would silently double-count every item as two distinct ones.
+    The telltale is an empty exact overlap between the two label
+    universes while their textual forms do overlap: same spellings,
+    different types.  That is a user error, not a mining result —
+    refuse with a clear message (exit code 2).
+    """
+    snap_labels = set(miner.item_labels)
+    delta_labels = set(db.item_labels)
+    if not snap_labels or not delta_labels:
+        return
+    if snap_labels & delta_labels:
+        return
+    textual_overlap = {str(label) for label in snap_labels} & {
+        str(label) for label in delta_labels
+    }
+    if textual_overlap:
+        sample = sorted(textual_overlap)[:3]
+        snap_kind = type(next(iter(snap_labels))).__name__
+        delta_kind = type(next(iter(delta_labels))).__name__
+        raise ValueError(
+            f"--from refused: snapshot {snap_path} labels items as "
+            f"{snap_kind} but delta file {delta_path} reads them as "
+            f"{delta_kind} (e.g. {', '.join(sample)}); folding would "
+            f"double-count them as distinct items.  FIMI files are "
+            f"int-labeled only when every token is numeric — make the "
+            f"delta's tokens match the snapshot's, or rebuild from "
+            f"scratch without --from"
+        )
 
 
 def _parse_query_items(spec: str, miner: "IncrementalMiner") -> List[object]:
@@ -650,6 +830,108 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tokenize_stream_line(line: str) -> Optional[List[object]]:
+    """Tokenize one streaming FIMI line, per-token int coercion.
+
+    Unlike :func:`read_fimi` — which sees the whole file and coerces to
+    ``int`` only when every token is numeric — a stream has no whole
+    file to inspect, so each token is coerced independently.  The two
+    agree on all-numeric and no-numeric files; ``docs/serving.md``
+    records the divergence for mixed ones.
+    """
+    tokens = line.split()
+    if not tokens:
+        return None
+    labels: List[object] = []
+    for token in tokens:
+        try:
+            labels.append(int(token))
+        except ValueError:
+            labels.append(token)
+    return labels
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    probe = Probe() if (args.metrics or args.trace) else None
+    store = StreamingMiner.open(
+        args.store,
+        fsync=args.fsync,
+        batch_records=args.batch_records,
+        batch_age=args.batch_age,
+        compact_segments=args.compact_segments,
+        segment_max_bytes=args.segment_max_bytes,
+        fold_timeout=args.timeout,
+        fold_memory_limit_mb=args.memory_limit,
+        probe=probe,
+    )
+    if not store.recovery.clean:
+        print(store.recovery.describe(), file=sys.stderr)
+    ingested = 0
+    if args.file == "-":
+        handle, close_handle = sys.stdin, False
+    else:
+        handle, close_handle = open(args.file, "r", encoding="utf-8"), True
+    try:
+        idle_start = None
+        while True:
+            line = handle.readline()
+            if line:
+                idle_start = None
+                labels = _tokenize_stream_line(line)
+                if labels is not None:
+                    store.ingest(labels)
+                    ingested += 1
+                continue
+            if not args.follow:
+                break
+            # End of file, for now: fold anything aging in the buffer,
+            # then poll for growth.
+            store.tick()
+            now = time.monotonic()
+            if idle_start is None:
+                idle_start = now
+            elif (
+                args.idle_timeout is not None
+                and now - idle_start >= args.idle_timeout
+            ):
+                break
+            time.sleep(args.poll_interval)
+        store.close()
+    except MiningInterrupted:
+        # The fold budget tripped mid-batch; the durable state (log +
+        # last snapshot) is intact and 'recover' resumes from it.
+        try:
+            store.close()
+        except Exception:
+            pass
+        raise
+    finally:
+        if close_handle:
+            handle.close()
+        _emit_observability(probe, args)
+    print(
+        f"# store {args.store}: ingested {ingested} transaction(s), "
+        f"{store.n_transactions} total",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_recover(args: argparse.Namespace) -> int:
+    store = StreamingMiner.open(args.store)
+    report = store.recovery
+    print(report.describe())
+    if args.output:
+        n_bytes = save_snapshot(store.miner, args.output)
+        print(f"exported {args.output} ({n_bytes} bytes)")
+    if not args.no_compact:
+        path = store.compact()
+        if path is not None:
+            print(f"compacted {os.path.basename(path)}")
+    store.close(compact=False)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (also installed as the ``repro-mine`` script).
 
@@ -673,6 +955,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_snapshot(args)
         if args.command == "query":
             return _command_query(args)
+        if args.command == "ingest":
+            return _command_ingest(args)
+        if args.command == "recover":
+            return _command_recover(args)
     except MiningInterrupted as exc:
         print(f"repro-mine: {exc}", file=sys.stderr)
         if exc.fallback_path:

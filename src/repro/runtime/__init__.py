@@ -30,7 +30,7 @@ from .errors import (
     MiningTimeout,
 )
 from .fallback import DEFAULT_CHAIN, FallbackPolicy
-from .faults import FaultPlan
+from .faults import FaultPlan, InjectedCrash
 from .guard import ProgressInfo, RunGuard, checker
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "FallbackPolicy",
     "DEFAULT_CHAIN",
     "FaultPlan",
+    "InjectedCrash",
     "MiningError",
     "MiningInterrupted",
     "MiningTimeout",

@@ -18,12 +18,24 @@ recorded in :attr:`FaultPlan.trips`.
 Set the guard's ``stride`` to 1 when exact firing positions matter —
 with a larger stride the fault fires at the first *real* check at or
 after the threshold.
+
+Beyond guard-count trips, a plan can simulate a *hard crash* at a
+named pipeline boundary: durable subsystems (the write-ahead log and
+snapshot compaction of :mod:`repro.serving`) call
+:meth:`FaultPlan.reach` with a point name at every step that touches
+disk, and a plan armed with ``crash_at`` raises
+:class:`InjectedCrash` — a :class:`BaseException`, so ordinary
+``except Exception`` recovery code cannot swallow it, exactly like a
+``SIGKILL`` would not be caught — the ``crash_on_hit``-th time that
+point is reached.  The crash-recovery property tests kill the ingest
+pipeline at every named point this way and prove the recovered state
+answers queries identically to a never-crashed run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .errors import (
     CorruptInputError,
@@ -32,7 +44,26 @@ from .errors import (
     MiningTimeout,
 )
 
-__all__ = ["FaultPlan"]
+__all__ = ["FaultPlan", "InjectedCrash"]
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death from :meth:`FaultPlan.reach`.
+
+    Deliberately **not** an :class:`Exception` subclass: a real crash
+    gives cleanup code no chance to run, so the simulation must not be
+    absorbable by the broad ``except Exception`` handlers that guard
+    ordinary I/O.  Tests catch it explicitly, then re-open the crashed
+    store to exercise recovery.
+
+    ``point`` is the named boundary that fired and ``hits`` how many
+    times it had been reached.
+    """
+
+    def __init__(self, point: str, hits: int) -> None:
+        super().__init__(f"injected crash at point {point!r} (hit {hits})")
+        self.point = point
+        self.hits = hits
 
 
 @dataclass
@@ -49,15 +80,39 @@ class FaultPlan:
     memory_at: Optional[int] = None
     cancel_at: Optional[int] = None
     corrupt_at: Optional[int] = None
+    #: Named pipeline boundary at which :meth:`reach` raises
+    #: :class:`InjectedCrash` (``None`` disables crash injection).
+    crash_at: Optional[str] = None
+    #: Fire on the Nth arrival at ``crash_at`` (1 = the first).
+    crash_on_hit: int = 1
     #: Disarm after this many firings (``None`` = never disarm).
     max_trips: Optional[int] = None
     #: Record of firings: ``(fault kind, check count)`` tuples.
     trips: List[Tuple[str, int]] = field(default_factory=list)
+    #: Arrival counts per named point, whether or not they fired.
+    point_hits: Dict[str, int] = field(default_factory=dict)
 
     @property
     def armed(self) -> bool:
         """Will the plan still fire?"""
         return self.max_trips is None or len(self.trips) < self.max_trips
+
+    def reach(self, point: str) -> None:
+        """Record arrival at a named pipeline boundary; maybe crash.
+
+        Called by crash-point-instrumented code (the WAL appender, the
+        snapshot compactor) at every boundary whose loss semantics are
+        worth testing.  Arrivals are always counted; the plan raises
+        :class:`InjectedCrash` when ``point`` matches ``crash_at`` on
+        its ``crash_on_hit``-th arrival while the plan is armed.
+        """
+        hits = self.point_hits.get(point, 0) + 1
+        self.point_hits[point] = hits
+        if not self.armed:
+            return
+        if self.crash_at == point and hits >= self.crash_on_hit:
+            self.trips.append((f"crash:{point}", hits))
+            raise InjectedCrash(point, hits)
 
     def fire(self, guard: Any) -> None:
         """Consulted by the guard at every real check; raises on a hit."""

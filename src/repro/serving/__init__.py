@@ -12,6 +12,14 @@ into a mine-once, serve-many system:
   (:func:`merge_miners`) and the parallel bridge
   (:func:`build_miner_parallel`) that mines shards in worker processes
   and folds them into one servable repository.
+* :mod:`~repro.serving.wal` — the CRC-framed, length-prefixed
+  write-ahead delta log (:class:`WriteAheadLog`) with configurable
+  fsync policy, torn-tail scan/repair, and retry-with-backoff on
+  transient I/O errors.
+* :mod:`~repro.serving.streaming` — :class:`StreamingMiner`, the
+  durable always-on ingest engine: WAL + micro-batch folds + tiered
+  snapshot compaction + crash recovery (``repro ingest`` /
+  ``repro recover`` on the CLI).
 
 The query surface itself (``closed_sets``, ``support_of``, ``top_k``,
 ``supersets_of``, memoization) lives on ``IncrementalMiner``, re-exported
@@ -28,7 +36,10 @@ from .snapshot import (
     load_snapshot,
     loads_snapshot,
     save_snapshot,
+    write_bytes_durable,
 )
+from .streaming import CRASH_POINTS, RecoveryReport, StreamingMiner
+from .wal import WalError, WriteAheadLog, repair_wal, retry_io, scan_wal
 
 __all__ = [
     "IncrementalMiner",
@@ -39,6 +50,15 @@ __all__ = [
     "loads_snapshot",
     "save_snapshot",
     "load_snapshot",
+    "write_bytes_durable",
     "merge_miners",
     "build_miner_parallel",
+    "StreamingMiner",
+    "RecoveryReport",
+    "CRASH_POINTS",
+    "WriteAheadLog",
+    "WalError",
+    "scan_wal",
+    "repair_wal",
+    "retry_io",
 ]

@@ -77,6 +77,8 @@ __all__ = [
     "loads_snapshot",
     "save_snapshot",
     "load_snapshot",
+    "write_bytes_durable",
+    "fsync_directory",
 ]
 
 SNAPSHOT_MAGIC = b"RSNP"
@@ -307,20 +309,79 @@ def loads_snapshot(
     return miner
 
 
-def save_snapshot(miner: IncrementalMiner, path) -> int:
-    """Write a snapshot to ``path`` atomically; returns the byte count.
+def fsync_directory(path) -> None:
+    """fsync a directory so a just-renamed entry survives a power cut.
 
-    The snapshot lands under a temporary name in the destination
-    directory and is moved into place with :func:`os.replace`, so a
-    crashed save never leaves a half-written file where a serving
-    process would pick it up.
+    ``os.replace`` makes the swap atomic against concurrent readers,
+    but the *directory entry* itself is only durable once the directory
+    inode reaches the disk; without this a crash right after the rename
+    can leave a missing (or, on some filesystems, zero-length) file.
+    Filesystems that refuse ``fsync`` on directory handles are
+    tolerated silently — there is no stronger primitive to fall back
+    to on them.
     """
-    data = dumps_snapshot(miner)
+    try:
+        fd = os.open(os.fspath(path) or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_bytes_durable(path, data: bytes, on_step=None) -> None:
+    """Write ``data`` to ``path`` atomically *and* durably.
+
+    The full sequence is: write to a temporary name in the destination
+    directory, ``fsync`` the temporary file (the bytes), atomically
+    ``os.replace`` it into place (the name), then ``fsync`` the parent
+    directory (the rename).  A crash at any point leaves either the
+    old file or the new one — never a torn or vanishing entry.
+
+    ``on_step`` is an optional callable invoked with ``"synced"``
+    (temp file durable, rename pending) and ``"renamed"`` (entry
+    swapped, directory fsync pending); the crash-injection tests hook
+    these to kill the process between the steps.
+    """
     path = os.fspath(path)
     tmp_path = f"{path}.tmp.{os.getpid()}"
-    with open(tmp_path, "wb") as handle:
-        handle.write(data)
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except Exception:
+        # Best-effort cleanup on a write failure.  Ordinary exceptions
+        # only: an InjectedCrash must leave the stale temp file behind,
+        # exactly as a process kill would.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if on_step is not None:
+        on_step("synced")
     os.replace(tmp_path, path)
+    if on_step is not None:
+        on_step("renamed")
+    fsync_directory(os.path.dirname(path) or ".")
+
+
+def save_snapshot(miner: IncrementalMiner, path) -> int:
+    """Write a snapshot to ``path`` atomically and durably; returns the
+    byte count.
+
+    The snapshot lands under a temporary name in the destination
+    directory, is fsynced, moved into place with :func:`os.replace`,
+    and the directory entry is fsynced too (see
+    :func:`write_bytes_durable`) — a crash at any point leaves either
+    the previous snapshot or the complete new one.
+    """
+    data = dumps_snapshot(miner)
+    write_bytes_durable(path, data)
     return len(data)
 
 

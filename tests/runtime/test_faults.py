@@ -16,6 +16,7 @@ from repro.mining import ALGORITHMS, mine
 from repro.runtime import (
     CancellationToken,
     FaultPlan,
+    InjectedCrash,
     MemoryBudgetExceeded,
     MiningCancelled,
     MiningTimeout,
@@ -99,3 +100,44 @@ def test_max_trips_disarms():
 def test_guard_shorthand_and_explicit_guard_conflict():
     with pytest.raises(ValueError, match="not both"):
         mine(DB, 3, guard=RunGuard(), timeout=1.0)
+
+
+class TestCrashPoints:
+    """FaultPlan.reach: named-boundary crash injection for the durable
+    serving pipeline."""
+
+    def test_reach_counts_arrivals_without_firing(self):
+        plan = FaultPlan()
+        for _ in range(3):
+            plan.reach("wal.append")
+        plan.reach("fold")
+        assert plan.point_hits == {"wal.append": 3, "fold": 1}
+        assert plan.trips == []
+
+    def test_crash_fires_on_chosen_hit_only(self):
+        plan = FaultPlan(crash_at="compact.save", crash_on_hit=2)
+        plan.reach("compact.save")  # hit 1: armed but below threshold
+        plan.reach("compact")       # different point: never fires
+        with pytest.raises(InjectedCrash) as info:
+            plan.reach("compact.save")
+        assert info.value.point == "compact.save"
+        assert info.value.hits == 2
+        assert plan.trips == [("crash:compact.save", 2)]
+
+    def test_injected_crash_is_not_an_ordinary_exception(self):
+        # A real SIGKILL gives cleanup code no chance; the simulation
+        # must therefore not be catchable by `except Exception`.
+        assert not issubclass(InjectedCrash, Exception)
+        plan = FaultPlan(crash_at="wal.prune")
+        with pytest.raises(InjectedCrash):
+            try:
+                plan.reach("wal.prune")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("InjectedCrash was swallowed as an Exception")
+
+    def test_max_trips_disarms_crash_points_too(self):
+        plan = FaultPlan(crash_at="fold", max_trips=1)
+        with pytest.raises(InjectedCrash):
+            plan.reach("fold")
+        plan.reach("fold")  # disarmed: counted, not raised
+        assert plan.point_hits["fold"] == 2

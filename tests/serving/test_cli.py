@@ -133,3 +133,136 @@ class TestQueryCommand:
 
     def test_bad_smin_exits_2(self, snap_path, capsys):
         assert main(["query", snap_path, "-s", "0"]) == EXIT_USER_ERROR
+
+
+class TestWarmFromLabelConflict:
+    def test_int_snapshot_vs_string_delta_refused(self, tmp_path, capsys):
+        base = tmp_path / "base.fimi"
+        base.write_text("1 2 3\n2 3\n")  # all-numeric: int labels
+        delta = tmp_path / "delta.fimi"
+        delta.write_text("1 2\n3 4 x\n")  # mixed: string labels
+        base_snap = str(tmp_path / "base.snap")
+        assert main(["snapshot", str(base), "-o", base_snap]) == 0
+        code = main(
+            ["snapshot", str(delta), "-o", str(tmp_path / "out.snap"),
+             "--from", base_snap]
+        )
+        assert code == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert "--from refused" in err
+        assert "int" in err and "str" in err
+        assert not (tmp_path / "out.snap").exists()
+
+    def test_disjoint_universes_still_allowed(self, tmp_path):
+        base = tmp_path / "base.fimi"
+        base.write_text("a b\nb c\n")
+        delta = tmp_path / "delta.fimi"
+        delta.write_text("x y\ny z\n")  # genuinely new items: fine
+        base_snap = str(tmp_path / "base.snap")
+        out_snap = str(tmp_path / "out.snap")
+        assert main(["snapshot", str(base), "-o", base_snap]) == 0
+        assert main(
+            ["snapshot", str(delta), "-o", out_snap, "--from", base_snap]
+        ) == 0
+
+    def test_matching_universes_still_allowed(self, tmp_path):
+        base = tmp_path / "base.fimi"
+        base.write_text("1 2 3\n2 3\n")
+        delta = tmp_path / "delta.fimi"
+        delta.write_text("1 3\n2 3\n")  # also all-numeric: same coercion
+        base_snap = str(tmp_path / "base.snap")
+        assert main(["snapshot", str(base), "-o", base_snap]) == 0
+        assert main(
+            ["snapshot", str(delta), "-o", str(tmp_path / "out.snap"),
+             "--from", base_snap]
+        ) == 0
+
+
+class TestIngestRecoverCommands:
+    def _query_lines(self, snap, tmp_path, smin="1"):
+        out = tmp_path / "q.txt"
+        assert main(["query", snap, "-s", smin, "-o", str(out)]) == 0
+        return sorted(out.read_text().splitlines())
+
+    def test_ingest_then_recover_matches_cold_mine(self, tmp_path, capsys):
+        feed = tmp_path / "feed.fimi"
+        feed.write_text("a b c\nb c\na c\nb c\na b\nc\n")
+        store = str(tmp_path / "store")
+        assert main(
+            ["ingest", store, str(feed), "--batch-records", "2",
+             "--compact-segments", "1", "--segment-max-bytes", "128"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "ingested 6 transaction(s)" in err
+
+        recovered = str(tmp_path / "recovered.snap")
+        assert main(["recover", store, "-o", recovered]) == 0
+        out = capsys.readouterr().out
+        assert "transactions 6" in out
+
+        cold = str(tmp_path / "cold.snap")
+        assert main(["snapshot", str(feed), "-o", cold]) == 0
+        assert self._query_lines(recovered, tmp_path) == self._query_lines(
+            cold, tmp_path
+        )
+
+    def test_ingest_resumes_a_store(self, tmp_path, capsys):
+        first = tmp_path / "first.fimi"
+        first.write_text("a b\nb c\n")
+        second = tmp_path / "second.fimi"
+        second.write_text("a c\na b c\n")
+        both = tmp_path / "both.fimi"
+        both.write_text(first.read_text() + second.read_text())
+        store = str(tmp_path / "store")
+        assert main(["ingest", store, str(first)]) == 0
+        assert main(["ingest", store, str(second)]) == 0
+        recovered = str(tmp_path / "recovered.snap")
+        assert main(["recover", store, "-o", recovered]) == 0
+        cold = str(tmp_path / "cold.snap")
+        assert main(["snapshot", str(both), "-o", cold]) == 0
+        assert self._query_lines(recovered, tmp_path) == self._query_lines(
+            cold, tmp_path
+        )
+
+    def test_recover_reports_torn_tail_and_exits_zero(self, tmp_path, capsys):
+        import os
+
+        feed = tmp_path / "feed.fimi"
+        feed.write_text("a b\nb c\na c\n")
+        store = tmp_path / "store"
+        assert main(
+            ["ingest", str(store), str(feed), "--batch-records", "100"]
+        ) == 0
+        capsys.readouterr()
+        # Tear the log tail the way a mid-write kill would.
+        [segment] = [
+            name
+            for name in os.listdir(store / "wal")
+            if name.endswith(".wal")
+        ]
+        with open(store / "wal" / segment, "ab") as handle:
+            handle.write(b"\x99" * 9)
+        assert main(["recover", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "truncated 9 byte(s)" in out
+        assert "transactions 3" in out
+
+    def test_ingest_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(
+            ["ingest", str(tmp_path / "store"), str(tmp_path / "nope.fimi")]
+        ) == EXIT_USER_ERROR
+
+    def test_ingest_fold_budget_trip_exits_three(self, tmp_path, capsys):
+        feed = tmp_path / "feed.fimi"
+        feed.write_text("".join("a b c d e f\n" for _ in range(30)))
+        store = str(tmp_path / "store")
+        code = main(
+            ["ingest", store, str(feed), "--batch-records", "4",
+             "--timeout", "0.0"]
+        )
+        assert code == EXIT_INTERRUPTED
+        capsys.readouterr()
+        # Nothing acked was lost: recovery replays the logged batch.
+        assert main(["recover", store]) == 0
+        out = capsys.readouterr().out
+        assert "transactions" in out

@@ -1,0 +1,261 @@
+"""The write-ahead log: framing, torn-tail repair, retries, pruning."""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+
+import pytest
+
+from repro.obs import Probe
+from repro.runtime import FaultPlan, InjectedCrash
+from repro.serving.wal import (
+    FSYNC_POLICIES,
+    TRANSIENT_ERRNOS,
+    WalError,
+    WriteAheadLog,
+    repair_wal,
+    retry_io,
+    scan_wal,
+)
+
+ROWS = [["a", "b"], ["b", "c", "d"], ["a"], [1, 2, 3], ["x", 5, True]]
+
+
+def _fill(directory, rows=ROWS, **kwargs):
+    with WriteAheadLog(directory, **kwargs) as wal:
+        for row in rows:
+            wal.append(row)
+    return directory
+
+
+class TestAppendAndScan:
+    def test_round_trip_preserves_labels_and_sequence(self, tmp_path):
+        _fill(tmp_path / "wal")
+        scan = scan_wal(tmp_path / "wal")
+        assert scan.clean
+        assert [labels for _, labels in scan.records] == ROWS
+        assert [seq for seq, _ in scan.records] == list(range(len(ROWS)))
+        assert scan.next_seq == len(ROWS)
+
+    def test_append_acks_survive_reopen(self, tmp_path):
+        d = tmp_path / "wal"
+        _fill(d)
+        with WriteAheadLog(d) as wal:
+            assert wal.next_seq == len(ROWS)
+            wal.append(["late"])
+        scan = scan_wal(d)
+        assert scan.records[-1] == (len(ROWS), ["late"])
+
+    @pytest.mark.parametrize("policy", FSYNC_POLICIES)
+    def test_every_fsync_policy_accepted(self, tmp_path, policy):
+        _fill(tmp_path / policy, fsync=policy)
+        assert scan_wal(tmp_path / policy).clean
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="fsync"):
+            WriteAheadLog(tmp_path / "wal", fsync="sometimes")
+
+    def test_unencodable_label_rejected_before_write(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            with pytest.raises(WalError, match="labels"):
+                wal.append([object()])
+        assert scan_wal(tmp_path / "wal").records == []
+
+    def test_segments_roll_at_size_threshold(self, tmp_path):
+        d = tmp_path / "wal"
+        _fill(d, rows=[["item", i] for i in range(50)], segment_max_bytes=256)
+        scan = scan_wal(d)
+        assert scan.clean
+        assert len(scan.segments) > 1
+        assert [labels for _, labels in scan.records] == [
+            ["item", i] for i in range(50)
+        ]
+
+    def test_roll_on_empty_segment_is_noop(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            wal.roll()
+            wal.roll()
+            assert wal.segment_count == 1
+
+
+class TestTornTails:
+    """Satellite: truncated record, flipped CRC byte, garbage past the
+    last valid frame — recovery truncates and reports, never raises
+    unstructured, never replays a partial record."""
+
+    def _segment_paths(self, directory):
+        return sorted(
+            os.path.join(directory, name)
+            for name in os.listdir(directory)
+            if name.endswith(".wal")
+        )
+
+    def test_truncated_final_record(self, tmp_path):
+        d = _fill(tmp_path / "wal")
+        path = self._segment_paths(d)[-1]
+        size = os.path.getsize(path)
+        with open(path, "rb+") as handle:
+            handle.truncate(size - 3)
+        scan = scan_wal(d)
+        assert not scan.clean
+        assert scan.torn_segment == path
+        assert [labels for _, labels in scan.records] == ROWS[:-1]
+        assert scan.truncated_bytes > 0
+
+    def test_flipped_crc_byte(self, tmp_path):
+        d = _fill(tmp_path / "wal")
+        path = self._segment_paths(d)[-1]
+        with open(path, "rb+") as handle:
+            data = bytearray(handle.read())
+            data[-1] ^= 0xFF  # inside the last frame's payload
+            handle.seek(0)
+            handle.write(data)
+        scan = scan_wal(d)
+        assert not scan.clean
+        assert "checksum" in scan.torn_reason
+        assert [labels for _, labels in scan.records] == ROWS[:-1]
+
+    def test_garbage_past_last_valid_frame(self, tmp_path):
+        d = _fill(tmp_path / "wal")
+        path = self._segment_paths(d)[-1]
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 7)
+        scan = scan_wal(d)
+        assert not scan.clean
+        assert [labels for _, labels in scan.records] == ROWS
+        assert scan.truncated_bytes == 28
+
+    def test_repair_truncates_and_log_accepts_appends_again(self, tmp_path):
+        d = _fill(tmp_path / "wal")
+        path = self._segment_paths(d)[-1]
+        with open(path, "ab") as handle:
+            handle.write(b"garbage")
+        scan = scan_wal(d)
+        # A damaged log refuses to open until repaired.
+        with pytest.raises(WalError, match="repair"):
+            WriteAheadLog(d)
+        removed = repair_wal(scan)
+        assert removed == len(b"garbage")
+        assert scan_wal(d).clean
+        with WriteAheadLog(d) as wal:
+            seq = wal.append(["after", "repair"])
+        assert seq == len(ROWS)
+        assert scan_wal(d).records[-1] == (len(ROWS), ["after", "repair"])
+
+    def test_sequence_gap_between_segments_drops_tail(self, tmp_path):
+        d = tmp_path / "wal"
+        _fill(d, rows=[["item", i] for i in range(50)], segment_max_bytes=256)
+        paths = self._segment_paths(d)
+        assert len(paths) > 2
+        os.unlink(paths[1])  # open a gap: later segments are unreachable
+        scan = scan_wal(d)
+        assert not scan.clean
+        assert "gap" in scan.torn_reason
+        # The scan stops at the segment past the gap; everything after
+        # it is unreachable.
+        assert scan.torn_segment == paths[2]
+        assert set(scan.dropped_segments) == set(paths[3:])
+        repair_wal(scan)
+        assert scan_wal(d).clean
+
+    def test_torn_injection_leaves_replayable_prefix(self, tmp_path):
+        plan = FaultPlan(crash_at="wal.append.torn", crash_on_hit=3)
+        wal = WriteAheadLog(tmp_path / "wal", fault_plan=plan)
+        with pytest.raises(InjectedCrash):
+            for row in ROWS:
+                wal.append(row)
+        scan = scan_wal(tmp_path / "wal")
+        assert not scan.clean  # a literal half-frame is on disk
+        assert [labels for _, labels in scan.records] == ROWS[:2]
+        repair_wal(scan)
+        assert scan_wal(tmp_path / "wal").clean
+
+
+class TestPrune:
+    def test_prune_only_covered_segments(self, tmp_path):
+        d = tmp_path / "wal"
+        wal = WriteAheadLog(d, segment_max_bytes=256)
+        for i in range(50):
+            wal.append(["item", i])
+        before = wal.segment_count
+        assert before > 2
+        wal.prune_through(10)
+        survivors = scan_wal(d)
+        assert survivors.clean
+        # Every record past the prune point is still replayable.
+        kept = [seq for seq, _ in survivors.records]
+        assert kept[-1] == 49
+        assert all(seq <= 10 or seq in kept for seq in range(50))
+        wal.close()
+
+    def test_live_segment_never_pruned(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal")
+        for i in range(5):
+            wal.append(["item", i])
+        wal.prune_through(10_000)
+        assert wal.segment_count == 1
+        assert len(scan_wal(tmp_path / "wal").records) == 5
+        wal.close()
+
+    def test_snapshot_ahead_of_log_restarts_cleanly(self, tmp_path):
+        d = _fill(tmp_path / "wal")
+        # A snapshot covering seq 100 opens the log past every record:
+        # the stale segments are fully covered and must go, or the
+        # sequence space would have a gap below the new base.
+        with WriteAheadLog(d, start_seq=100) as wal:
+            assert wal.next_seq == 100
+            wal.append(["fresh"])
+        scan = scan_wal(d)
+        assert scan.clean
+        assert scan.records == [(100, ["fresh"])]
+
+
+class TestRetryIO:
+    def test_transient_errors_retried_and_counted(self):
+        probe = Probe()
+        calls = {"n": 0}
+        sleeps = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(errno.EAGAIN, "try again")
+            return "done"
+
+        result = retry_io(
+            flaky,
+            probe=probe,
+            sleep=sleeps.append,
+            rng=random.Random(0),
+        )
+        assert result == "done"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0] > 0  # exponential, jittered
+        assert probe.metrics.snapshot()["counters"]["wal.retries"] == 2
+
+    def test_non_transient_fails_fast(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise OSError(errno.ENOSPC, "disk full")
+
+        with pytest.raises(OSError) as info:
+            retry_io(broken, sleep=lambda _: None)
+        assert info.value.errno == errno.ENOSPC
+        assert calls["n"] == 1  # no retry for a real fault
+
+    def test_transient_exhaustion_raises_last_error(self):
+        def always():
+            raise OSError(errno.EINTR, "interrupted")
+
+        with pytest.raises(OSError) as info:
+            retry_io(always, attempts=3, sleep=lambda _: None)
+        assert info.value.errno == errno.EINTR
+
+    def test_transient_errno_set_is_conservative(self):
+        assert errno.ENOSPC not in TRANSIENT_ERRNOS
+        assert errno.EIO not in TRANSIENT_ERRNOS
