@@ -8,14 +8,28 @@ a fresh run against a committed one.
 
 Usage::
 
-    # Record (refresh) the committed baseline
-    PYTHONPATH=src python benchmarks/bench_kernels.py --record benchmarks/BENCH_kernels.json
+    # Record (refresh) the committed baseline: one fresh session, then
+    # fold a few more so the file keeps per-case session minima — the
+    # floor a tight-tolerance smoke gate needs
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --record benchmarks/BENCH_kernels.json --repeats 12 --runs 3
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --record benchmarks/BENCH_kernels.json --repeats 12 --runs 3 --fold  # x3
 
     # CI gate: compare a fresh run against the baseline by speedup
     # ratio (machine-independent) with a generous noise tolerance
     PYTHONPATH=src python benchmarks/bench_kernels.py \
         --compare benchmarks/BENCH_kernels.json --tolerance 0.5 \
         --require-speedup 2.0 --out fresh.json
+
+    # Hard per-primitive promises, independent of the baseline
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --compare benchmarks/BENCH_kernels.json \
+        --require-case intersect_many:1.5 --require-case intersect_count_many:1.5
+
+    # Fast smoke pass (same fixture, fewer repeats)
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --compare benchmarks/BENCH_kernels.json --quick --tolerance 0.1
 
 Exit codes: 0 = pass/recorded, 1 = regression detected.
 
@@ -40,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
     action.add_argument(
         "--record", metavar="FILE", help="run the suite and write the baseline here"
     )
+    parser.add_argument(
+        "--fold",
+        action="store_true",
+        help="with --record, merge into an existing baseline by pointwise "
+        "minimum instead of overwriting — repeat across a few sessions to "
+        "record the floor the gate statistic has demonstrably cleared in "
+        "every session (what a tight --tolerance needs)",
+    )
     action.add_argument(
         "--compare", metavar="FILE", help="run the suite and gate against this baseline"
     )
@@ -63,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally require a fresh geomean speedup of at least FACTOR",
     )
     parser.add_argument(
+        "--require-case",
+        action="append",
+        default=[],
+        metavar="NAME:FACTOR",
+        help=(
+            "require every fresh speedup ratio of case NAME to be at least "
+            "FACTOR (repeatable; independent of the baseline values)"
+        ),
+    )
+    parser.add_argument(
         "--out", metavar="FILE", help="also write the fresh measurements here"
     )
     parser.add_argument("--rows", type=int, default=256, help="fixture transactions")
@@ -71,21 +103,131 @@ def build_parser() -> argparse.ArgumentParser:
         "--density", type=float, default=0.5, help="fixture density (default 0.5)"
     )
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="full-suite passes to aggregate: the reported measurement "
+        "keeps per-case minima (both seconds and speedup ratios), a "
+        "conservative envelope that ambient machine load can only "
+        "shrink, never inflate — use for recording baselines",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: same fixture at batched best-of-12 — stable "
+        "speedup ratios for a tight tolerance at a fraction of the "
+        "best-of-30 recording cost",
+    )
     return parser
+
+
+def merge_runs(runs) -> dict:
+    """Fold several microbench passes into a peak-vs-peak envelope.
+
+    Per case each backend keeps its minimum (fastest demonstrated)
+    seconds, and the speedup ratios are *recomputed* from those merged
+    minima.  A ratio of per-backend peaks converges to a machine
+    constant as passes accumulate — unlike a single pass's ratio, where
+    one noisy side skews the quotient — which is what lets the CI smoke
+    gate hold a tight tolerance.  The geomean is recomputed to match.
+    """
+    import math
+
+    merged = runs[0]
+    backends = merged.get("backends", [])
+    for fresh in runs[1:]:
+        for case, timings in fresh["cases"].items():
+            into = merged["cases"].setdefault(case, {})
+            for key, value in timings.items():
+                into[key] = min(into.get(key, value), value)
+    for timings in merged["cases"].values():
+        reference = timings.get("bitint")
+        if reference:
+            for name in backends:
+                if name != "bitint" and timings.get(name):
+                    timings[f"speedup:{name}"] = reference / timings[name]
+    speedups = [
+        value
+        for timings in merged["cases"].values()
+        for key, value in timings.items()
+        if key.startswith("speedup:") and value > 0
+    ]
+    merged["summary"]["geomean_speedup"] = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else None
+    )
+    merged["fixture"]["runs"] = len(runs)
+    return merged
+
+
+def fold_baselines(previous: dict, fresh: dict) -> dict:
+    """Pointwise-minimum fold of a fresh session into a prior baseline.
+
+    Unlike :func:`merge_runs`, the speedup ratios themselves take the
+    minimum rather than being recomputed from merged seconds: folding
+    across sessions must keep the worst ratio any *session* produced
+    (the floor the gate statistic demonstrably clears every time), not
+    the best-vs-best ratio across all of them, which only ever climbs.
+    """
+    import math
+
+    for case, timings in fresh["cases"].items():
+        into = previous["cases"].setdefault(case, {})
+        for key, value in timings.items():
+            into[key] = min(into.get(key, value), value)
+    speedups = [
+        value
+        for timings in previous["cases"].values()
+        for key, value in timings.items()
+        if key.startswith("speedup:") and value > 0
+    ]
+    previous["summary"]["geomean_speedup"] = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else None
+    )
+    previous["fixture"]["sessions"] = previous["fixture"].get("sessions", 1) + 1
+    return previous
+
+
+def parse_case_floors(specs) -> dict:
+    """``NAME:FACTOR`` argument strings -> ``{name: factor}``."""
+    floors = {}
+    for spec in specs:
+        name, separator, factor = spec.partition(":")
+        if not separator or not name:
+            raise SystemExit(f"--require-case expects NAME:FACTOR, got {spec!r}")
+        try:
+            floors[name] = float(factor)
+        except ValueError:
+            raise SystemExit(f"--require-case factor must be a number, got {spec!r}")
+    return floors
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    fresh = run_kernel_microbench(
-        n_rows=args.rows,
-        n_bits=args.bits,
-        density=args.density,
-        repeats=args.repeats,
+    case_floors = parse_case_floors(args.require_case)
+    repeats = 12 if args.quick else args.repeats
+    if args.runs < 1:
+        raise SystemExit(f"--runs must be positive, got {args.runs}")
+    fresh = merge_runs(
+        [
+            run_kernel_microbench(
+                n_rows=args.rows,
+                n_bits=args.bits,
+                density=args.density,
+                repeats=repeats,
+            )
+            for _ in range(args.runs)
+        ]
     )
     geomean = fresh["summary"]["geomean_speedup"]
     print(
         f"# fixture: {args.rows} rows x {args.bits} bits, "
-        f"density {args.density}, best of {args.repeats}"
+        f"density {args.density}, best of {repeats}"
+        + (" (quick)" if args.quick else "")
     )
     for case, timings in sorted(fresh["cases"].items()):
         parts = [
@@ -108,6 +250,11 @@ def main(argv=None) -> int:
             handle.write("\n")
 
     if args.record:
+        import os
+
+        if args.fold and os.path.exists(args.record):
+            with open(args.record, "r", encoding="utf-8") as handle:
+                fresh = fold_baselines(json.load(handle), fresh)
         with open(args.record, "w", encoding="utf-8") as handle:
             json.dump(fresh, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -122,6 +269,7 @@ def main(argv=None) -> int:
         mode=args.mode,
         tolerance=args.tolerance,
         require_speedup=args.require_speedup,
+        per_case_floors=case_floors,
     )
     if failures:
         print(f"# {len(failures)} regression(s) against {args.compare}:")

@@ -1,13 +1,25 @@
-"""Observability invariant gate: cost-model counters on a fixed fixture.
+"""Observability invariant gate: cost-model counters on fixed fixtures.
 
-Mines the committed yeast-style fixture with IsTa under an
-observability probe and gates on the *cost model*, not on wall clock:
-the intersection count (and the other ``ops.*`` counters) of a
-deterministic serial run must stay within a small tolerance of the
-committed baseline.  Wall-clock gates drown in runner noise; operation
-counts are exact, so a drift here means the algorithm itself changed —
-a different pruning schedule, a lost elimination, a double-counted
-fallback — which is precisely what a reproduction repo must notice.
+Mines the committed yeast-style fixture under an observability probe
+and gates on the *cost model*, not on wall clock: the intersection
+count (and the other ``ops.*`` counters) of a deterministic serial run
+must stay within a small tolerance of the committed baseline.
+Wall-clock gates drown in runner noise; operation counts are exact, so
+a drift here means the algorithm itself changed — a different pruning
+schedule, a lost elimination, a double-counted fallback — which is
+precisely what a reproduction repo must notice.
+
+Two workloads are pinned:
+
+* ``ista-bitint`` — IsTa, serial, reference backend.  The paper's
+  algorithm on the paper's counters.
+* ``eclat-closed-numpy`` — Eclat (closed target) on the vectorised
+  backend, which drives the bounded kernel primitives and therefore
+  the ``ops.kernel.early_aborts`` / ``ops.kernel.words_skipped`` pair.
+  Those counters derive from the *returned* sentinel set (support
+  below smin), which is data-dependent and implementation-independent,
+  so they are exact across machines — the baseline pins them at
+  tolerance 0 via its ``tolerances`` metadata.
 
 Usage::
 
@@ -15,18 +27,18 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_obs_invariants.py \
         --record benchmarks/BENCH_obs.json
 
-    # CI gate: +-1% on every ops.* counter, exact result count
+    # CI gate: +-1% on every ops.* counter (tolerances metadata in the
+    # baseline overrides per counter), exact result count
     PYTHONPATH=src python benchmarks/bench_obs_invariants.py \
         --compare benchmarks/BENCH_obs.json --tolerance 0.01 \
         --out obs-metrics-fresh.json
 
 Exit codes: 0 = pass/recorded, 1 = drift detected.
 
-The run is pinned to the ``bitint`` backend and serial execution: the
-vectorised backend batches some checks differently and parallel shards
-mine masked sub-databases, so their counts are legitimately different
-(see docs/observability.md).  The fixture is a *committed file*, not a
-generator call, so NumPy RNG stream changes cannot move the gate.
+Runs are serial: parallel shards mine masked sub-databases, so their
+counts are legitimately different (see docs/observability.md).  The
+fixture is a *committed file*, not a generator call, so NumPy RNG
+stream changes cannot move the gate.
 """
 
 from __future__ import annotations
@@ -40,22 +52,38 @@ from repro.mining import mine
 from repro.obs import Probe
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "yeast_gate.fimi")
-ALGORITHM = "ista"
-SMIN = 5
-BACKEND = "bitint"
+
+#: Pinned gate workloads: name -> mine() keyword arguments.
+WORKLOADS = {
+    "ista-bitint": {"algorithm": "ista", "backend": "bitint", "smin": 5},
+    "eclat-closed-numpy": {
+        "algorithm": "eclat",
+        "target": "closed",
+        "backend": "numpy",
+        "smin": 5,
+    },
+}
+
+#: Per-counter tolerance overrides recorded into the baseline.  The
+#: early-abort pair is derived from the data-dependent sentinel set, so
+#: it must not move at all — any change is a bound-pushdown change.
+TOLERANCES = {
+    "ops.kernel.early_aborts": 0.0,
+    "ops.kernel.words_skipped": 0.0,
+}
 
 
-def measure() -> dict:
-    """One probed serial run; returns the gate record."""
+def measure(name: str) -> dict:
+    """One probed serial run of the named workload; the gate record."""
+    spec = dict(WORKLOADS[name])
+    smin = spec.pop("smin")
     db = read_fimi(FIXTURE)
     probe = Probe()
-    result = mine(db, SMIN, algorithm=ALGORITHM, backend=BACKEND, probe=probe)
+    result = mine(db, smin, probe=probe, **spec)
     snapshot = probe.metrics.snapshot()
     return {
         "fixture": os.path.relpath(FIXTURE, os.path.dirname(__file__)),
-        "algorithm": ALGORITHM,
-        "smin": SMIN,
-        "backend": BACKEND,
+        "workload": dict(WORKLOADS[name]),
         "n_closed": len(result),
         "counters": {
             name: value
@@ -66,25 +94,58 @@ def measure() -> dict:
     }
 
 
-def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
-    """Drift messages (empty = gate passes)."""
+def measure_all() -> dict:
+    return {
+        "workloads": {name: measure(name) for name in WORKLOADS},
+        "tolerances": dict(TOLERANCES),
+    }
+
+
+def compare_workload(
+    baseline: dict, fresh: dict, tolerance: float, tolerances: dict, label: str = ""
+) -> list:
+    """Drift messages for one workload record (empty = gate passes)."""
+    prefix = f"{label}: " if label else ""
     failures = []
     if fresh["n_closed"] != baseline["n_closed"]:
         failures.append(
-            f"n_closed: {fresh['n_closed']} != baseline {baseline['n_closed']} "
-            "(result family changed)"
+            f"{prefix}n_closed: {fresh['n_closed']} != baseline "
+            f"{baseline['n_closed']} (result family changed)"
         )
     for name, base_value in sorted(baseline.get("counters", {}).items()):
         fresh_value = fresh["counters"].get(name)
         if fresh_value is None:
-            failures.append(f"{name}: missing from fresh run")
+            failures.append(f"{prefix}{name}: missing from fresh run")
             continue
-        allowed = abs(base_value) * tolerance
+        effective = tolerances.get(name, tolerance)
+        allowed = abs(base_value) * effective
         if abs(fresh_value - base_value) > allowed:
             failures.append(
-                f"{name}: {fresh_value} drifted from baseline {base_value} "
-                f"(tolerance +-{tolerance:.1%})"
+                f"{prefix}{name}: {fresh_value} drifted from baseline "
+                f"{base_value} (tolerance +-{effective:.1%})"
             )
+    return failures
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Drift messages across all workloads (empty = gate passes).
+
+    The per-counter ``tolerances`` metadata recorded in the baseline
+    overrides the CLI tolerance — counters pinned at 0.0 must match
+    exactly.
+    """
+    tolerances = baseline.get("tolerances", {})
+    failures = []
+    for name, base_record in sorted(baseline.get("workloads", {}).items()):
+        fresh_record = fresh.get("workloads", {}).get(name)
+        if fresh_record is None:
+            failures.append(f"{name}: workload missing from fresh run")
+            continue
+        failures.extend(
+            compare_workload(
+                base_record, fresh_record, tolerance, tolerances, label=name
+            )
+        )
     return failures
 
 
@@ -92,29 +153,33 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     action = parser.add_mutually_exclusive_group(required=True)
     action.add_argument(
-        "--record", metavar="FILE", help="run the gate workload and write the baseline"
+        "--record", metavar="FILE", help="run the gate workloads and write the baseline"
     )
     action.add_argument(
-        "--compare", metavar="FILE", help="run the gate workload and compare"
+        "--compare", metavar="FILE", help="run the gate workloads and compare"
     )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.01,
-        help="relative counter tolerance (default 0.01 = 1%%)",
+        help="relative counter tolerance (default 0.01 = 1%%; the "
+        "baseline's tolerances metadata overrides per counter)",
     )
     parser.add_argument(
         "--out", metavar="FILE", help="also write the fresh record (full metrics) here"
     )
     args = parser.parse_args(argv)
 
-    fresh = measure()
-    print(
-        f"# {ALGORITHM} on {fresh['fixture']} at smin={SMIN} ({BACKEND}): "
-        f"{fresh['n_closed']} closed sets"
-    )
-    for name, value in sorted(fresh["counters"].items()):
-        print(f"{name:28s} {value}")
+    fresh = measure_all()
+    for name, record in sorted(fresh["workloads"].items()):
+        spec = record["workload"]
+        print(
+            f"# {name}: {spec['algorithm']} on {record['fixture']} at "
+            f"smin={spec['smin']} ({spec['backend']}): "
+            f"{record['n_closed']} closed sets"
+        )
+        for counter, value in sorted(record["counters"].items()):
+            print(f"{counter:32s} {value}")
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -122,8 +187,14 @@ def main(argv=None) -> int:
             handle.write("\n")
 
     if args.record:
-        record = dict(fresh)
-        del record["metrics"]  # the baseline pins counters, not histograms
+        record = {
+            "workloads": {
+                name: {k: v for k, v in rec.items() if k != "metrics"}
+                for name, rec in fresh["workloads"].items()
+            },
+            # The baseline pins counters, not histograms.
+            "tolerances": fresh["tolerances"],
+        }
         with open(args.record, "w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -138,7 +209,7 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"DRIFT {failure}")
         return 1
-    print(f"# all counters within +-{args.tolerance:.1%} of {args.compare}")
+    print(f"# all counters within tolerance of {args.compare}")
     return 0
 
 

@@ -150,6 +150,11 @@ def _search(
             # per-item loop: keep the items of ``mask`` whose remaining
             # occurrences can still lift the set to the threshold.
             # (mask ⊆ t_position, so every kept entry is non-zero.)
+            # This is Carpenter's form of the smin pushdown the
+            # ``*_bounded`` kernels give the intersection miners: the
+            # bound settles doomed items before any deeper work, here
+            # on partial (suffix) occurrence counts rather than on
+            # partial popcounts of a joint row.
             candidate = kernel.bound_filter(row, mask, max(smin - k, 0))
             counters.items_eliminated += itemset.size(mask ^ candidate)
         else:

@@ -61,7 +61,14 @@ def mine_cumulative(
     :func:`repro.closure.verify.refine_anytime` and attached to the
     exception as an anytime result.  ``backend`` selects the
     set-algebra kernel (:mod:`repro.kernels`); a vectorised backend
-    batches the whole repository scan of each transaction.
+    keeps the repository *resident* as a packed table — packed once,
+    lazily, then grown in place with
+    :meth:`~repro.kernels.base.KernelBackend.append_rows` as new
+    intersections arrive (dict insertion order keeps the table rows
+    aligned with ``repository.values()``), so each transaction's scan
+    is one table-wide AND with no per-transaction repacking.  Pruning
+    re-keys the map, so it simply drops the table; the next scan
+    repacks.
     """
     obs = resolve_probe(probe)
     kernel = obs.wrap_kernel(resolve_backend(backend))
@@ -82,6 +89,9 @@ def mine_cumulative(
             raise ValueError(f"prune_interval must be positive, got {prune_interval}")
 
     repository: Dict[int, int] = {}
+    # Resident packed mirror of the repository keys (batched path only);
+    # ``None`` means "rebuild lazily on the next scan".
+    repo_table = None
     processed = 0
     try:
         with obs.phase(
@@ -98,17 +108,24 @@ def mine_cumulative(
                 if batched and repository:
                     check()
                     counters.intersections += len(repository)
-                    intersections = kernel.intersect_many(
-                        list(repository), transaction, n_items
-                    )
-                    for intersection, support in zip(
-                        intersections, repository.values()
+                    if repo_table is None:
+                        repo_table = kernel.pack(list(repository), n_items)
+                    intersections = kernel.intersect_rows(repo_table, transaction)
+                    for scanned, (intersection, support) in enumerate(
+                        zip(intersections, repository.values())
                     ):
+                        # The repository can grow exponentially on
+                        # unfavourable inputs; one transaction's scan
+                        # may then outlast the whole budget, so poll
+                        # the guard inside the loop too (amortised to
+                        # nothing on benign inputs).
+                        if not scanned & 0xFFF:
+                            check()
                         if intersection:
                             best = updates.get(intersection)
                             if best is None or support > best:
                                 updates[intersection] = support
-                else:
+                elif not batched:
                     for stored, support in repository.items():
                         check()
                         counters.intersections += 1
@@ -117,9 +134,23 @@ def mine_cumulative(
                             best = updates.get(intersection)
                             if best is None or support > best:
                                 updates[intersection] = support
-                for intersection, support in updates.items():
-                    repository[intersection] = support + 1
-                    counters.support_updates += 1
+                if batched:
+                    new_keys = []
+                    for applied, (intersection, support) in enumerate(
+                        updates.items()
+                    ):
+                        if not applied & 0xFFF:
+                            check()
+                        if intersection not in repository:
+                            new_keys.append(intersection)
+                        repository[intersection] = support + 1
+                        counters.support_updates += 1
+                    if repo_table is not None and new_keys:
+                        kernel.append_rows(repo_table, new_keys)
+                else:
+                    for intersection, support in updates.items():
+                        repository[intersection] = support + 1
+                        counters.support_updates += 1
                 counters.observe_repository_size(len(repository))
                 processed += 1
 
@@ -133,6 +164,9 @@ def mine_cumulative(
                         transactions
                     ):
                         _prune_repository(repository, remaining, smin, counters)
+                        # Pruning re-keys the map; the packed mirror is
+                        # stale.  Rebuild lazily on the next scan.
+                        repo_table = None
     except MiningInterrupted as exc:
         exc.attach_partial(
             lambda: refine_anytime(

@@ -50,6 +50,7 @@ points serve that role:
 
 from __future__ import annotations
 
+from itertools import islice
 from types import MappingProxyType
 from typing import (
     Dict,
@@ -123,6 +124,13 @@ class IncrementalMiner:
         self._generation = 0
         self._memo: Dict[tuple, object] = {}
         self._ranks: Optional[List[int]] = None
+        # Resident packed mirror of the flat family's keys.  Flat keys
+        # are append-only under the fold path, so across generations the
+        # table is *grown* (kernel.append_rows over the key tail) rather
+        # than repacked; it is dropped whenever the flat form itself is
+        # rebuilt (tree/pending materialisation changes key order).
+        self._packed_table = None
+        self._packed_len = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -237,6 +245,9 @@ class IncrementalMiner:
         try:
             if tree_path:
                 self._flat = None
+                # The packed mirror follows the flat form's lifetime.
+                self._packed_table = None
+                self._packed_len = 0
                 tree = self._tree
                 for mask, weight in groups:
                     self._check()
@@ -305,6 +316,10 @@ class IncrementalMiner:
             order = sorted(range(len(keys)), key=supps.__getitem__)
             keys = [keys[i] for i in order]
             supps = [supps[i] for i in order]
+        # The static (projected) family is scanned once per transaction:
+        # pack it into a resident table so every scan is one table-wide
+        # AND against rows packed exactly once for the batch.
+        base_table = kernel.pack(keys, n_bits)
         # Append-only overlay: sets touched by this batch, in update
         # order.  Per stored set later entries carry larger supports
         # (supports only grow), so the compare-and-set below takes the
@@ -314,7 +329,7 @@ class IncrementalMiner:
         for mask, weight in groups:
             self._check()
             if mask:
-                joints = kernel.intersect_many(keys, mask, n_bits)
+                joints = kernel.intersect_rows(base_table, mask)
                 agg = dict(zip(joints, supps))
                 agg.pop(0, None)
                 counters.intersections += len(keys) + len(ov_keys)
@@ -371,6 +386,9 @@ class IncrementalMiner:
                 else:
                     self._flat = self._pending.build_flat()
                     self._pending = None
+                # Fresh key order: the packed mirror is stale.
+                self._packed_table = None
+                self._packed_len = 0
         return self._flat
 
     def _family_pairs(self, smin: int) -> List[Tuple[int, int]]:
@@ -451,8 +469,9 @@ class IncrementalMiner:
         repository is touched.  Against a materialised tree the answer
         comes from the guided descent
         (:meth:`PrefixTree.superset_support`); against the flat form it
-        is a kernel ``superset_max_support`` scan over the packed
-        family (packed once per generation).  The empty set is
+        is a kernel ``superset_max_support_bounded`` scan over the
+        resident packed family (grown in place across generations, not
+        repacked).  The empty set is
         contained in every transaction, so its support is the
         transaction count.
         """
@@ -475,17 +494,45 @@ class IncrementalMiner:
             value = self._tree.superset_support(mask)
         else:
             table, supports = self._packed_family()
-            value = self._kernel.superset_max_support(table, supports, mask)
+            # Bounded form with the trivial threshold: identical answer,
+            # and the support prefilter short-circuits for free when a
+            # caller-level threshold ever tightens it.
+            value = self._kernel.superset_max_support_bounded(
+                table, supports, mask, 1
+            )
         self._memo[key] = value
         return value
 
     def _packed_family(self):
-        """The flat family as a packed kernel table (memoised)."""
+        """The flat family as a resident packed kernel table (memoised).
+
+        The table persists across generations: flat keys are append-only
+        under :meth:`_fold_into_flat`, so a mutation only grows the
+        table by the new key tail (one ``append_rows`` call) instead of
+        repacking the whole family.  A full repack happens only when the
+        flat form was rebuilt (key order changed) or the item base grew
+        past the table's packed width.  The supports list is rebuilt per
+        generation — supports change on every update.
+        """
         key = ("packed",)
         packed = self._memo.get(key)
         if packed is None:
             flat = self._ensure_flat()
-            table = self._kernel.pack(list(flat.keys()), len(self._labels))
+            kernel = self._kernel
+            n_bits = len(self._labels)
+            table = self._packed_table
+            if (
+                table is None
+                or self._packed_len > len(flat)
+                or getattr(table, "n_bits", None) != n_bits
+            ):
+                table = kernel.pack(list(flat.keys()), n_bits)
+            elif self._packed_len < len(flat):
+                kernel.append_rows(
+                    table, list(islice(flat.keys(), self._packed_len, None))
+                )
+            self._packed_table = table
+            self._packed_len = len(flat)
             packed = (table, list(flat.values()))
             self._memo[key] = packed
         return packed
@@ -556,13 +603,12 @@ class IncrementalMiner:
             if self._tree is not None:
                 pairs = list(self._tree.supersets(mask, smin))
             else:
-                flat = self._ensure_flat()
-                keys = list(flat.keys())
-                joints = self._kernel.intersect_many(keys, mask, len(self._labels))
+                kernel = self._kernel
+                table, supports = self._packed_family()
                 pairs = [
-                    (stored, flat[stored])
-                    for stored, joint in zip(keys, joints)
-                    if joint == mask and flat[stored] >= smin
+                    (kernel.table_row(table, index), supports[index])
+                    for index in kernel.superset_rows(table, mask)
+                    if supports[index] >= smin
                 ]
             ranks = self._label_ranks()
             out = MappingProxyType(

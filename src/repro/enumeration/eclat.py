@@ -15,13 +15,20 @@ Three targets:
 * ``"maximal"`` — closed sets filtered to maximal ones.
 
 The extension step — intersect the current tid mask with every
-remaining candidate's and count the survivors — is the hot loop, and it
-is exactly the shape of
-:meth:`repro.kernels.base.KernelBackend.intersect_count_many`; with a
-vectorised backend the whole sibling family is intersected and counted
-in one batch call.  Note that for a candidate ``joint ⊆ tids``,
-``joint == tids`` iff their popcounts agree, which is how the batched
-closed path detects perfect extensions from the support vector alone.
+remaining candidate's and count the survivors — is the hot loop.  With
+a vectorised backend the sibling family lives as a *resident* packed
+table (:meth:`repro.kernels.base.KernelBackend.pack` once at the root),
+each node narrows it with one table-in/table-out
+:meth:`~repro.kernels.base.KernelBackend.intersect_count_table_bounded`
+call (``smin`` pushed down: infrequent joints settle early and never
+leave the packed domain), and the surviving rows become the child's
+table via :meth:`~repro.kernels.base.KernelBackend.select_rows` —
+tid masks cross the int boundary only once per node, for the
+intersection probe itself.  Note that for a candidate
+``joint ⊆ tids``, ``joint == tids`` iff their popcounts agree, which is
+how the batched closed path detects perfect extensions from the
+support vector alone (a below-``smin`` sentinel can never equal the
+node support, which is ``>= smin`` by construction).
 """
 
 from __future__ import annotations
@@ -126,7 +133,9 @@ def _mine_all(
     check,
 ) -> None:
     """Plain Eclat: stack of (prefix mask, candidate extension list)."""
-    batched = kernel.vectorized
+    if kernel.vectorized:
+        _mine_all_tables(items, pairs, smin, n_transactions, kernel, counters, check)
+        return
     stack = [(0, items)]
     while stack:
         prefix, extensions = stack.pop()
@@ -139,26 +148,69 @@ def _mine_all(
             counters.reports += 1
             tail = extensions[index + 1 :]
             narrowed = []
-            if batched and tail:
-                counters.intersections += len(tail)
-                joints, supports = kernel.intersect_count_many(
-                    [other_tids for _, other_tids in tail], tids, n_transactions
-                )
-                narrowed = [
-                    (tail[position][0], joint)
-                    for position, (joint, joint_support) in enumerate(
-                        zip(joints, supports)
-                    )
-                    if joint_support >= smin
-                ]
-            else:
-                for other, other_tids in tail:
-                    counters.intersections += 1
-                    joint = tids & other_tids
-                    if itemset.size(joint) >= smin:
-                        narrowed.append((other, joint))
+            for other, other_tids in tail:
+                counters.intersections += 1
+                joint = tids & other_tids
+                if itemset.size(joint) >= smin:
+                    narrowed.append((other, joint))
             if narrowed:
                 stack.append((mask, narrowed))
+
+
+def _mine_all_tables(
+    items: List[Tuple[int, int]],
+    pairs: List[Tuple[int, int]],
+    smin: int,
+    n_transactions: int,
+    kernel: KernelBackend,
+    counters: OperationCounters,
+    check,
+) -> None:
+    """Batched plain Eclat over resident packed tid tables.
+
+    Same traversal and output order as the scalar path: frames hold the
+    sibling family as a packed table plus the aligned item codes and
+    supports, each node narrows the tail with one bounded
+    table-in/table-out call, and survivors are gathered into the
+    child's table without ever unpacking the tid masks.
+    """
+    if not items:
+        return
+    codes = [code for code, _ in items]
+    table = kernel.pack([tids for _, tids in items], n_transactions)
+    supports = kernel.popcount_rows(table)
+    stack = [(0, codes, table, supports)]
+    while stack:
+        prefix, codes, table, supports = stack.pop()
+        for index, item in enumerate(codes):
+            check()
+            counters.recursion_calls += 1
+            support = supports[index]
+            mask = prefix | (1 << item)
+            pairs.append((mask, support))
+            counters.reports += 1
+            tail_len = len(codes) - index - 1
+            if not tail_len:
+                continue
+            counters.intersections += tail_len
+            tids = kernel.table_row(table, index)
+            joint_table, joint_supports = kernel.intersect_count_table_bounded(
+                table, tids, smin, start=index + 1
+            )
+            keep = [
+                position
+                for position, joint_support in enumerate(joint_supports)
+                if joint_support >= smin
+            ]
+            if keep:
+                stack.append(
+                    (
+                        mask,
+                        [codes[index + 1 + position] for position in keep],
+                        kernel.select_rows(joint_table, keep),
+                        [joint_supports[position] for position in keep],
+                    )
+                )
 
 
 def _mine_closed(
@@ -177,7 +229,9 @@ def _mine_closed(
     the subsumption check relies on all closed supersets reachable
     through earlier items having been stored already.
     """
-    batched = kernel.vectorized
+    if kernel.vectorized:
+        _mine_closed_tables(items, store, smin, n_transactions, kernel, counters, check)
+        return
     stack: List[List] = [[0, items, 0]]
     while stack:
         check()
@@ -196,25 +250,13 @@ def _mine_closed(
         # are not perfect extensions stay extension candidates.
         tail = extensions[index + 1 :]
         narrowed = []
-        if batched and tail:
-            counters.intersections += len(tail)
-            joints, supports = kernel.intersect_count_many(
-                [other_tids for _, other_tids in tail], tids, n_transactions
-            )
-            # joint ⊆ tids, so joint == tids iff the popcounts agree.
-            for position, (joint, joint_support) in enumerate(zip(joints, supports)):
-                if joint_support == support:
-                    candidate |= 1 << tail[position][0]
-                elif joint_support >= smin:
-                    narrowed.append((tail[position][0], joint))
-        else:
-            for other, other_tids in tail:
-                counters.intersections += 1
-                joint = tids & other_tids
-                if joint == tids:
-                    candidate |= 1 << other
-                elif itemset.size(joint) >= smin:
-                    narrowed.append((other, joint))
+        for other, other_tids in tail:
+            counters.intersections += 1
+            joint = tids & other_tids
+            if joint == tids:
+                candidate |= 1 << other
+            elif itemset.size(joint) >= smin:
+                narrowed.append((other, joint))
         counters.containment_checks += 1
         if store.subsumed(candidate, support):
             # The closure contains an item from an earlier branch;
@@ -224,3 +266,73 @@ def _mine_closed(
         counters.reports += 1
         if narrowed:
             stack.append([candidate, narrowed, 0])
+
+
+def _mine_closed_tables(
+    items: List[Tuple[int, int]],
+    store: ClosedSetStore,
+    smin: int,
+    n_transactions: int,
+    kernel: KernelBackend,
+    counters: OperationCounters,
+    check,
+) -> None:
+    """Batched CHARM over resident packed tid tables.
+
+    Identical traversal, closures and output as the scalar path; the
+    sibling tid family stays packed across levels.  Every frame support
+    is ``>= smin`` by construction, so the bounded call's
+    below-threshold sentinel (-1) can never be mistaken for a perfect
+    extension (``joint_support == support``).
+    """
+    if not items:
+        return
+    codes = [code for code, _ in items]
+    table = kernel.pack([tids for _, tids in items], n_transactions)
+    supports = kernel.popcount_rows(table)
+    stack: List[List] = [[0, codes, table, supports, 0]]
+    while stack:
+        check()
+        frame = stack[-1]
+        current, codes, table, supports, index = frame
+        if index >= len(codes):
+            stack.pop()
+            continue
+        frame[4] = index + 1
+        item = codes[index]
+        counters.recursion_calls += 1
+        support = supports[index]
+        candidate = current | (1 << item)
+        tail_len = len(codes) - index - 1
+        keep: List[int] = []
+        joint_table = None
+        joint_supports: List[int] = []
+        if tail_len:
+            counters.intersections += tail_len
+            tids = kernel.table_row(table, index)
+            joint_table, joint_supports = kernel.intersect_count_table_bounded(
+                table, tids, smin, start=index + 1
+            )
+            # joint ⊆ tids, so joint == tids iff the popcounts agree.
+            for position, joint_support in enumerate(joint_supports):
+                if joint_support == support:
+                    candidate |= 1 << codes[index + 1 + position]
+                elif joint_support >= smin:
+                    keep.append(position)
+        counters.containment_checks += 1
+        if store.subsumed(candidate, support):
+            # The closure contains an item from an earlier branch;
+            # every set in this subtree is likewise non-closed.
+            continue
+        store.add(candidate, support)
+        counters.reports += 1
+        if keep:
+            stack.append(
+                [
+                    candidate,
+                    [codes[index + 1 + position] for position in keep],
+                    kernel.select_rows(joint_table, keep),
+                    [joint_supports[position] for position in keep],
+                    0,
+                ]
+            )

@@ -109,8 +109,12 @@ def mine_lcm(
                         continue
                     check()
                     counters.intersections += len(extension_items)
-                    new_covers, supports = kernel.intersect_count_rows(
-                        tid_table, extension_items, cover
+                    # smin pushed down: infrequent extensions settle as
+                    # below-threshold sentinels (support -1, cover 0)
+                    # and the frequency filter below drops them exactly
+                    # as it dropped their fully-counted joints before.
+                    new_covers, supports = kernel.intersect_count_rows_bounded(
+                        tid_table, extension_items, cover, smin
                     )
                     for item, new_cover, support in zip(
                         extension_items, new_covers, supports

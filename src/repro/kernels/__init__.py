@@ -32,11 +32,12 @@ import difflib
 import os
 from typing import Dict, List, Optional, Union
 
-from .base import KernelBackend
+from .base import BELOW_BOUND, KernelBackend
 from .bitint import BitIntBackend, BitTable
 from .numpy_packed import NumpyBackend, PackedTable
 
 __all__ = [
+    "BELOW_BOUND",
     "KernelBackend",
     "BitIntBackend",
     "NumpyBackend",

@@ -25,7 +25,17 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-__all__ = ["KernelBackend"]
+__all__ = ["KernelBackend", "BELOW_BOUND"]
+
+#: Support sentinel of the ``*_bounded`` primitives: an entry whose
+#: *true* intersection support is below the requested ``smin`` reports
+#: this value and a zeroed joint.  The sentinel is **data-dependent**,
+#: never implementation-dependent — whether a backend actually skipped
+#: work (the numpy blockwise early abort) or computed the full popcount
+#: (the pure-int reference), the same entries carry the sentinel, so
+#: cross-backend parity and the observability counters derived from it
+#: stay exact and deterministic.
+BELOW_BOUND = -1
 
 
 class KernelBackend:
@@ -57,6 +67,125 @@ class KernelBackend:
 
     def table_len(self, table) -> int:
         """Number of rows in a table."""
+        raise NotImplementedError
+
+    # -- resident tables -------------------------------------------------
+    # Tables are *resident*: a miner packs its repository or tid lists
+    # once, holds the handle across kernel calls, and grows it in place
+    # as new rows arrive.  The table-in/table-out primitives below keep
+    # intermediate results in the packed domain — for the numpy backend
+    # that means no int <-> ndarray conversion on the hot path, which is
+    # what bounded the conversion-heavy primitives at ~1.0x before.
+
+    def append_rows(self, table, masks: Sequence[int]) -> None:
+        """Append masks to a table in place (amortised-doubling growth).
+
+        Bumps the table's generation tag.  Masks must fit the table's
+        packed width (``< 2**n_bits``, word-rounded).
+        """
+        raise NotImplementedError
+
+    def table_generation(self, table) -> int:
+        """Mutation counter of a table: 0 at pack time, +1 per append.
+
+        Lets a cache (the serving engine's memoised packed family)
+        validate a held handle without comparing contents.
+        """
+        raise NotImplementedError
+
+    def table_row(self, table, index: int) -> int:
+        """One table row as a plain int mask."""
+        raise NotImplementedError
+
+    def select_rows(self, table, indices: Sequence[int]):
+        """A new table holding the given rows, in the given order."""
+        raise NotImplementedError
+
+    def superset_rows(self, table, mask: int) -> List[int]:
+        """Indices (ascending) of the rows that contain ``mask``.
+
+        The supersets_of serving query against a packed closed family.
+        """
+        raise NotImplementedError
+
+    def intersect_rows(self, table, mask: int) -> List[int]:
+        """``[row & mask for row in table]`` as plain ints.
+
+        The flat cumulative repository sweep: the repository stays
+        resident (packed once, grown via :meth:`append_rows`), only the
+        per-transaction joints cross the int boundary.
+        """
+        raise NotImplementedError
+
+    def intersect_table(self, table, mask: int, start: int = 0):
+        """``row & mask`` for rows at index >= ``start``, as a new table.
+
+        Table-in/table-out: the result never leaves the packed domain,
+        so a descent that narrows a family repeatedly (Eclat) pays no
+        conversion per level.
+        """
+        raise NotImplementedError
+
+    def intersect_count_table(
+        self, table, mask: int, start: int = 0
+    ) -> Tuple[object, List[int]]:
+        """:meth:`intersect_table` plus the popcount of every result row.
+
+        Returns ``(joint_table, supports)``.
+        """
+        raise NotImplementedError
+
+    def intersect_count_table_bounded(
+        self, table, mask: int, smin: int, start: int = 0
+    ) -> Tuple[object, List[int]]:
+        """Early-stopping :meth:`intersect_count_table`.
+
+        Every result row whose true popcount is below ``smin`` reports
+        support :data:`BELOW_BOUND` and a zeroed joint row; rows at or
+        above ``smin`` are exact and identical to the unbounded call.
+        Backends may abort a row's popcount once the running count plus
+        the remaining-word upper bound (``remaining_words * 64``) can no
+        longer reach ``smin`` — the early-stopping rule of
+        arXiv:1901.07773 — but the reported sentinel set depends only on
+        the data (see :data:`BELOW_BOUND`).
+        """
+        raise NotImplementedError
+
+    def intersect_count_many_bounded(
+        self, masks: Sequence[int], mask: int, n_bits: int, smin: int
+    ) -> Tuple[List[int], List[int]]:
+        """Early-stopping :meth:`intersect_count_many` (mask-list form).
+
+        Same sentinel contract as :meth:`intersect_count_table_bounded`:
+        ``(joints, supports)`` with ``joints[i] = 0`` and
+        ``supports[i] = BELOW_BOUND`` whenever the true joint popcount
+        is below ``smin``.
+        """
+        raise NotImplementedError
+
+    def intersect_count_rows_bounded(
+        self, table, indices: Sequence[int], mask: int, smin: int
+    ) -> Tuple[List[int], List[int]]:
+        """Early-stopping :meth:`intersect_count_rows`.
+
+        The LCM extension step with ``smin`` pushed down: infrequent
+        extensions report the sentinel instead of a fully-materialised
+        joint.  Same sentinel contract as the other bounded primitives.
+        """
+        raise NotImplementedError
+
+    def superset_max_support_bounded(
+        self, table, supports: Sequence[int], mask: int, smin: int
+    ) -> int:
+        """:meth:`superset_max_support` restricted to rows with
+        ``supports[i] >= smin``.
+
+        Returns 0 when no qualifying row contains ``mask``.  With
+        ``smin <= min(supports)`` this equals the unbounded query; a
+        higher ``smin`` lets the backend skip the containment test for
+        rows that could not answer anyway (the serving point query
+        where only frequent supersets matter).
+        """
         raise NotImplementedError
 
     # -- scalar helpers --------------------------------------------------

@@ -12,19 +12,25 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from ..data.itemset import _popcount
-from .base import KernelBackend
+from .base import BELOW_BOUND, KernelBackend
 
 __all__ = ["BitIntBackend", "BitTable"]
 
 
 class BitTable:
-    """Packed-table form of the pure-int backend: just the mask list."""
+    """Packed-table form of the pure-int backend: just the mask list.
 
-    __slots__ = ("masks", "n_bits")
+    Resident like the numpy :class:`~repro.kernels.numpy_packed.PackedTable`:
+    append-friendly (list append is already amortised-doubling) and
+    generation-tagged so caches holding a handle can validate it.
+    """
+
+    __slots__ = ("masks", "n_bits", "generation")
 
     def __init__(self, masks: List[int], n_bits: int) -> None:
         self.masks = masks
         self.n_bits = n_bits
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self.masks)
@@ -48,6 +54,101 @@ class BitIntBackend(KernelBackend):
 
     def table_len(self, table: BitTable) -> int:
         return len(table.masks)
+
+    # -- resident tables -------------------------------------------------
+
+    def append_rows(self, table: BitTable, masks: Sequence[int]) -> None:
+        table.masks.extend(masks)
+        table.generation += 1
+
+    def table_generation(self, table: BitTable) -> int:
+        return table.generation
+
+    def table_row(self, table: BitTable, index: int) -> int:
+        return table.masks[index]
+
+    def select_rows(self, table: BitTable, indices: Sequence[int]) -> BitTable:
+        masks = table.masks
+        return BitTable([masks[index] for index in indices], table.n_bits)
+
+    def superset_rows(self, table: BitTable, mask: int) -> List[int]:
+        return [
+            index
+            for index, row in enumerate(table.masks)
+            if mask & ~row == 0
+        ]
+
+    def intersect_rows(self, table: BitTable, mask: int) -> List[int]:
+        return [row & mask for row in table.masks]
+
+    def intersect_table(self, table: BitTable, mask: int, start: int = 0) -> BitTable:
+        return BitTable([row & mask for row in table.masks[start:]], table.n_bits)
+
+    def intersect_count_table(
+        self, table: BitTable, mask: int, start: int = 0
+    ) -> Tuple[BitTable, List[int]]:
+        joints = [row & mask for row in table.masks[start:]]
+        return BitTable(joints, table.n_bits), [_popcount(joint) for joint in joints]
+
+    def intersect_count_table_bounded(
+        self, table: BitTable, mask: int, smin: int, start: int = 0
+    ) -> Tuple[BitTable, List[int]]:
+        # The big-int AND runs at C speed either way; the reference
+        # backend realises only the sentinel contract, not the skip.
+        joints: List[int] = []
+        supports: List[int] = []
+        for row in table.masks[start:]:
+            joint = row & mask
+            support = _popcount(joint)
+            if support < smin:
+                joints.append(0)
+                supports.append(BELOW_BOUND)
+            else:
+                joints.append(joint)
+                supports.append(support)
+        return BitTable(joints, table.n_bits), supports
+
+    def intersect_count_many_bounded(
+        self, masks: Sequence[int], mask: int, n_bits: int, smin: int
+    ) -> Tuple[List[int], List[int]]:
+        joints: List[int] = []
+        supports: List[int] = []
+        for m in masks:
+            joint = m & mask
+            support = _popcount(joint)
+            if support < smin:
+                joints.append(0)
+                supports.append(BELOW_BOUND)
+            else:
+                joints.append(joint)
+                supports.append(support)
+        return joints, supports
+
+    def intersect_count_rows_bounded(
+        self, table: BitTable, indices: Sequence[int], mask: int, smin: int
+    ) -> Tuple[List[int], List[int]]:
+        masks = table.masks
+        joints: List[int] = []
+        supports: List[int] = []
+        for index in indices:
+            joint = masks[index] & mask
+            support = _popcount(joint)
+            if support < smin:
+                joints.append(0)
+                supports.append(BELOW_BOUND)
+            else:
+                joints.append(joint)
+                supports.append(support)
+        return joints, supports
+
+    def superset_max_support_bounded(
+        self, table: BitTable, supports: Sequence[int], mask: int, smin: int
+    ) -> int:
+        best = 0
+        for row, supp in zip(table.masks, supports):
+            if supp > best and supp >= smin and mask & ~row == 0:
+                best = supp
+        return best
 
     # -- scalar helpers --------------------------------------------------
 

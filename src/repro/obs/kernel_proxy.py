@@ -13,13 +13,26 @@ any early exit), which is the right currency for comparing backends:
 they measure the work handed to the kernel, not what a short-circuit
 saved.  The proxy is only ever constructed when a probe is active, so
 the probe-off hot path runs the raw backend with zero indirection.
+
+The ``*_bounded`` primitives additionally feed a registry-wide pair::
+
+    ops.kernel.early_aborts    # entries settled below smin (sentinels)
+    ops.kernel.words_skipped   # estimated words the early abort saved
+
+Both are derived from the *returned* sentinel set, which is
+data-dependent (see :data:`repro.kernels.base.BELOW_BOUND`), so the
+counters are deterministic and machine-independent — gateable in
+``benchmarks/bench_obs_invariants.py`` like the other ``ops.*``
+counters.  ``words_skipped`` uses the half-split estimate (an aborted
+row skips the second half of its words); it measures avoided work, so
+it is an estimate by construction, like the byte figures.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..kernels.base import KernelBackend
+from ..kernels.base import BELOW_BOUND, KernelBackend
 
 __all__ = ["InstrumentedBackend", "PRIMITIVES"]
 
@@ -27,14 +40,24 @@ __all__ = ["InstrumentedBackend", "PRIMITIVES"]
 PRIMITIVES = (
     "pack",
     "unpack",
+    "append_rows",
     "popcount",
     "popcount_many",
     "popcount_rows",
     "intersect_many",
     "intersect_count_many",
+    "intersect_count_many_bounded",
     "intersect_count_rows",
+    "intersect_count_rows_bounded",
+    "intersect_rows",
+    "intersect_table",
+    "intersect_count_table",
+    "intersect_count_table_bounded",
+    "select_rows",
+    "superset_rows",
     "subset_any",
     "superset_max_support",
+    "superset_max_support_bounded",
     "intersect_selected",
     "column_counts",
     "bound_filter",
@@ -49,7 +72,14 @@ def _mask_bytes(n_bits: int) -> int:
 class InstrumentedBackend(KernelBackend):
     """Counting proxy around a concrete kernel backend."""
 
-    __slots__ = ("_inner", "_calls", "_bytes", "_widths")
+    __slots__ = (
+        "_inner",
+        "_calls",
+        "_bytes",
+        "_widths",
+        "_early_aborts",
+        "_words_skipped",
+    )
 
     def __init__(self, inner: KernelBackend, registry) -> None:
         self._inner = inner
@@ -69,6 +99,14 @@ class InstrumentedBackend(KernelBackend):
         # Packed-table widths, keyed by table identity; every table used
         # by a probed miner is packed through this proxy, so lookups hit.
         self._widths: Dict[int, int] = {}
+        self._early_aborts = registry.counter(
+            "ops.kernel.early_aborts",
+            "bounded-primitive entries settled below smin (sentinels)",
+        )
+        self._words_skipped = registry.counter(
+            "ops.kernel.words_skipped",
+            "estimated words the bounded primitives' early abort saved",
+        )
 
     # The wrapped backend's registry identity and vectorisation flag.
 
@@ -92,11 +130,24 @@ class InstrumentedBackend(KernelBackend):
     def _width(self, table) -> int:
         width = self._widths.get(id(table))
         if width is None:
-            # Table packed outside the proxy: fall back to a row probe.
-            rows = self._inner.unpack(table)
-            width = _mask_bytes(max((m.bit_length() for m in rows), default=0))
+            # Table packed outside the proxy: both table forms carry
+            # their declared bit width (never force an int rebuild of a
+            # rows-resident table just to measure it).
+            n_bits = getattr(table, "n_bits", None)
+            if n_bits is None:  # pragma: no cover - foreign table types
+                rows = self._inner.unpack(table)
+                n_bits = max((m.bit_length() for m in rows), default=0)
+            width = _mask_bytes(n_bits)
             self._widths[id(table)] = width
         return width
+
+    def _record_aborts(self, supports: Sequence[int], row_words: int) -> None:
+        """Fold a bounded primitive's sentinel set into the abort pair."""
+        aborted = sum(1 for support in supports if support == BELOW_BOUND)
+        if aborted:
+            self._early_aborts.value += aborted
+            # Half-split estimate: a settled row skips its tail words.
+            self._words_skipped.value += aborted * (row_words - row_words // 2)
 
     # -- packed tables ---------------------------------------------------
 
@@ -112,6 +163,98 @@ class InstrumentedBackend(KernelBackend):
 
     def table_len(self, table) -> int:
         return self._inner.table_len(table)
+
+    # -- resident tables ---------------------------------------------------
+
+    def append_rows(self, table, masks: Sequence[int]) -> None:
+        self._hit("append_rows", len(masks) * self._width(table))
+        self._inner.append_rows(table, masks)
+
+    def table_generation(self, table) -> int:
+        return self._inner.table_generation(table)
+
+    def table_row(self, table, index: int) -> int:
+        return self._inner.table_row(table, index)
+
+    def select_rows(self, table, indices: Sequence[int]):
+        width = self._width(table)
+        self._hit("select_rows", len(indices) * width)
+        selected = self._inner.select_rows(table, indices)
+        self._widths[id(selected)] = width
+        return selected
+
+    def superset_rows(self, table, mask: int) -> List[int]:
+        self._hit(
+            "superset_rows", self._inner.table_len(table) * self._width(table)
+        )
+        return self._inner.superset_rows(table, mask)
+
+    def intersect_rows(self, table, mask: int) -> List[int]:
+        self._hit(
+            "intersect_rows", self._inner.table_len(table) * self._width(table)
+        )
+        return self._inner.intersect_rows(table, mask)
+
+    def intersect_table(self, table, mask: int, start: int = 0):
+        width = self._width(table)
+        rows = max(0, self._inner.table_len(table) - start)
+        self._hit("intersect_table", rows * width)
+        joint = self._inner.intersect_table(table, mask, start)
+        self._widths[id(joint)] = width
+        return joint
+
+    def intersect_count_table(self, table, mask: int, start: int = 0):
+        width = self._width(table)
+        rows = max(0, self._inner.table_len(table) - start)
+        self._hit("intersect_count_table", rows * width)
+        joint, supports = self._inner.intersect_count_table(table, mask, start)
+        self._widths[id(joint)] = width
+        return joint, supports
+
+    def intersect_count_table_bounded(
+        self, table, mask: int, smin: int, start: int = 0
+    ):
+        width = self._width(table)
+        rows = max(0, self._inner.table_len(table) - start)
+        self._hit("intersect_count_table_bounded", rows * width)
+        joint, supports = self._inner.intersect_count_table_bounded(
+            table, mask, smin, start
+        )
+        self._widths[id(joint)] = width
+        self._record_aborts(supports, width // 8)
+        return joint, supports
+
+    def intersect_count_many_bounded(
+        self, masks: Sequence[int], mask: int, n_bits: int, smin: int
+    ) -> Tuple[List[int], List[int]]:
+        self._hit("intersect_count_many_bounded", len(masks) * _mask_bytes(n_bits))
+        joints, supports = self._inner.intersect_count_many_bounded(
+            masks, mask, n_bits, smin
+        )
+        self._record_aborts(supports, _mask_bytes(n_bits) // 8)
+        return joints, supports
+
+    def intersect_count_rows_bounded(
+        self, table, indices: Sequence[int], mask: int, smin: int
+    ) -> Tuple[List[int], List[int]]:
+        width = self._width(table)
+        self._hit("intersect_count_rows_bounded", len(indices) * width)
+        joints, supports = self._inner.intersect_count_rows_bounded(
+            table, indices, mask, smin
+        )
+        self._record_aborts(supports, width // 8)
+        return joints, supports
+
+    def superset_max_support_bounded(
+        self, table, supports: Sequence[int], mask: int, smin: int
+    ) -> int:
+        # No sentinel comes back from this query; the abort pair only
+        # tracks the intersection-family primitives.
+        self._hit(
+            "superset_max_support_bounded",
+            self._inner.table_len(table) * self._width(table),
+        )
+        return self._inner.superset_max_support_bounded(table, supports, mask, smin)
 
     # -- scalar helpers --------------------------------------------------
 

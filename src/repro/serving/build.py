@@ -86,12 +86,14 @@ def merge_miners(
                 remaining ^= low
             family_b[recoded] = supp
         # Candidates: both families plus all pairwise intersections.
+        # family_a is scanned once per family_b set — pack it into a
+        # resident table so each scan is one table-wide AND.
         candidates = set(family_a)
         candidates.update(family_b)
-        keys_a = list(family_a)
         n_bits = len(labels)
+        table_a = kernel.pack(list(family_a), n_bits)
         for mask_b in family_b:
-            for joint in kernel.intersect_many(keys_a, mask_b, n_bits):
+            for joint in kernel.intersect_rows(table_a, mask_b):
                 if joint:
                     candidates.add(joint)
         # Per-side supports via the guided descent on each side's tree.
