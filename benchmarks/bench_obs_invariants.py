@@ -9,7 +9,7 @@ a drift here means the algorithm itself changed — a different pruning
 schedule, a lost elimination, a double-counted fallback — which is
 precisely what a reproduction repo must notice.
 
-Two workloads are pinned:
+Three workloads are pinned:
 
 * ``ista-bitint`` — IsTa, serial, reference backend.  The paper's
   algorithm on the paper's counters.
@@ -20,6 +20,21 @@ Two workloads are pinned:
   below smin), which is data-dependent and implementation-independent,
   so they are exact across machines — the baseline pins them at
   tolerance 0 via its ``tolerances`` metadata.
+* ``streaming-ingest`` — the full fixture through
+  :class:`~repro.serving.StreamingMiner` (WAL + micro-batch folds +
+  compaction + flight recorder) followed by a fixed query script.  On
+  top of the ``ops.*`` counters this workload pins **histogram
+  counts**: ``wal.append.seconds`` must count exactly one observation
+  per ingested record, ``serve.fold.records`` one per fold, and the
+  query/phase histograms one per scripted call.  Counts are exact
+  (tolerance 0 via metadata, recorded as ``hist.<name>.count``);
+  durations are never pinned — that is what the wall-clock benches and
+  runner noise are for.
+
+``--flight-dir DIR`` keeps the streaming workload's store — flight
+recorder segments included — at ``DIR`` instead of a temp directory,
+so a failing CI gate can upload the last seconds of telemetry as an
+artifact next to the fresh metrics (``--out``).
 
 Usage::
 
@@ -46,12 +61,24 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
+import tempfile
 
 from repro.data.io import read_fimi
 from repro.mining import mine
 from repro.obs import Probe
+from repro.serving import StreamingMiner
 
 FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "yeast_gate.fimi")
+
+#: Streaming-ingest workload shape: fold cadence and query script size
+#: are part of the pinned invariants.
+STREAM_BATCH_RECORDS = 16
+STREAM_SMIN = 5
+#: Counters excluded from the streaming gate: byte counts track JSON /
+#: codec encodings of floats (digit-count dependent), retries track
+#: transient runner I/O — neither is an algorithm invariant.
+_STREAM_SKIP = ("wal.retries",)
 
 #: Pinned gate workloads: name -> mine() keyword arguments.
 WORKLOADS = {
@@ -94,11 +121,76 @@ def measure(name: str) -> dict:
     }
 
 
-def measure_all() -> dict:
-    return {
-        "workloads": {name: measure(name) for name in WORKLOADS},
-        "tolerances": dict(TOLERANCES),
+def measure_streaming(store_dir=None) -> dict:
+    """The fixture through the streaming store, histogram counts pinned.
+
+    ``store_dir`` keeps the store (WAL, snapshots, flight segments) on
+    disk for artifact upload; by default a temp directory is used and
+    removed.
+    """
+    # The streaming store ingests label rows, not packed bitmasks —
+    # same tokenisation as `repro-mine ingest`.
+    with open(FIXTURE, "r", encoding="utf-8") as handle:
+        rows = [line.split() for line in handle if line.strip()]
+    cleanup = store_dir is None
+    if store_dir is None:
+        store_dir = tempfile.mkdtemp(prefix="obs-gate-store-")
+    probe = Probe()
+    try:
+        store = StreamingMiner.open(
+            store_dir,
+            batch_records=STREAM_BATCH_RECORDS,
+            probe=probe,
+            flight_interval=0.0,
+        )
+        for row in rows:
+            store.ingest(row)
+        store.fold()
+        # Fixed query script: each call lands in a query histogram.
+        n_closed = len(dict(store.closed_sets(STREAM_SMIN)))
+        store.top_k(10)
+        store.support_of(rows[0][:1])
+        store.close()
+    finally:
+        if cleanup:
+            shutil.rmtree(store_dir, ignore_errors=True)
+
+    snapshot = probe.metrics.snapshot()
+    counters = {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if not name.endswith("_bytes") and name not in _STREAM_SKIP
     }
+    # Histogram COUNTS are invariants (one observation per record /
+    # fold / query); durations are deliberately not recorded.
+    for name, data in snapshot["histograms"].items():
+        counters[f"hist.{name}.count"] = data["count"]
+    assert counters["hist.wal.append.seconds.count"] == len(rows)
+    assert counters["hist.serve.fold.records.count"] == counters["wal.folds"]
+    return {
+        "fixture": os.path.relpath(FIXTURE, os.path.dirname(__file__)),
+        "workload": {
+            "algorithm": "streaming",
+            "backend": "incremental",
+            "smin": STREAM_SMIN,
+            "batch_records": STREAM_BATCH_RECORDS,
+        },
+        "n_closed": n_closed,
+        "counters": counters,
+        "metrics": snapshot,
+    }
+
+
+def measure_all(flight_dir=None) -> dict:
+    workloads = {name: measure(name) for name in WORKLOADS}
+    workloads["streaming-ingest"] = measure_streaming(store_dir=flight_dir)
+    tolerances = dict(TOLERANCES)
+    # Every histogram count in the streaming workload is exact: a count
+    # drift means an instrumentation point was added, lost, or moved.
+    for name in workloads["streaming-ingest"]["counters"]:
+        if name.startswith("hist."):
+            tolerances[name] = 0.0
+    return {"workloads": workloads, "tolerances": tolerances}
 
 
 def compare_workload(
@@ -168,9 +260,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", metavar="FILE", help="also write the fresh record (full metrics) here"
     )
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        help="keep the streaming workload's store (flight recorder "
+        "segments included) here for artifact upload",
+    )
     args = parser.parse_args(argv)
 
-    fresh = measure_all()
+    fresh = measure_all(flight_dir=args.flight_dir)
     for name, record in sorted(fresh["workloads"].items()):
         spec = record["workload"]
         print(

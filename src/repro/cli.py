@@ -11,6 +11,8 @@ Subcommands::
     repro-mine query    SNAP [-s SMIN] [--top K] [--supersets ITEMS] [--support ITEMS]
     repro-mine ingest   STORE FILE [--follow] [--fsync always|batch|os]
     repro-mine recover  STORE [-o OUT.snap]
+    repro-mine top      STORE [--watch SECONDS] [--json]
+    repro-mine trace    FILE [--render]
 
 ``mine`` reads a FIMI-format transaction file and prints (or writes)
 the closed frequent item sets, one per line with the support in
@@ -30,11 +32,23 @@ count/age cadence, and tiered compaction periodically merges the
 overlay into a canonical snapshot — and ``recover`` opens a store
 (possibly after a crash), repairs a torn log tail, replays the
 surviving records, and reports exactly what was salvaged.
+
+``top`` renders a store's :class:`~repro.serving.HealthReport` — WAL
+lag, snapshot age, broken flag, rates and latency quantiles — from the
+flight-recorder tail and the on-disk state alone, so it works on a
+live store (without touching the writer) and on one that was killed.
+``trace`` renders a JSON-lines trace (``--trace`` output) as a span
+tree.
+
+Telemetry streams (``--metrics -`` / ``--trace -``) go to **stderr**:
+stdout carries only the machine-readable mining results.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import os
 import sys
 import time
@@ -55,6 +69,7 @@ from .runtime import CorruptInputError, MiningInterrupted, RunGuard
 from .serving import (
     StreamingMiner,
     build_miner_parallel,
+    compute_health,
     load_snapshot,
     save_snapshot,
 )
@@ -180,8 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         default=None,
         metavar="PATH",
-        help="write a metrics snapshot here after the run ('-' for stdout); "
-        "enables the observability probe",
+        help="write a metrics snapshot here after the run ('-' for stderr, "
+        "keeping stdout machine-readable); enables the observability probe",
     )
     mine_parser.add_argument(
         "--metrics-format",
@@ -194,7 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         metavar="PATH",
-        help="write a JSON-lines phase trace here ('-' for stdout); "
+        help="write a JSON-lines phase trace here ('-' for stderr); "
         "enables the observability probe",
     )
 
@@ -437,10 +452,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-fold memory budget (exit code 3 on a trip)",
     )
     ingest_parser.add_argument(
+        "--flight",
+        dest="flight",
+        action="store_true",
+        default=True,
+        help="write periodic flight-recorder snapshots under "
+        "<store>/flight/ (default: on; implies the observability probe)",
+    )
+    ingest_parser.add_argument(
+        "--no-flight",
+        dest="flight",
+        action="store_false",
+        help="disable the flight recorder",
+    )
+    ingest_parser.add_argument(
+        "--flight-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="minimum seconds between flight-recorder snapshots "
+        "(default: 1.0)",
+    )
+    ingest_parser.add_argument(
         "--metrics",
         default=None,
         metavar="PATH",
-        help="write a metrics snapshot here on exit ('-' for stdout); "
+        help="write a metrics snapshot here on exit ('-' for stderr); "
         "enables the observability probe",
     )
     ingest_parser.add_argument(
@@ -453,7 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         metavar="PATH",
-        help="write a JSON-lines phase trace here ('-' for stdout); "
+        help="write a JSON-lines phase trace here ('-' for stderr); "
         "enables the observability probe",
     )
 
@@ -477,6 +514,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="report and repair only; leave the store's snapshot and "
         "log tail exactly as recovered",
     )
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help="render a store's health report (WAL lag, rates, latency "
+        "quantiles) from its flight recorder and on-disk state — works "
+        "on a live or dead store, never touches the writer",
+    )
+    top_parser.add_argument("store", help="store directory to inspect")
+    top_parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep refreshing every SECONDS until interrupted",
+    )
+    top_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw HealthReport as JSON instead of text",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a JSON-lines trace written by --trace"
+    )
+    trace_parser.add_argument(
+        "file", help="trace file ('-' reads stdin)"
+    )
+    trace_parser.add_argument(
+        "--render",
+        action="store_true",
+        help="draw the span tree (parent/child by span ids; workers and "
+        "folds merged via trace propagation appear under their parents)",
+    )
     return parser
 
 
@@ -499,8 +569,10 @@ def _parse_options(pairs: List[str]) -> dict:
 def _emit_observability(probe: Optional[Probe], args: argparse.Namespace) -> None:
     """Write the probe's metrics snapshot and trace where requested.
 
-    ``'-'`` means stdout.  Called from a ``finally`` so budget-tripped
-    runs still leave their telemetry behind.
+    ``'-'`` means **stderr** — stdout carries the machine-readable
+    mining results, and interleaving telemetry into it would corrupt
+    piped consumers.  Called from a ``finally`` so budget-tripped runs
+    still leave their telemetry behind.
     """
     if probe is None:
         return
@@ -510,13 +582,13 @@ def _emit_observability(probe: Optional[Probe], args: argparse.Namespace) -> Non
         else:
             payload = probe.metrics.to_json() + "\n"
         if args.metrics == "-":
-            sys.stdout.write(payload)
+            sys.stderr.write(payload)
         else:
             with open(args.metrics, "w", encoding="utf-8") as handle:
                 handle.write(payload)
     if args.trace:
         if args.trace == "-":
-            probe.tracer.write_jsonl(sys.stdout)
+            probe.tracer.write_jsonl(sys.stderr)
         else:
             with open(args.trace, "w", encoding="utf-8") as handle:
                 probe.tracer.write_jsonl(handle)
@@ -852,7 +924,11 @@ def _tokenize_stream_line(line: str) -> Optional[List[object]]:
 
 
 def _command_ingest(args: argparse.Namespace) -> int:
-    probe = Probe() if (args.metrics or args.trace) else None
+    # The flight recorder (on by default) needs a live registry to
+    # snapshot, so it implies the probe even without --metrics/--trace.
+    probe = (
+        Probe() if (args.metrics or args.trace or args.flight) else None
+    )
     store = StreamingMiner.open(
         args.store,
         fsync=args.fsync,
@@ -862,6 +938,8 @@ def _command_ingest(args: argparse.Namespace) -> int:
         segment_max_bytes=args.segment_max_bytes,
         fold_timeout=args.timeout,
         fold_memory_limit_mb=args.memory_limit,
+        flight=args.flight,
+        flight_interval=args.flight_interval,
         probe=probe,
     )
     if not store.recovery.clean:
@@ -932,6 +1010,123 @@ def _command_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_top(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.store):
+        raise ValueError(f"store directory {args.store!r} does not exist")
+    report = compute_health(args.store)
+    if args.json:
+        print(json.dumps(dataclasses.asdict(report), sort_keys=True))
+    else:
+        print(report.describe())
+    if args.watch is not None:
+        try:
+            while True:
+                time.sleep(args.watch)
+                report = compute_health(args.store)
+                print()
+                if args.json:
+                    print(json.dumps(dataclasses.asdict(report), sort_keys=True))
+                else:
+                    print(report.describe())
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _format_trace_record(record: dict, indent: int) -> str:
+    attrs = record.get("attrs") or {}
+    attr_text = " ".join(f"{key}={value}" for key, value in sorted(attrs.items()))
+    if record.get("type") == "event":
+        head = f"* {record.get('name')} @{record.get('at', 0.0) * 1e3:.3f}ms"
+    else:
+        head = (
+            f"{record.get('name')} "
+            f"{(record.get('duration') or 0.0) * 1e3:.3f}ms"
+        )
+    return "  " * indent + head + (f"  [{attr_text}]" if attr_text else "")
+
+
+def _trace_tree_lines(records: List[dict]) -> List[str]:
+    """Render trace records as an indented tree, children under parents.
+
+    Version-2 traces carry span/parent ids, so merged worker and fold
+    spans nest under the span that was open at fan-out.  Version-1
+    traces (no ids) fall back to the recorded depth, in file order.
+    """
+    span_ids = {
+        record["span_id"] for record in records if record.get("span_id")
+    }
+    if not span_ids:
+        return [
+            _format_trace_record(record, int(record.get("depth", 0)))
+            for record in records
+        ]
+    children: dict = {}
+    for record in records:
+        parent = record.get("parent_id")
+        key = parent if parent in span_ids else None
+        children.setdefault(key, []).append(record)
+
+    def start_key(record: dict):
+        return record.get("start", record.get("at", 0.0))
+
+    lines: List[str] = []
+
+    def walk(record: dict, depth: int) -> None:
+        lines.append(_format_trace_record(record, depth))
+        span_id = record.get("span_id")
+        if span_id:
+            for child in sorted(children.get(span_id, []), key=start_key):
+                walk(child, depth + 1)
+
+    for root in sorted(children.get(None, []), key=start_key):
+        walk(root, 0)
+    return lines
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    header = None
+    records: List[dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") == "trace":
+            header = record
+        else:
+            records.append(record)
+    if header is not None:
+        dropped = header.get("dropped", 0)
+        print(
+            f"# trace {header.get('trace_id', '?')} "
+            f"(v{header.get('version', 1)}): {len(records)} record(s)"
+            + (f", {dropped} dropped by the buffer bound" if dropped else "")
+        )
+    if args.render:
+        for line in _trace_tree_lines(records):
+            print(line)
+    else:
+        # Summary: per-span-name count and total duration, slowest first.
+        totals: dict = {}
+        for record in records:
+            if record.get("type") != "span":
+                continue
+            name = record.get("name", "?")
+            count, total = totals.get(name, (0, 0.0))
+            totals[name] = (count + 1, total + (record.get("duration") or 0.0))
+        for name, (count, total) in sorted(
+            totals.items(), key=lambda entry: -entry[1][1]
+        ):
+            print(f"{name}  n={count}  total={total * 1e3:.3f}ms")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (also installed as the ``repro-mine`` script).
 
@@ -959,6 +1154,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_ingest(args)
         if args.command == "recover":
             return _command_recover(args)
+        if args.command == "top":
+            return _command_top(args)
+        if args.command == "trace":
+            return _command_trace(args)
     except MiningInterrupted as exc:
         print(f"repro-mine: {exc}", file=sys.stderr)
         if exc.fallback_path:

@@ -490,16 +490,17 @@ class IncrementalMiner:
             return hit
         self._obs.count("serving.memo.misses")
         self._obs.count("serving.query.support")
-        if self._tree is not None:
-            value = self._tree.superset_support(mask)
-        else:
-            table, supports = self._packed_family()
-            # Bounded form with the trivial threshold: identical answer,
-            # and the support prefilter short-circuits for free when a
-            # caller-level threshold ever tightens it.
-            value = self._kernel.superset_max_support_bounded(
-                table, supports, mask, 1
-            )
+        with self._obs.phase("serve.support_of"):
+            if self._tree is not None:
+                value = self._tree.superset_support(mask)
+            else:
+                table, supports = self._packed_family()
+                # Bounded form with the trivial threshold: identical
+                # answer, and the support prefilter short-circuits for
+                # free when a caller-level threshold ever tightens it.
+                value = self._kernel.superset_max_support_bounded(
+                    table, supports, mask, 1
+                )
         self._memo[key] = value
         return value
 

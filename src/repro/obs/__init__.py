@@ -13,7 +13,10 @@ first-class run artifacts:
   driver, both kernel backends, :class:`~repro.runtime.RunGuard` and
   :func:`repro.parallel.mine_parallel` (:mod:`repro.obs.probe`);
 * :class:`InstrumentedBackend` — the kernel-primitive counting proxy
-  (:mod:`repro.obs.kernel_proxy`).
+  (:mod:`repro.obs.kernel_proxy`);
+* :class:`FlightRecorder` — crash-safe periodic registry/span snapshots
+  for long-lived pipelines, readable without attaching to the writer
+  (:mod:`repro.obs.recorder`).
 
 Usage::
 
@@ -30,17 +33,31 @@ the uninstrumented code; see ``docs/observability.md`` for the metric
 catalogue and the trace schema.
 """
 
-from .kernel_proxy import PRIMITIVES, InstrumentedBackend
+from .kernel_proxy import PRIMITIVES, TIMED_PRIMITIVES, InstrumentedBackend
 from .metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    QUANTILES,
+    SIZE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
+    estimate_quantile,
     prom_name,
 )
 from .probe import NULL_PROBE, NullProbe, Probe, resolve_probe
-from .trace import Span, Tracer
+from .recorder import (
+    FLIGHT_VERSION,
+    FlightRecorder,
+    FlightScan,
+    flight_tail,
+    repair_flight,
+    scan_flight,
+)
+from .trace import TRACE_VERSION, Span, Tracer
 
 __all__ = [
     "Probe",
@@ -52,9 +69,23 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "QUANTILES",
+    "estimate_quantile",
+    "escape_help",
+    "escape_label_value",
     "prom_name",
     "Tracer",
     "Span",
+    "TRACE_VERSION",
     "InstrumentedBackend",
     "PRIMITIVES",
+    "TIMED_PRIMITIVES",
+    "FlightRecorder",
+    "FlightScan",
+    "FLIGHT_VERSION",
+    "scan_flight",
+    "repair_flight",
+    "flight_tail",
 ]

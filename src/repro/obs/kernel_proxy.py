@@ -26,15 +26,28 @@ counters are deterministic and machine-independent — gateable in
 counters.  ``words_skipped`` uses the half-split estimate (an aborted
 row skips the second half of its words); it measures avoided work, so
 it is an estimate by construction, like the byte figures.
+
+The *batched* primitives (one call touches many rows) additionally
+record a per-call latency histogram::
+
+    kernel.<primitive>.seconds  # wall seconds per call, LATENCY_BUCKETS
+
+so tail latency per kernel primitive is a first-class quantity
+(``Histogram.quantiles`` / the flight recorder surface p50/p95/p99).
+Scalar helpers (``popcount``) are deliberately *not* timed: a
+``perf_counter`` pair costs about as much as the primitive itself, and
+the per-call count/bytes pair already measures them.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Sequence, Tuple
 
 from ..kernels.base import BELOW_BOUND, KernelBackend
+from .metrics import LATENCY_BUCKETS
 
-__all__ = ["InstrumentedBackend", "PRIMITIVES"]
+__all__ = ["InstrumentedBackend", "PRIMITIVES", "TIMED_PRIMITIVES"]
 
 #: Every instrumented primitive, in interface order.
 PRIMITIVES = (
@@ -63,6 +76,25 @@ PRIMITIVES = (
     "bound_filter",
 )
 
+#: Batched/table primitives whose per-call wall time is worth a
+#: histogram sample (one call amortises the two clock reads over many
+#: rows; the scalar helpers would pay ~100% overhead for noise).
+TIMED_PRIMITIVES = (
+    "pack",
+    "popcount_rows",
+    "intersect_many",
+    "intersect_count_many",
+    "intersect_count_many_bounded",
+    "intersect_count_rows",
+    "intersect_count_rows_bounded",
+    "intersect_table",
+    "intersect_count_table",
+    "intersect_count_table_bounded",
+    "superset_max_support",
+    "superset_max_support_bounded",
+    "column_counts",
+)
+
 
 def _mask_bytes(n_bits: int) -> int:
     """Packed width of an ``n_bits``-wide mask, in bytes (word-rounded)."""
@@ -76,6 +108,7 @@ class InstrumentedBackend(KernelBackend):
         "_inner",
         "_calls",
         "_bytes",
+        "_seconds",
         "_widths",
         "_early_aborts",
         "_words_skipped",
@@ -95,6 +128,13 @@ class InstrumentedBackend(KernelBackend):
             self._bytes[primitive] = registry.counter(
                 f"kernel.{primitive}.bytes",
                 f"estimated mask bytes touched by {primitive}",
+            )
+        self._seconds: Dict[str, object] = {}
+        for primitive in TIMED_PRIMITIVES:
+            self._seconds[primitive] = registry.histogram(
+                f"kernel.{primitive}.seconds",
+                f"wall seconds per {primitive} kernel call",
+                buckets=LATENCY_BUCKETS,
             )
         # Packed-table widths, keyed by table identity; every table used
         # by a probed miner is packed through this proxy, so lookups hit.
@@ -153,7 +193,9 @@ class InstrumentedBackend(KernelBackend):
 
     def pack(self, masks: Sequence[int], n_bits: int):
         self._hit("pack", len(masks) * _mask_bytes(n_bits))
+        start = perf_counter()
         table = self._inner.pack(masks, n_bits)
+        self._seconds["pack"].observe(perf_counter() - start)
         self._widths[id(table)] = _mask_bytes(n_bits)
         return table
 
@@ -199,7 +241,9 @@ class InstrumentedBackend(KernelBackend):
         width = self._width(table)
         rows = max(0, self._inner.table_len(table) - start)
         self._hit("intersect_table", rows * width)
+        begin = perf_counter()
         joint = self._inner.intersect_table(table, mask, start)
+        self._seconds["intersect_table"].observe(perf_counter() - begin)
         self._widths[id(joint)] = width
         return joint
 
@@ -207,7 +251,9 @@ class InstrumentedBackend(KernelBackend):
         width = self._width(table)
         rows = max(0, self._inner.table_len(table) - start)
         self._hit("intersect_count_table", rows * width)
+        begin = perf_counter()
         joint, supports = self._inner.intersect_count_table(table, mask, start)
+        self._seconds["intersect_count_table"].observe(perf_counter() - begin)
         self._widths[id(joint)] = width
         return joint, supports
 
@@ -217,8 +263,12 @@ class InstrumentedBackend(KernelBackend):
         width = self._width(table)
         rows = max(0, self._inner.table_len(table) - start)
         self._hit("intersect_count_table_bounded", rows * width)
+        begin = perf_counter()
         joint, supports = self._inner.intersect_count_table_bounded(
             table, mask, smin, start
+        )
+        self._seconds["intersect_count_table_bounded"].observe(
+            perf_counter() - begin
         )
         self._widths[id(joint)] = width
         self._record_aborts(supports, width // 8)
@@ -228,8 +278,12 @@ class InstrumentedBackend(KernelBackend):
         self, masks: Sequence[int], mask: int, n_bits: int, smin: int
     ) -> Tuple[List[int], List[int]]:
         self._hit("intersect_count_many_bounded", len(masks) * _mask_bytes(n_bits))
+        begin = perf_counter()
         joints, supports = self._inner.intersect_count_many_bounded(
             masks, mask, n_bits, smin
+        )
+        self._seconds["intersect_count_many_bounded"].observe(
+            perf_counter() - begin
         )
         self._record_aborts(supports, _mask_bytes(n_bits) // 8)
         return joints, supports
@@ -239,8 +293,12 @@ class InstrumentedBackend(KernelBackend):
     ) -> Tuple[List[int], List[int]]:
         width = self._width(table)
         self._hit("intersect_count_rows_bounded", len(indices) * width)
+        begin = perf_counter()
         joints, supports = self._inner.intersect_count_rows_bounded(
             table, indices, mask, smin
+        )
+        self._seconds["intersect_count_rows_bounded"].observe(
+            perf_counter() - begin
         )
         self._record_aborts(supports, width // 8)
         return joints, supports
@@ -254,7 +312,14 @@ class InstrumentedBackend(KernelBackend):
             "superset_max_support_bounded",
             self._inner.table_len(table) * self._width(table),
         )
-        return self._inner.superset_max_support_bounded(table, supports, mask, smin)
+        begin = perf_counter()
+        result = self._inner.superset_max_support_bounded(
+            table, supports, mask, smin
+        )
+        self._seconds["superset_max_support_bounded"].observe(
+            perf_counter() - begin
+        )
+        return result
 
     # -- scalar helpers --------------------------------------------------
 
@@ -273,23 +338,35 @@ class InstrumentedBackend(KernelBackend):
         self._hit(
             "popcount_rows", self._inner.table_len(table) * self._width(table)
         )
-        return self._inner.popcount_rows(table)
+        begin = perf_counter()
+        result = self._inner.popcount_rows(table)
+        self._seconds["popcount_rows"].observe(perf_counter() - begin)
+        return result
 
     def intersect_many(self, masks: Sequence[int], mask: int, n_bits: int) -> List[int]:
         self._hit("intersect_many", len(masks) * _mask_bytes(n_bits))
-        return self._inner.intersect_many(masks, mask, n_bits)
+        begin = perf_counter()
+        result = self._inner.intersect_many(masks, mask, n_bits)
+        self._seconds["intersect_many"].observe(perf_counter() - begin)
+        return result
 
     def intersect_count_many(
         self, masks: Sequence[int], mask: int, n_bits: int
     ) -> Tuple[List[int], List[int]]:
         self._hit("intersect_count_many", len(masks) * _mask_bytes(n_bits))
-        return self._inner.intersect_count_many(masks, mask, n_bits)
+        begin = perf_counter()
+        result = self._inner.intersect_count_many(masks, mask, n_bits)
+        self._seconds["intersect_count_many"].observe(perf_counter() - begin)
+        return result
 
     def intersect_count_rows(
         self, table, indices: Sequence[int], mask: int
     ) -> Tuple[List[int], List[int]]:
         self._hit("intersect_count_rows", len(indices) * self._width(table))
-        return self._inner.intersect_count_rows(table, indices, mask)
+        begin = perf_counter()
+        result = self._inner.intersect_count_rows(table, indices, mask)
+        self._seconds["intersect_count_rows"].observe(perf_counter() - begin)
+        return result
 
     def subset_any(self, table, mask: int, start: int = 0) -> bool:
         rows = max(0, self._inner.table_len(table) - start)
@@ -300,7 +377,10 @@ class InstrumentedBackend(KernelBackend):
         self._hit(
             "superset_max_support", self._inner.table_len(table) * self._width(table)
         )
-        return self._inner.superset_max_support(table, supports, mask)
+        begin = perf_counter()
+        result = self._inner.superset_max_support(table, supports, mask)
+        self._seconds["superset_max_support"].observe(perf_counter() - begin)
+        return result
 
     def intersect_selected(self, table, selector: int) -> int:
         rows = bin(selector).count("1") if selector >= 0 else 0
@@ -309,7 +389,10 @@ class InstrumentedBackend(KernelBackend):
 
     def column_counts(self, masks: Sequence[int], n_bits: int) -> List[int]:
         self._hit("column_counts", len(masks) * _mask_bytes(n_bits))
-        return self._inner.column_counts(masks, n_bits)
+        begin = perf_counter()
+        result = self._inner.column_counts(masks, n_bits)
+        self._seconds["column_counts"].observe(perf_counter() - begin)
+        return result
 
     def bound_filter(self, counts, mask: int, threshold: int) -> int:
         self._hit("bound_filter", len(counts) * 8)

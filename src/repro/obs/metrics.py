@@ -29,7 +29,13 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "prom_name",
+    "escape_help",
+    "escape_label_value",
+    "estimate_quantile",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "QUANTILES",
 ]
 
 #: Default histogram buckets: exponential decades with a 1-2-5 ladder,
@@ -39,6 +45,27 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
     1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
 )
+
+#: Fine-grained latency buckets for the hot operational paths (WAL
+#: appends, micro-batch folds, kernel primitives, query verbs): the
+#: 1-2-5 ladder from a microsecond to ten seconds, so the p99 of a
+#: microsecond-scale primitive does not collapse into one bucket.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0,
+)
+
+#: Size buckets (bytes / record counts): powers of four from 16 to
+#: 64 MiB, for WAL record sizes, fold batch sizes and snapshot bytes.
+SIZE_BUCKETS: Tuple[float, ...] = (
+    16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 16777216.0, 67108864.0,
+)
+
+#: The operational quantiles reported by the flight recorder and
+#: ``repro-mine top``.
+QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
 
 
 class Counter:
@@ -127,8 +154,94 @@ class Histogram:
                 return
         self.bucket_counts[-1] += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile from the cumulative buckets.
+
+        Linear interpolation inside the winning bucket, clamped to the
+        observed ``min``/``max`` so a one-sample histogram answers the
+        sample itself rather than a bucket midpoint.  ``None`` when
+        nothing was observed.
+        """
+        return estimate_quantile(
+            self.buckets, self.bucket_counts, self.count, q,
+            lo=self.min, hi=self.max,
+        )
+
+    def quantiles(self, qs: Sequence[float] = QUANTILES) -> Dict[float, Optional[float]]:
+        """Estimates for several quantiles at once."""
+        return {q: self.quantile(q) for q in qs}
+
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count}, sum={self.total})"
+
+
+def estimate_quantile(
+    buckets: Sequence[float],
+    bucket_counts: Sequence[int],
+    count: int,
+    q: float,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> Optional[float]:
+    """Quantile estimate from histogram bucket data (Prometheus-style).
+
+    Works on the plain-dict form a snapshot (or a flight-recorder
+    record) carries, so readers can compute p50/p95/p99 without
+    rebuilding :class:`Histogram` objects.  Interpolates linearly
+    within the winning bucket; the first bucket interpolates from
+    ``lo`` (the observed minimum) when known, else from 0; the ``+Inf``
+    bucket answers ``hi`` (the observed maximum) when known, else the
+    last finite bound.  Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        return None
+    rank = q * count
+    cumulative = 0
+    for index, bound in enumerate(buckets):
+        previous = cumulative
+        cumulative += bucket_counts[index]
+        if cumulative >= rank and bucket_counts[index]:
+            lower = buckets[index - 1] if index else (lo if lo is not None else 0.0)
+            lower = min(lower, bound)
+            fraction = (rank - previous) / bucket_counts[index]
+            value = lower + (bound - lower) * fraction
+            if lo is not None:
+                value = max(value, lo)
+            if hi is not None:
+                value = min(value, hi)
+            return value
+    # Landed in the +Inf bucket.
+    if hi is not None:
+        return hi
+    return buckets[-1] if buckets else None
+
+
+def escape_help(text: str) -> str:
+    r"""Escape a HELP docstring per the text exposition format 0.0.4.
+
+    Backslash and line feed are the only characters HELP lines escape
+    (``\\`` and ``\n``); everything else passes through verbatim::
+
+        >>> escape_help('multi\nline \\ text')
+        'multi\\nline \\\\ text'
+    """
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def escape_label_value(text: str) -> str:
+    r"""Escape a label value per the text exposition format 0.0.4.
+
+    Label values additionally escape the double quote that delimits
+    them (``\\``, ``\n`` and ``\"``)::
+
+        >>> escape_label_value('say "hi"\n')
+        'say \\"hi\\"\\n'
+    """
+    return (
+        text.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
 
 
 def prom_name(name: str, kind: str) -> str:
@@ -263,7 +376,7 @@ class MetricsRegistry:
         for name, metric in sorted(self._counters.items()):
             exposed = prom_name(name, "counter")
             if metric.help:
-                lines.append(f"# HELP {exposed} {metric.help}")
+                lines.append(f"# HELP {exposed} {escape_help(metric.help)}")
             lines.append(f"# TYPE {exposed} counter")
             lines.append(f"{exposed} {metric.value}")
         for name, metric in sorted(self._gauges.items()):
@@ -271,20 +384,19 @@ class MetricsRegistry:
                 continue
             exposed = prom_name(name, "gauge")
             if metric.help:
-                lines.append(f"# HELP {exposed} {metric.help}")
+                lines.append(f"# HELP {exposed} {escape_help(metric.help)}")
             lines.append(f"# TYPE {exposed} gauge")
             lines.append(f"{exposed} {_format_value(metric.value)}")
         for name, metric in sorted(self._histograms.items()):
             exposed = prom_name(name, "histogram")
             if metric.help:
-                lines.append(f"# HELP {exposed} {metric.help}")
+                lines.append(f"# HELP {exposed} {escape_help(metric.help)}")
             lines.append(f"# TYPE {exposed} histogram")
             cumulative = 0
             for bound, count in zip(metric.buckets, metric.bucket_counts):
                 cumulative += count
-                lines.append(
-                    f'{exposed}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
-                )
+                le = escape_label_value(_format_value(bound))
+                lines.append(f'{exposed}_bucket{{le="{le}"}} {cumulative}')
             cumulative += metric.bucket_counts[-1]
             lines.append(f'{exposed}_bucket{{le="+Inf"}} {cumulative}')
             lines.append(f"{exposed}_sum {_format_value(metric.total)}")

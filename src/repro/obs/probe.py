@@ -72,10 +72,13 @@ class NullProbe:
     def count(self, name: str, amount: int = 1) -> None:
         return None
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, buckets=None) -> None:
         return None
 
     def gauge_max(self, name: str, value: float) -> None:
+        return None
+
+    def trace_context(self) -> Optional[Dict[str, Optional[str]]]:
         return None
 
     def wrap_kernel(self, kernel):
@@ -97,7 +100,12 @@ class NullProbe:
     ) -> None:
         return None
 
-    def merge_worker(self, snapshot: Optional[Dict], index: Optional[int] = None) -> None:
+    def merge_worker(
+        self,
+        snapshot: Optional[Dict],
+        index: Optional[int] = None,
+        trace: Optional[Dict] = None,
+    ) -> None:
         return None
 
     def __repr__(self) -> str:
@@ -140,8 +148,12 @@ class Probe(NullProbe):
     def count(self, name: str, amount: int = 1) -> None:
         self.metrics.counter(name).inc(amount)
 
-    def observe(self, name: str, value: float) -> None:
-        self.metrics.histogram(name).observe(value)
+    def observe(self, name: str, value: float, buckets=None) -> None:
+        self.metrics.histogram(name, buckets=buckets).observe(value)
+
+    def trace_context(self) -> Dict[str, Optional[str]]:
+        """The trace context a child process/tracer should inherit."""
+        return self.tracer.context()
 
     def gauge_max(self, name: str, value: float) -> None:
         self.metrics.gauge(name).set_max(value)
@@ -189,8 +201,24 @@ class Probe(NullProbe):
 
     # -- parallel merge --------------------------------------------------
 
-    def merge_worker(self, snapshot: Optional[Dict], index: Optional[int] = None) -> None:
-        """Fold one worker's metrics snapshot in at the join."""
+    def merge_worker(
+        self,
+        snapshot: Optional[Dict],
+        index: Optional[int] = None,
+        trace: Optional[Dict] = None,
+    ) -> None:
+        """Fold one worker's metrics snapshot (and trace) in at the join.
+
+        ``trace`` is the worker's shipped tracer payload
+        (``{"wall": ..., "records": [...]}``); its spans are remapped
+        onto this tracer's timeline so the merged trace renders as one
+        tree under the span that was open at fan-out.
+        """
+        if trace and trace.get("records"):
+            extra = {"shard": index} if index is not None else {}
+            self.tracer.merge_remote(
+                trace["records"], wall=trace.get("wall"), **extra
+            )
         if not snapshot:
             return
         self.metrics.merge_snapshot(snapshot)

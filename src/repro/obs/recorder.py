@@ -1,0 +1,477 @@
+"""The flight recorder: crash-safe continuous telemetry for long runs.
+
+The one-shot observability surface (``--metrics`` / ``--trace``) dumps
+a registry *once, at exit* — useless for an always-on ingest pipeline,
+which needs answers to "what is this store doing right now" and "what
+was it doing when it died".  A :class:`FlightRecorder` closes that gap:
+it periodically appends a **snapshot record** — the full
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot, the spans
+recorded since the previous emit, and a caller-supplied status dict —
+to size-bounded segment files inside a store directory, using the same
+durable-append / torn-tail-repair discipline as the write-ahead log
+(:mod:`repro.serving.wal`): unbuffered appends (a ``SIGKILL`` cannot
+take back an acked record), per-record checksums, a tolerant reader
+that stops at the first damaged byte instead of raising, and a repair
+step that truncates the tear.
+
+A reader (``repro-mine top``, :func:`repro.serving.health.compute_health`)
+attaches to the segment files of a live **or dead** store without ever
+touching the writer process.
+
+File format
+-----------
+
+A recorder is a directory of append-only segment files named
+``flight-<base_seq>.jsonl``.  Every line is one record, framed as::
+
+    <crc32 as 8 lowercase hex chars> <compact JSON object>\\n
+
+where the CRC covers the JSON bytes.  The first line of each segment
+is a header record (``{"type": "flight", "version": 1, "base_seq": N}``);
+subsequent lines are snapshot records::
+
+    {"type": "snapshot", "seq": 17, "wall": 1754554378.1, "uptime": 42.0,
+     "trace_id": "9f2c...", "status": {...}, "metrics": {...},
+     "spans": [...], "spans_dropped": 0}
+
+``metrics`` is exactly :meth:`MetricsRegistry.snapshot`; ``spans`` are
+the tracer records completed since the previous emit (capped at
+``max_spans``, most recent kept).  A line that is torn (no trailing
+newline), fails its CRC, or does not parse marks the end of that
+segment's readable content; bytes past it are reported, never raised.
+
+Retention
+---------
+
+Segments roll at ``segment_max_bytes`` and only the newest
+``keep_segments`` are retained, so a recorder's disk footprint is
+bounded at roughly ``keep_segments * segment_max_bytes`` no matter how
+long the writer lives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "FLIGHT_VERSION",
+    "FlightRecorder",
+    "FlightScan",
+    "FlightSegmentInfo",
+    "scan_flight",
+    "repair_flight",
+    "flight_tail",
+]
+
+FLIGHT_VERSION = 1
+
+#: ``<8 hex chars><space>`` before every JSON payload.
+_LINE_PREFIX = 9
+
+
+def _segment_name(base_seq: int) -> str:
+    return f"flight-{base_seq:012d}.jsonl"
+
+
+def _frame_line(record: Dict[str, Any]) -> bytes:
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"%08x " % crc + payload + b"\n"
+
+
+def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """The record of one complete framed line, or ``None`` if damaged."""
+    if len(line) <= _LINE_PREFIX or not line.endswith(b"\n"):
+        return None
+    if line[_LINE_PREFIX - 1 : _LINE_PREFIX] != b" ":
+        return None
+    try:
+        stored_crc = int(line[: _LINE_PREFIX - 1], 16)
+    except ValueError:
+        return None
+    payload = line[_LINE_PREFIX:-1]
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != stored_crc:
+        return None
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    return record
+
+
+def _list_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(base_seq, path)`` of every segment file, in sequence order."""
+    entries = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        if not (name.startswith("flight-") and name.endswith(".jsonl")):
+            continue
+        stem = name[len("flight-") : -len(".jsonl")]
+        if not stem.isdigit():
+            continue
+        entries.append((int(stem), os.path.join(directory, name)))
+    entries.sort()
+    return entries
+
+
+@dataclass
+class FlightSegmentInfo:
+    """One segment's scan outcome."""
+
+    path: str
+    base_seq: int
+    n_records: int
+    #: Byte offset just past the last valid line (= truncation target).
+    valid_end: int
+    #: Bytes past ``valid_end`` that did not parse (0 = clean).
+    torn_bytes: int = 0
+
+
+@dataclass
+class FlightScan:
+    """Everything a tolerant read of a recorder directory learned.
+
+    Unlike the WAL scan, damage in one segment does not make later
+    segments unreachable — telemetry records are independent — so each
+    segment is scanned to its own tear and the valid records of every
+    segment are returned in sequence order.
+    """
+
+    directory: str
+    segments: List[FlightSegmentInfo] = field(default_factory=list)
+    #: Snapshot records, oldest first (headers are validated, not kept).
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    truncated_bytes: int = 0
+    torn_segments: List[str] = field(default_factory=list)
+    torn_reason: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.torn_segments
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next emitted record would take."""
+        if self.records:
+            return self.records[-1]["seq"] + 1
+        for info in reversed(self.segments):
+            return info.base_seq + info.n_records
+        return 0
+
+
+def scan_flight(directory) -> FlightScan:
+    """Validate every line of every segment; never raises on damage."""
+    directory = os.fspath(directory)
+    scan = FlightScan(directory=directory)
+    for base_seq, path in _list_segments(directory):
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            scan.torn_segments.append(path)
+            scan.torn_reason = f"unreadable segment: {exc}"
+            continue
+        pos = 0
+        n_records = 0
+        saw_header = False
+        damaged = None
+        while pos < len(data):
+            newline = data.find(b"\n", pos)
+            line = data[pos : newline + 1] if newline != -1 else data[pos:]
+            record = _parse_line(line)
+            if record is None:
+                damaged = "torn or corrupt line"
+                break
+            if not saw_header:
+                if (
+                    record.get("type") != "flight"
+                    or record.get("base_seq") != base_seq
+                    or record.get("version") != FLIGHT_VERSION
+                ):
+                    damaged = "segment header mismatch"
+                    break
+                saw_header = True
+            elif record.get("type") == "snapshot":
+                scan.records.append(record)
+                n_records += 1
+            pos = newline + 1
+        valid_end = pos
+        torn = len(data) - valid_end
+        scan.segments.append(
+            FlightSegmentInfo(path, base_seq, n_records, valid_end, torn)
+        )
+        if damaged is not None:
+            scan.truncated_bytes += torn
+            scan.torn_segments.append(path)
+            scan.torn_reason = damaged
+    scan.records.sort(key=lambda record: record.get("seq", 0))
+    return scan
+
+
+def repair_flight(scan: FlightScan) -> int:
+    """Truncate every torn segment at its last valid line.
+
+    Returns the number of bytes removed.  A segment whose header itself
+    was damaged is removed entirely.  Idempotent; a no-op on a clean
+    scan.
+    """
+    removed = 0
+    torn = set(scan.torn_segments)
+    for info in scan.segments:
+        if info.path not in torn or not info.torn_bytes:
+            continue
+        if info.valid_end == 0:
+            try:
+                removed += os.path.getsize(info.path)
+                os.unlink(info.path)
+            except OSError:
+                pass
+        else:
+            with open(info.path, "r+b") as handle:
+                handle.truncate(info.valid_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+            removed += info.torn_bytes
+    return removed
+
+
+def flight_tail(directory, n: int = 2) -> List[Dict[str, Any]]:
+    """The newest ``n`` snapshot records, oldest first (read-only)."""
+    scan = scan_flight(directory)
+    return scan.records[-n:] if n else []
+
+
+class FlightRecorder:
+    """Periodic registry/span snapshots appended to segment files.
+
+    Parameters
+    ----------
+    directory:
+        Recorder directory (created if missing).  A torn tail left by
+        a previous writer's death is repaired on open, exactly like
+        the WAL appender refusing to append past damage.
+    probe:
+        The **active** :class:`repro.obs.Probe` whose registry and
+        tracer are snapshotted.  A null probe is refused — a recorder
+        with nothing to record is a configuration error.
+    interval:
+        Minimum seconds between emitted records; :meth:`emit` calls
+        inside the window are free no-ops, so callers hook it at every
+        natural boundary (fold, tick, compaction) without cadence math.
+        ``0`` records at every call.
+    segment_max_bytes / keep_segments:
+        Size bound: segments roll at ``segment_max_bytes`` and only the
+        newest ``keep_segments`` files are kept.
+    status:
+        Optional zero-argument callable returning a JSON-serialisable
+        dict stored on each record under ``"status"`` — the streaming
+        miner reports ``broken`` / ``pending_records`` /
+        ``n_transactions`` through this.
+    max_spans:
+        Cap on spans shipped per record (most recent kept; the
+        overflow is counted in ``spans_dropped``).
+    fault_plan:
+        Optional :class:`repro.runtime.FaultPlan`; the emitter calls
+        the ``flight.emit`` / ``flight.emit.torn`` crash points around
+        every write, so the crash-recovery property suite covers
+        recorder damage too.
+    """
+
+    def __init__(
+        self,
+        directory,
+        probe,
+        *,
+        interval: float = 1.0,
+        segment_max_bytes: int = 256 << 10,
+        keep_segments: int = 4,
+        status: Optional[Callable[[], Dict[str, Any]]] = None,
+        max_spans: int = 256,
+        fault_plan=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not getattr(probe, "active", False):
+            raise ValueError(
+                "FlightRecorder needs an active Probe; the null probe "
+                "records nothing worth persisting"
+            )
+        if segment_max_bytes < 1:
+            raise ValueError(
+                f"segment_max_bytes must be positive, got {segment_max_bytes}"
+            )
+        if keep_segments < 1:
+            raise ValueError(
+                f"keep_segments must be at least 1, got {keep_segments}"
+            )
+        self.directory = os.fspath(directory)
+        self._probe = probe
+        self.interval = interval
+        self.segment_max_bytes = segment_max_bytes
+        self.keep_segments = keep_segments
+        self._status = status
+        self._max_spans = max_spans
+        self._plan = fault_plan
+        self._clock = clock
+        self._last_emit: Optional[float] = None
+        self._span_cursor = probe.tracer.total - len(probe.tracer.records)
+        self._handle = None
+        self._segment_bytes = 0
+        self._origin = time.perf_counter()
+        os.makedirs(self.directory, exist_ok=True)
+        scan = scan_flight(self.directory)
+        if not scan.clean:
+            self.truncated_bytes = repair_flight(scan)
+            probe.count("flight.truncated_bytes", self.truncated_bytes)
+        else:
+            self.truncated_bytes = 0
+        self.next_seq = scan.next_seq
+        segments = _list_segments(self.directory)
+        if segments and os.path.getsize(segments[-1][1]) < self.segment_max_bytes:
+            self._handle = open(segments[-1][1], "ab", buffering=0)
+            self._segment_bytes = os.path.getsize(segments[-1][1])
+        else:
+            self._roll()
+
+    # ------------------------------------------------------------------
+
+    def _reach(self, point: str) -> None:
+        if self._plan is not None:
+            self._plan.reach(point)
+
+    def _roll(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        path = os.path.join(self.directory, _segment_name(self.next_seq))
+        handle = open(path, "ab", buffering=0)
+        header = _frame_line(
+            {
+                "type": "flight",
+                "version": FLIGHT_VERSION,
+                "base_seq": self.next_seq,
+            }
+        )
+        handle.write(header)
+        self._handle = handle
+        self._segment_bytes = handle.tell()
+        self._probe.count("flight.segments_rolled")
+        self._prune()
+
+    def _prune(self) -> None:
+        segments = _list_segments(self.directory)
+        live = self._handle.name if self._handle is not None else None
+        for _, path in segments[: -self.keep_segments]:
+            if path == live:
+                continue
+            try:
+                os.unlink(path)
+                self._probe.count("flight.segments_pruned")
+            except OSError:
+                pass
+
+    def _take_spans(self) -> Tuple[List[Dict[str, Any]], int]:
+        tracer = self._probe.tracer
+        new = tracer.total - self._span_cursor
+        self._span_cursor = tracer.total
+        if new <= 0:
+            return [], 0
+        available = min(new, len(tracer.records))
+        spans = tracer.records[len(tracer.records) - available :]
+        dropped = new - available
+        if len(spans) > self._max_spans:
+            dropped += len(spans) - self._max_spans
+            spans = spans[-self._max_spans :]
+        return list(spans), dropped
+
+    def emit(self, force: bool = False) -> bool:
+        """Append one snapshot record if the cadence (or ``force``) says so.
+
+        Returns whether a record was written.  The write is a single
+        unbuffered append of one framed line, so a process kill leaves
+        at worst one torn line for the next open (or any reader) to
+        detect.
+        """
+        now = self._clock()
+        if (
+            not force
+            and self._last_emit is not None
+            and now - self._last_emit < self.interval
+        ):
+            return False
+        spans, spans_dropped = self._take_spans()
+        record = {
+            "type": "snapshot",
+            "seq": self.next_seq,
+            "wall": time.time(),
+            "uptime": round(time.perf_counter() - self._origin, 6),
+            "trace_id": self._probe.tracer.trace_id,
+            "metrics": self._probe.metrics.snapshot(),
+            "spans": spans,
+            "spans_dropped": spans_dropped,
+        }
+        if self._status is not None:
+            record["status"] = self._status()
+        line = _frame_line(record)
+        if self._segment_bytes >= self.segment_max_bytes:
+            self._roll()
+        self._reach("flight.emit")
+        if self._plan is not None:
+            # The torn-write crash point: die mid-line, leaving half a
+            # record for the tolerant reader / repair to cut.
+            try:
+                self._plan.reach("flight.emit.torn")
+            except BaseException:
+                self._handle.write(line[: max(1, len(line) // 2)])
+                raise
+        self._handle.write(line)
+        self._segment_bytes += len(line)
+        self.next_seq += 1
+        self._last_emit = now
+        self._probe.count("flight.emits")
+        self._probe.count("flight.emitted_bytes", len(line))
+        return True
+
+    def close(self, final_emit: bool = True) -> None:
+        """Emit one last record (by default) and close the live segment."""
+        if self._handle is None:
+            return
+        if final_emit:
+            try:
+                self.emit(force=True)
+            finally:
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
+        else:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Mirror the streaming store: an exception (or injected crash)
+        # must leave the on-disk state exactly as the writes left it.
+        if exc_type is None:
+            self.close()
+        elif self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({self.directory!r}, next_seq={self.next_seq}, "
+            f"interval={self.interval})"
+        )

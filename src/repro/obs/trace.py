@@ -1,4 +1,4 @@
-"""Span-based phase tracing with JSON-lines export.
+"""Span-based phase tracing with trace context and JSON-lines export.
 
 A :class:`Tracer` records *spans* — named intervals with attributes —
 and point *events*.  The drivers emit the canonical phase spans
@@ -6,31 +6,57 @@ and point *events*.  The drivers emit the canonical phase spans
 so a trace answers the question the wall-clock column of the benchmark
 tables cannot: *where* the time went.
 
+Every tracer belongs to a **trace**: a ``trace_id`` minted at the
+operation root (or inherited from a propagated
+:meth:`Tracer.context`), and every span carries its own ``span_id``
+plus the ``parent_id`` of the span that enclosed it when it opened.
+Worker processes (:func:`repro.parallel.mine_parallel` shards) build
+their tracers from the parent's propagated context, so when their
+records are folded back in at the join (:meth:`Tracer.merge_remote`)
+the merged stream reassembles into one tree — ``repro-mine trace
+--render`` draws it.
+
 The export format is JSON lines, one record per event, ordered by
 completion time::
 
     {"type": "span", "name": "mine", "depth": 1, "start": 0.0012,
-     "end": 0.8451, "duration": 0.8439, "attrs": {"algorithm": "ista"}}
+     "end": 0.8451, "duration": 0.8439, "span_id": "9f2c4a1b33d08e71",
+     "parent_id": null, "attrs": {"algorithm": "ista"}}
 
 ``start`` / ``end`` are seconds relative to the tracer's origin (a
 ``time.perf_counter`` reading), ``wall`` on the tracer header record is
 the absolute Unix time of the origin, so consumers can reconstruct
 absolute timestamps without every record carrying one.
+
+Long-lived processes (the streaming ingest pipeline) bound the record
+buffer with ``max_records``: once full, the oldest records are dropped
+(and counted in :attr:`Tracer.dropped`) — the flight recorder
+(:mod:`repro.obs.recorder`) ships them to disk before that happens.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
-__all__ = ["Tracer", "Span"]
+__all__ = ["Tracer", "Span", "TRACE_VERSION"]
+
+#: Trace JSONL schema version: 2 added trace_id/span_id/parent_id.
+TRACE_VERSION = 2
+
+
+def _mint_id() -> str:
+    """A fresh 64-bit hex id for a span or trace."""
+    return os.urandom(8).hex()
 
 
 class Span:
     """One open interval; close it via the context-manager protocol."""
 
-    __slots__ = ("tracer", "name", "attrs", "depth", "start", "end")
+    __slots__ = ("tracer", "name", "attrs", "depth", "start", "end",
+                 "span_id", "parent_id")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
         self.tracer = tracer
@@ -39,20 +65,28 @@ class Span:
         self.depth = 0
         self.start = 0.0
         self.end: Optional[float] = None
+        self.span_id = _mint_id()
+        self.parent_id: Optional[str] = None
 
     def __enter__(self) -> "Span":
-        self.depth = self.tracer._depth
-        self.tracer._depth += 1
-        self.start = time.perf_counter() - self.tracer.origin
+        tracer = self.tracer
+        self.depth = tracer._depth
+        self.parent_id = tracer._open[-1] if tracer._open else tracer.parent_id
+        tracer._depth += 1
+        tracer._open.append(self.span_id)
+        self.start = time.perf_counter() - tracer.origin
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.end = time.perf_counter() - self.tracer.origin
-        self.tracer._depth -= 1
+        tracer = self.tracer
+        self.end = time.perf_counter() - tracer.origin
+        tracer._depth -= 1
+        if tracer._open and tracer._open[-1] == self.span_id:
+            tracer._open.pop()
         if exc_type is not None:
             self.attrs.setdefault("status", "error")
             self.attrs.setdefault("error", exc_type.__name__)
-        self.tracer._record(
+        tracer._record(
             {
                 "type": "span",
                 "name": self.name,
@@ -60,21 +94,51 @@ class Span:
                 "start": round(self.start, 9),
                 "end": round(self.end, 9),
                 "duration": round(self.end - self.start, 9),
+                "span_id": self.span_id,
+                "parent_id": self.parent_id,
                 "attrs": self.attrs,
             }
         )
 
 
 class Tracer:
-    """Collects span/event records; export via :meth:`write_jsonl`."""
+    """Collects span/event records; export via :meth:`write_jsonl`.
 
-    __slots__ = ("origin", "wall", "records", "_depth")
+    Parameters
+    ----------
+    trace_id, parent_id:
+        Propagated trace context (both minted/``None`` when absent):
+        workers receive them via :meth:`context` so their root spans
+        attach under the parent's currently-open span.
+    max_records:
+        Soft bound on the in-memory record buffer.  ``None`` (the
+        default) keeps everything, matching one-shot runs; long-lived
+        pipelines set a bound and let the flight recorder drain the
+        buffer to disk before records age out.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("origin", "wall", "records", "trace_id", "parent_id",
+                 "max_records", "dropped", "total", "_depth", "_open")
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
         self.origin = time.perf_counter()
         self.wall = time.time()
         self.records: List[Dict[str, Any]] = []
+        self.trace_id = trace_id if trace_id else _mint_id()
+        self.parent_id = parent_id
+        self.max_records = max_records
+        #: Records dropped from the buffer by the ``max_records`` bound.
+        self.dropped = 0
+        #: Records ever recorded (dropped included); the flight
+        #: recorder's cursor arithmetic keys on this.
+        self.total = 0
         self._depth = 0
+        self._open: List[str] = []
 
     def span(self, name: str, **attrs: Any) -> Span:
         """A context manager recording one named interval."""
@@ -88,23 +152,75 @@ class Tracer:
                 "name": name,
                 "depth": self._depth,
                 "at": round(time.perf_counter() - self.origin, 9),
+                "parent_id": self._open[-1] if self._open else self.parent_id,
                 "attrs": attrs,
             }
         )
 
+    def context(self) -> Dict[str, Optional[str]]:
+        """The propagation context for a child tracer (worker, fold).
+
+        ``parent_id`` is the innermost currently-open span, so remote
+        spans created from this context attach exactly where the
+        operation stood when it fanned out.
+        """
+        return {
+            "trace_id": self.trace_id,
+            "parent_id": self._open[-1] if self._open else self.parent_id,
+        }
+
+    def merge_remote(
+        self,
+        records: Sequence[Dict[str, Any]],
+        wall: Optional[float] = None,
+        **extra_attrs: Any,
+    ) -> None:
+        """Fold a child tracer's records in, on this tracer's timeline.
+
+        ``wall`` is the child tracer's wall-clock origin; the child's
+        relative timestamps are shifted by the wall offset so the
+        merged records share one timeline.  ``extra_attrs`` (for
+        example ``shard=3``) are stamped onto every merged record's
+        attributes without overwriting what the child put there.
+        """
+        offset = (wall - self.wall) if wall is not None else 0.0
+        for record in records:
+            merged = dict(record)
+            for key in ("start", "end", "at"):
+                if merged.get(key) is not None:
+                    merged[key] = round(merged[key] + offset, 9)
+            if extra_attrs:
+                attrs = dict(merged.get("attrs") or {})
+                for key, value in extra_attrs.items():
+                    attrs.setdefault(key, value)
+                merged["attrs"] = attrs
+            self._record(merged)
+
     def _record(self, record: Dict[str, Any]) -> None:
         self.records.append(record)
+        self.total += 1
+        if self.max_records is not None and len(self.records) > self.max_records:
+            surplus = len(self.records) - self.max_records
+            del self.records[:surplus]
+            self.dropped += surplus
 
     def write_jsonl(self, handle) -> None:
         """Write the trace as JSON lines to an open text handle.
 
         The first line is a header record carrying the wall-clock
-        origin; span records follow in completion order.
+        origin and the trace id; span records follow in completion
+        order.
         """
         handle.write(
             json.dumps(
-                {"type": "trace", "version": 1, "wall": self.wall,
-                 "records": len(self.records)},
+                {
+                    "type": "trace",
+                    "version": TRACE_VERSION,
+                    "wall": self.wall,
+                    "trace_id": self.trace_id,
+                    "records": len(self.records),
+                    "dropped": self.dropped,
+                },
                 sort_keys=True,
             )
             + "\n"
@@ -116,4 +232,6 @@ class Tracer:
         return len(self.records)
 
     def __repr__(self) -> str:
-        return f"Tracer(records={len(self.records)})"
+        return (
+            f"Tracer(trace_id={self.trace_id!r}, records={len(self.records)})"
+        )

@@ -64,7 +64,7 @@ from .data import itemset
 from .data.database import TransactionDatabase
 from .kernels import resolve_backend
 from .mining import ALGORITHMS, _CLOSED_ONLY, _resolve_algorithm, _validate_smin, mine
-from .obs import Probe, resolve_probe
+from .obs import Probe, Tracer, resolve_probe
 from .result import MiningResult
 from .runtime import MiningInterrupted
 
@@ -86,9 +86,14 @@ class ShardOutcome:
     ``metrics`` is the worker-local metrics snapshot
     (:meth:`repro.obs.MetricsRegistry.snapshot`) when the run was
     probed, else ``None``; the parent folds it in at the join.
+    ``trace`` likewise ships the worker tracer's records and wall-clock
+    origin (``{"wall": ..., "records": [...]}``), so the parent can
+    remap the worker spans onto its own timeline and the merged trace
+    renders as one tree.
     """
 
-    __slots__ = ("index", "scheme", "status", "pairs", "error", "metrics")
+    __slots__ = ("index", "scheme", "status", "pairs", "error", "metrics",
+                 "trace")
 
     def __init__(
         self,
@@ -98,6 +103,7 @@ class ShardOutcome:
         pairs: List[Tuple[int, int]],
         error: Optional[str] = None,
         metrics: Optional[Dict] = None,
+        trace: Optional[Dict] = None,
     ) -> None:
         self.index = index
         self.scheme = scheme
@@ -105,6 +111,7 @@ class ShardOutcome:
         self.pairs = pairs
         self.error = error
         self.metrics = metrics
+        self.trace = trace
 
     def __repr__(self) -> str:
         return (
@@ -148,13 +155,30 @@ def _shard_masks(
     return [t & union for t in db.transactions[start:]]
 
 
+def _worker_trace(probe: Optional[Probe]) -> Optional[Dict]:
+    """The picklable tracer payload a probed worker ships home."""
+    if probe is None:
+        return None
+    return {"wall": probe.tracer.wall, "records": list(probe.tracer.records)}
+
+
 def _shard_worker(payload: Dict) -> ShardOutcome:
     """Mine one shard (runs in a worker process; must stay top-level)."""
     db = TransactionDatabase.from_masks(payload["masks"], payload["n_items"])
     # Each probed worker gets its own registry; the snapshot (plain
     # dicts, hence picklable) travels home in the outcome and is merged
-    # by the parent probe at the join.
-    probe = Probe() if payload.get("probe") else None
+    # by the parent probe at the join.  The worker tracer inherits the
+    # parent's trace context, so its spans attach under the span that
+    # was open at fan-out.
+    probe = None
+    if payload.get("probe"):
+        context = payload.get("trace") or {}
+        probe = Probe(
+            tracer=Tracer(
+                trace_id=context.get("trace_id"),
+                parent_id=context.get("parent_id"),
+            )
+        )
     try:
         result = mine(
             db,
@@ -176,6 +200,7 @@ def _shard_worker(payload: Dict) -> ShardOutcome:
             pairs,
             str(exc),
             metrics=probe.metrics.snapshot() if probe is not None else None,
+            trace=_worker_trace(probe),
         )
     return ShardOutcome(
         payload["index"],
@@ -183,6 +208,7 @@ def _shard_worker(payload: Dict) -> ShardOutcome:
         "ok",
         list(result.items()),
         metrics=probe.metrics.snapshot() if probe is not None else None,
+        trace=_worker_trace(probe),
     )
 
 
@@ -331,11 +357,17 @@ def mine_parallel(
     obs.count("parallel.shards", len(payloads))
 
     with obs.phase("mine", algorithm=algorithm, shards=len(payloads)):
+        # Capture the trace context *inside* the mine span so worker
+        # spans attach under it in the merged tree.
+        context = obs.trace_context()
+        if context is not None:
+            for payload in payloads:
+                payload["trace"] = context
         outcomes = _run_shards(payloads, n_workers)
 
     with obs.phase("merge", algorithm=algorithm):
         for outcome in outcomes:
-            obs.merge_worker(outcome.metrics, outcome.index)
+            obs.merge_worker(outcome.metrics, outcome.index, trace=outcome.trace)
         candidates: Dict[int, None] = {}
         for outcome in outcomes:
             for mask, _ in outcome.pairs:

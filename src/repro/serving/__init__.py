@@ -20,6 +20,9 @@ into a mine-once, serve-many system:
   durable always-on ingest engine: WAL + micro-batch folds + tiered
   snapshot compaction + crash recovery (``repro ingest`` /
   ``repro recover`` on the CLI).
+* :mod:`~repro.serving.health` — :func:`compute_health`, the read-only
+  :class:`HealthReport` assembled from a store's flight-recorder tail,
+  WAL and snapshot generations (``repro top`` on the CLI).
 
 The query surface itself (``closed_sets``, ``support_of``, ``top_k``,
 ``supersets_of``, memoization) lives on ``IncrementalMiner``, re-exported
@@ -28,6 +31,7 @@ here for convenience.
 
 from ..core.incremental import IncrementalMiner
 from .build import build_miner_parallel, merge_miners
+from .health import HealthReport, compute_health
 from .snapshot import (
     SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
@@ -56,6 +60,8 @@ __all__ = [
     "StreamingMiner",
     "RecoveryReport",
     "CRASH_POINTS",
+    "HealthReport",
+    "compute_health",
     "WriteAheadLog",
     "WalError",
     "scan_wal",

@@ -1,0 +1,284 @@
+"""Store health: what an operator asks a store without running it.
+
+:func:`compute_health` assembles a :class:`HealthReport` from nothing
+but the **on-disk** state of a streaming store directory — the flight
+recorder tail (:mod:`repro.obs.recorder`), the WAL segments and the
+snapshot generations — so it works identically on a live store (an
+attached reader never touches the writer's files) and on one that was
+``SIGKILL``-ed mid-operation.  This is the computation behind
+``repro-mine top`` and the future ``repro serve`` ``/healthz``
+endpoint.
+
+The report answers the operational questions in order of urgency:
+
+* **Is it broken?** — the writer's ``broken`` flag from the newest
+  flight record's status (a mid-fold budget trip), plus whether the
+  recorder or WAL tail is torn (evidence of a crash, repaired on the
+  next writer open).
+* **How far behind is the durable overlay?** — WAL lag in records and
+  bytes past the newest snapshot generation, and that generation's
+  age.
+* **How fast is it?** — ingest/fold/compaction rates from the two
+  newest flight records, and latency quantiles (p50/p95/p99) estimated
+  from every histogram in the newest record's metrics snapshot.
+
+Everything degrades gracefully: a store with no recorder still reports
+WAL/snapshot facts, an empty directory reports zeros — the report says
+what is knowable and leaves the rest ``None``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..obs import QUANTILES, estimate_quantile
+from ..obs.recorder import FlightScan, scan_flight
+from .wal import scan_wal
+
+__all__ = ["HealthReport", "compute_health"]
+
+#: Histogram families worth a quantile row in the rendered report, in
+#: display order (prefix match).
+_QUANTILE_PREFIXES = (
+    "wal.", "serve.", "phase.serve.", "phase.query.", "kernel.",
+)
+
+#: Counters whose per-second rate the report derives from the two
+#: newest flight records.
+_RATE_COUNTERS = (
+    "wal.appends",
+    "wal.folded_records",
+    "wal.folds",
+    "compaction.runs",
+)
+
+
+@dataclass
+class HealthReport:
+    """Everything :func:`compute_health` learned; see the module docstring."""
+
+    directory: str
+    #: ``False`` when the writer reported a mid-fold break, or when no
+    #: state at all was found.
+    healthy: bool = True
+    exists: bool = True
+    broken: bool = False
+    n_transactions: Optional[int] = None
+    pending_records: Optional[int] = None
+    last_fold_seconds: Optional[float] = None
+    # -- WAL ----------------------------------------------------------
+    wal_records: int = 0
+    wal_bytes: int = 0
+    wal_segments: int = 0
+    wal_torn: bool = False
+    wal_lag_records: int = 0
+    wal_lag_bytes: int = 0
+    # -- snapshots ----------------------------------------------------
+    snapshot_path: Optional[str] = None
+    snapshot_covered: int = 0
+    snapshot_age_seconds: Optional[float] = None
+    snapshot_generations: int = 0
+    # -- flight recorder ----------------------------------------------
+    flight_records: int = 0
+    flight_torn: bool = False
+    flight_age_seconds: Optional[float] = None
+    trace_id: Optional[str] = None
+    rates: Dict[str, float] = field(default_factory=dict)
+    #: ``{histogram name: {"count": n, "p50": ..., "p95": ..., "p99": ...}}``
+    quantiles: Dict[str, Dict[str, Optional[float]]] = field(
+        default_factory=dict
+    )
+    notes: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """The multi-line rendering ``repro-mine top`` prints."""
+        state = "BROKEN" if self.broken else (
+            "HEALTHY" if self.healthy else "UNKNOWN"
+        )
+        head = f"store {self.directory}: {state}"
+        if self.n_transactions is not None:
+            head += (
+                f" ({self.n_transactions} transactions, "
+                f"{self.pending_records or 0} pending)"
+            )
+        lines = [head]
+        lines.append(
+            f"wal: {self.wal_records} replayable record(s) in "
+            f"{self.wal_segments} segment(s), {self.wal_bytes} bytes"
+            + ("; TORN TAIL" if self.wal_torn else "")
+        )
+        lines.append(
+            f"wal lag past snapshot: {self.wal_lag_records} record(s) / "
+            f"{self.wal_lag_bytes} bytes"
+        )
+        if self.snapshot_path is not None:
+            age = (
+                f", age {self.snapshot_age_seconds:.1f}s"
+                if self.snapshot_age_seconds is not None
+                else ""
+            )
+            lines.append(
+                f"snapshot: {os.path.basename(self.snapshot_path)} "
+                f"(covers {self.snapshot_covered}"
+                f", {self.snapshot_generations} generation(s){age})"
+            )
+        else:
+            lines.append("snapshot: none")
+        if self.flight_records:
+            age = (
+                f", tail age {self.flight_age_seconds:.1f}s"
+                if self.flight_age_seconds is not None
+                else ""
+            )
+            lines.append(
+                f"flight: {self.flight_records} record(s){age}"
+                + ("; torn tail (will repair on next open)" if self.flight_torn else "")
+            )
+        else:
+            lines.append("flight: no recorder data")
+        if self.last_fold_seconds is not None:
+            lines.append(f"last fold: {self.last_fold_seconds * 1e3:.2f} ms")
+        if self.rates:
+            lines.append(
+                "rates: "
+                + ", ".join(
+                    f"{name} {rate:.1f}/s"
+                    for name, rate in sorted(self.rates.items())
+                )
+            )
+        if self.quantiles:
+            lines.append("latency/size quantiles:")
+            width = max(len(name) for name in self.quantiles)
+            for name, row in sorted(self.quantiles.items()):
+                cells = "  ".join(
+                    f"p{int(q * 100):02d}={_fmt(row.get(f'p{int(q * 100)}'))}"
+                    for q in QUANTILES
+                )
+                lines.append(
+                    f"  {name.ljust(width)}  n={row['count']:<8} {cells}"
+                )
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1000 and float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _quantile_row(data: Dict) -> Dict[str, Optional[float]]:
+    """p50/p95/p99 estimated from one snapshot histogram dict."""
+    row: Dict[str, Optional[float]] = {"count": data.get("count", 0)}
+    for q in QUANTILES:
+        row[f"p{int(q * 100)}"] = estimate_quantile(
+            data.get("buckets", ()),
+            data.get("bucket_counts", ()),
+            data.get("count", 0),
+            q,
+            lo=data.get("min"),
+            hi=data.get("max"),
+        )
+    return row
+
+
+def compute_health(
+    directory,
+    *,
+    now: Optional[float] = None,
+    flight_scan: Optional[FlightScan] = None,
+) -> HealthReport:
+    """Read-only health assessment of a store directory.
+
+    Never raises on damage and never mutates the store: torn tails are
+    reported, not repaired (the next writer open repairs them).  ``now``
+    pins the wall clock for deterministic tests; ``flight_scan`` lets a
+    polling caller (``repro-mine top --watch``) reuse a scan.
+    """
+    directory = os.fspath(directory)
+    report = HealthReport(directory=directory)
+    if now is None:
+        now = time.time()
+
+    # Late import: streaming imports health's sibling modules.
+    from .streaming import _list_snapshots
+
+    snapshots = _list_snapshots(directory)
+    report.snapshot_generations = len(snapshots)
+    if snapshots:
+        report.snapshot_covered, report.snapshot_path = snapshots[-1]
+        try:
+            report.snapshot_age_seconds = max(
+                0.0, now - os.path.getmtime(report.snapshot_path)
+            )
+        except OSError:
+            pass
+
+    wal_dir = os.path.join(directory, "wal")
+    wal = scan_wal(wal_dir)
+    report.wal_records = len(wal.records)
+    report.wal_segments = len(wal.segments)
+    report.wal_torn = not wal.clean
+    if report.wal_torn:
+        report.notes.append(
+            f"wal tail torn ({wal.torn_reason}); recovery will truncate "
+            f"{wal.truncated_bytes} byte(s)"
+        )
+    for info in wal.segments:
+        report.wal_bytes += info.valid_end + info.torn_bytes
+        if info.base_seq + info.n_records > report.snapshot_covered:
+            report.wal_lag_bytes += info.valid_end + info.torn_bytes
+    report.wal_lag_records = sum(
+        1 for seq, _ in wal.records if seq >= report.snapshot_covered
+    )
+
+    scan = flight_scan if flight_scan is not None else scan_flight(
+        os.path.join(directory, "flight")
+    )
+    report.flight_records = len(scan.records)
+    report.flight_torn = not scan.clean
+    if report.flight_torn:
+        report.notes.append(
+            f"flight recorder tail torn ({scan.torn_reason}); the next "
+            "writer open repairs it"
+        )
+    if scan.records:
+        tail = scan.records[-1]
+        report.flight_age_seconds = max(0.0, now - tail.get("wall", now))
+        report.trace_id = tail.get("trace_id")
+        status = tail.get("status") or {}
+        report.broken = bool(status.get("broken", False))
+        report.n_transactions = status.get("n_transactions")
+        report.pending_records = status.get("pending_records")
+        report.last_fold_seconds = status.get("last_fold_seconds")
+        for name, data in tail.get("metrics", {}).get("histograms", {}).items():
+            if name.startswith(_QUANTILE_PREFIXES) and data.get("count"):
+                report.quantiles[name] = _quantile_row(data)
+        if len(scan.records) >= 2:
+            prev = scan.records[-2]
+            dt = tail.get("wall", 0.0) - prev.get("wall", 0.0)
+            if dt > 0:
+                tail_counters = tail.get("metrics", {}).get("counters", {})
+                prev_counters = prev.get("metrics", {}).get("counters", {})
+                for name in _RATE_COUNTERS:
+                    delta = tail_counters.get(name, 0) - prev_counters.get(
+                        name, 0
+                    )
+                    if delta:
+                        report.rates[name] = delta / dt
+    elif report.n_transactions is None and snapshots:
+        # No recorder: the snapshot name still bounds the folded count.
+        report.n_transactions = report.snapshot_covered
+
+    report.exists = bool(
+        snapshots or wal.segments or scan.records or os.path.isdir(directory)
+    )
+    report.healthy = report.exists and not report.broken
+    if not report.exists:
+        report.notes.append("no store state found")
+    return report

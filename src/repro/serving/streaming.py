@@ -50,7 +50,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, List, Optional, Tuple
 
-from ..obs import resolve_probe
+from ..obs import FlightRecorder, SIZE_BUCKETS, resolve_probe
 from ..runtime import RunGuard
 from ..runtime.guard import checker
 from ..stats import OperationCounters
@@ -79,6 +79,8 @@ CRASH_POINTS = (
     "compact.prune",      # snapshot durable, log pruning pending
     "wal.prune",          # before a covered segment is unlinked
     "wal.prune.mid",      # between unlinking covered segments
+    "flight.emit",        # before a flight-recorder snapshot line
+    "flight.emit.torn",   # mid-line: a torn recorder tail to repair
 )
 
 _SNAPSHOT_RE = re.compile(r"snapshot-(\d+)\.rsnp$")
@@ -188,6 +190,15 @@ class StreamingMiner:
     fold_timeout / fold_memory_limit_mb:
         Per-fold :class:`RunGuard` budget; a trip marks the store
         broken (see the module docstring) and propagates.
+    flight / flight_interval / flight_segment_max_bytes /
+    flight_keep_segments:
+        Flight-recorder control (:class:`repro.obs.FlightRecorder`,
+        written under ``<store>/flight/``).  ``flight=None`` (the
+        default) turns the recorder on exactly when a probe is
+        attached; ``True`` demands one (a recorder with nothing to
+        record is a configuration error); ``False`` disables it.  The
+        recorder emits at every fold/tick/compaction boundary, rate-
+        limited to one record per ``flight_interval`` seconds.
     """
 
     def __init__(self, *args, **kwargs) -> None:
@@ -209,6 +220,10 @@ class StreamingMiner:
         keep_snapshots: int = 2,
         fold_timeout: Optional[float] = None,
         fold_memory_limit_mb: Optional[float] = None,
+        flight: Optional[bool] = None,
+        flight_interval: float = 1.0,
+        flight_segment_max_bytes: int = 256 << 10,
+        flight_keep_segments: int = 4,
         counters: Optional[OperationCounters] = None,
         backend=None,
         probe=None,
@@ -243,6 +258,8 @@ class StreamingMiner:
         self._buffer_since: Optional[float] = None
         self._broken = False
         self._closed = False
+        self._flight: Optional[FlightRecorder] = None
+        self._last_fold_seconds: Optional[float] = None
         os.makedirs(self._directory, exist_ok=True)
 
         with self._obs.phase("serve.recover", store=self._directory):
@@ -307,6 +324,27 @@ class StreamingMiner:
             )
             self._last_compacted = covered
             self.recovery = report
+
+            if flight is None:
+                flight = self._obs.active
+            if flight:
+                if not self._obs.active:
+                    raise WalError(
+                        "flight recorder needs an active probe; pass "
+                        "probe=repro.obs.Probe() (or flight=False)"
+                    )
+                self._flight = FlightRecorder(
+                    os.path.join(self._directory, "flight"),
+                    self._obs,
+                    interval=flight_interval,
+                    segment_max_bytes=flight_segment_max_bytes,
+                    keep_segments=flight_keep_segments,
+                    status=self._flight_status,
+                    fault_plan=fault_plan,
+                )
+                # First record immediately: a store that dies before its
+                # first fold still leaves its recovery state on disk.
+                self._flight.emit(force=True)
         return self
 
     # ------------------------------------------------------------------
@@ -336,6 +374,22 @@ class StreamingMiner:
     def broken(self) -> bool:
         """``True`` after a mid-fold budget trip; re-open to resume."""
         return self._broken
+
+    @property
+    def flight(self) -> Optional[FlightRecorder]:
+        """The attached flight recorder (``None`` when disabled)."""
+        return self._flight
+
+    def _flight_status(self) -> dict:
+        """The writer-side status dict stamped on each flight record."""
+        return {
+            "broken": self._broken,
+            "n_transactions": self._miner.n_transactions,
+            "pending_records": len(self._buffer),
+            "wal_next_seq": self._wal.next_seq,
+            "last_compacted": self._last_compacted,
+            "last_fold_seconds": self._last_fold_seconds,
+        }
 
     def closed_sets(self, smin: int = 1):
         return self._miner.closed_sets(smin)
@@ -400,11 +454,16 @@ class StreamingMiner:
         has exceeded ``batch_age``; returns whether a fold ran.
         """
         self._require_usable()
+        folded = False
         if self._buffer and self._age_exceeded():
             self.fold()
             self.maybe_compact()
-            return True
-        return False
+            folded = True
+        elif self._flight is not None:
+            # Idle ticks still freshen the recorder (fold emits itself),
+            # so an attached reader sees a live store as live.
+            self._flight.emit()
+        return folded
 
     def fold(self) -> int:
         """Fold the buffered micro-batch into the repository.
@@ -431,6 +490,7 @@ class StreamingMiner:
                 stride=1,
             )
         miner = self._miner
+        fold_begin = time.perf_counter()
         with self._obs.phase("serve.fold", records=n):
             miner._check = checker(guard, miner.counters)
             try:
@@ -441,15 +501,26 @@ class StreamingMiner:
                 # prefix of the log, so compaction must not run again
                 # in this process.  The durable state is untouched.
                 self._broken = True
+                if self._flight is not None:
+                    # Best effort: leave the broken flag on disk for an
+                    # attached reader before the exception unwinds.
+                    try:
+                        self._flight.emit(force=True)
+                    except Exception:
+                        pass
                 raise
             finally:
                 miner._check = checker(None)
                 if guard is not None:
                     guard.finish()
+        self._last_fold_seconds = time.perf_counter() - fold_begin
         self._buffer = []
         self._buffer_since = None
         self._obs.count("wal.folds")
         self._obs.count("wal.folded_records", n)
+        self._obs.observe("serve.fold.records", n, buckets=SIZE_BUCKETS)
+        if self._flight is not None:
+            self._flight.emit()
         return n
 
     # ------------------------------------------------------------------
@@ -499,6 +570,10 @@ class StreamingMiner:
                 except OSError:
                     pass
         self._last_compacted = covered
+        if self._flight is not None:
+            # Compactions are rare and change the store's shape; force a
+            # record so the generation flip is always on disk.
+            self._flight.emit(force=True)
         return path
 
     def _compact_step(self, step: str) -> None:
@@ -537,6 +612,8 @@ class StreamingMiner:
             if compact:
                 self.compact()
         self._wal.close()
+        if self._flight is not None:
+            self._flight.close()
         self._closed = True
 
     def __enter__(self) -> "StreamingMiner":
@@ -548,6 +625,8 @@ class StreamingMiner:
         if exc_type is None:
             self.close()
         else:
+            if self._flight is not None:
+                self._flight.__exit__(exc_type, exc, tb)
             self._closed = True
 
     def __repr__(self) -> str:

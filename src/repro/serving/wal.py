@@ -75,9 +75,10 @@ import random
 import time
 import zlib
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from ..obs import resolve_probe
+from ..obs import LATENCY_BUCKETS, SIZE_BUCKETS, resolve_probe
 
 __all__ = [
     "WAL_MAGIC",
@@ -548,6 +549,10 @@ class WriteAheadLog:
         frame = _encode_record(labels)
         if self._segment_bytes >= self.segment_max_bytes:
             self.roll()
+        # Clock reads only when a probe is attached: the probe-off path
+        # must stay bit-identical in cost to the pre-histogram appender.
+        timed = self._obs.active
+        begin = perf_counter() if timed else 0.0
         self._reach("wal.append")
         if self._plan is not None:
             # The torn-write crash point: fail *mid-frame*, leaving a
@@ -574,6 +579,17 @@ class WriteAheadLog:
         self._reach("wal.append.flush")
         if self.fsync == "always":
             self._fsync_now()
+        if timed:
+            # The latency histogram covers the durable part of the
+            # append (write + policy fsync), which is what an operator
+            # tuning the fsync policy wants the p99 of.
+            self._obs.observe(
+                "wal.append.seconds", perf_counter() - begin,
+                buckets=LATENCY_BUCKETS,
+            )
+            self._obs.observe(
+                "wal.record.bytes", len(frame), buckets=SIZE_BUCKETS
+            )
         return seq
 
     def sync(self) -> None:

@@ -31,13 +31,28 @@ class TestMetricsFlag:
         assert payload["counters"]["ops.reports"] > 0
         assert any(name.startswith("phase.") for name in payload["histograms"])
 
-    def test_metrics_json_to_stdout(self, fimi_file, capsys):
+    def test_metrics_json_to_stderr(self, fimi_file, capsys):
         assert main(["mine", fimi_file, "-s", "2", "--metrics", "-"]) == 0
-        out = capsys.readouterr().out
-        # The JSON document shares stdout with the result lines; it must
-        # still parse cleanly from its opening brace.
-        payload, _ = json.JSONDecoder().raw_decode(out, out.index("{"))
+        captured = capsys.readouterr()
+        # Telemetry goes to stderr so result lines on stdout stay
+        # machine-parseable; the JSON document must parse cleanly from
+        # its opening brace.
+        err = captured.err
+        payload, _ = json.JSONDecoder().raw_decode(err, err.index("{"))
         assert "counters" in payload
+        # stdout carries only result lines — never a telemetry document.
+        assert "{" not in captured.out
+
+    def test_trace_dash_to_stderr(self, fimi_file, capsys):
+        assert main(["mine", fimi_file, "-s", "2", "--trace", "-"]) == 0
+        captured = capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in captured.err.splitlines()
+            if line.startswith("{")
+        ]
+        assert records and records[0]["type"] == "trace"
+        assert "\"type\"" not in captured.out
 
     def test_metrics_prom_format(self, fimi_file, tmp_path):
         metrics_path = tmp_path / "metrics.prom"

@@ -8,8 +8,14 @@ import pytest
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS,
+    QUANTILES,
+    SIZE_BUCKETS,
     Histogram,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
+    estimate_quantile,
     prom_name,
 )
 
@@ -187,3 +193,139 @@ class TestPromExposition:
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
         assert DEFAULT_BUCKETS[0] <= 0.001
         assert DEFAULT_BUCKETS[-1] >= 1e9
+
+    def test_latency_and_size_buckets_sorted(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert LATENCY_BUCKETS[0] <= 1e-6 and LATENCY_BUCKETS[-1] >= 10.0
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+        assert SIZE_BUCKETS[0] <= 16 and SIZE_BUCKETS[-1] >= 1 << 26
+
+
+class TestPromEscaping:
+    r"""Text exposition format 0.0.4: HELP escapes ``\`` and newline,
+    label values additionally escape the delimiting double quote."""
+
+    def test_escape_help_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+        assert escape_help("plain text.") == "plain text."
+
+    def test_escape_label_value_adds_quote(self):
+        assert escape_label_value('say "hi"\n\\') == 'say \\"hi\\"\\n\\\\'
+
+    def test_hostile_help_string_stays_one_line(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "hostile", 'first\nsecond \\ "quoted"'
+        ).inc(1)
+        registry.histogram(
+            "hostile.hist", "torn\ntail \\ marker", buckets=(1.0,)
+        ).observe(0.5)
+        text = registry.to_prom()
+        for line in text.splitlines():
+            # No help text may smuggle a raw newline into the stream:
+            # every line is a complete, well-formed exposition line.
+            assert line.startswith(("#", "repro_"))
+        assert (
+            '# HELP repro_hostile_total first\\nsecond \\\\ "quoted"' in text
+        )
+        assert "# HELP repro_hostile_hist torn\\ntail \\\\ marker" in text
+
+    def test_parser_roundtrip_of_escaped_help(self):
+        # A format-0.0.4 consumer unescapes \\n and \\\\; the roundtrip
+        # must restore the original help text exactly.
+        original = "line one\nline two \\ done"
+        escaped = escape_help(original)
+        assert "\n" not in escaped
+        unescaped = escaped.replace("\\\\", "\0").replace("\\n", "\n")
+        assert unescaped.replace("\0", "\\") == original
+
+
+class TestQuantileEstimation:
+    def test_empty_histogram_answers_none(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        assert histogram.quantile(0.5) is None
+        assert estimate_quantile((1.0,), (0, 0), 0, 0.99) is None
+
+    def test_single_sample_answers_itself(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(3.7)
+        # min/max clamping: one sample answers the sample, not a bucket
+        # midpoint.
+        assert histogram.quantile(0.5) == pytest.approx(3.7)
+        assert histogram.quantile(0.99) == pytest.approx(3.7)
+
+    def test_interpolates_within_winning_bucket(self):
+        histogram = Histogram("h", buckets=(0.0, 10.0, 20.0))
+        for value in (2.0, 4.0, 6.0, 8.0, 12.0):
+            histogram.observe(value)
+        # p50 rank 2.5 of 5 falls in the (0, 10] bucket holding 4 of 5
+        # samples; linear interpolation lands mid-bucket.
+        estimate = histogram.quantile(0.5)
+        assert 2.0 <= estimate <= 10.0
+
+    def test_quantiles_are_monotone(self):
+        histogram = Histogram("h", buckets=LATENCY_BUCKETS)
+        for index in range(100):
+            histogram.observe(0.0001 * (index + 1))
+        values = [histogram.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+        assert all(v is not None for v in values)
+
+    def test_estimates_bounded_by_observed_extremes(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (2.0, 3.0, 500.0):
+            histogram.observe(value)
+        for q in QUANTILES:
+            estimate = histogram.quantile(q)
+            assert 2.0 <= estimate <= 500.0
+
+    def test_works_from_snapshot_dict(self):
+        # The flight-recorder reader computes quantiles from the plain
+        # dict form without rebuilding Histogram objects.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 3.0, 50.0):
+            histogram.observe(value)
+        data = registry.snapshot()["histograms"]["h"]
+        estimate = estimate_quantile(
+            data["buckets"],
+            data["bucket_counts"],
+            data["count"],
+            0.5,
+            lo=data["min"],
+            hi=data["max"],
+        )
+        assert estimate == pytest.approx(histogram.quantile(0.5))
+
+    def test_quantiles_method_covers_default_set(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        result = histogram.quantiles()
+        assert set(result) == set(QUANTILES)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError, match="quantile"):
+            estimate_quantile((1.0,), (1, 0), 1, 1.5)
+
+    def test_merge_preserves_quantile_structure(self):
+        # merge_snapshot over histograms is associative; quantile
+        # estimates depend only on the merged bucket data.
+        a, b, c = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        for registry, values in (
+            (a, (0.001, 0.02)),
+            (b, (0.3, 0.4, 5.0)),
+            (c, (0.0005,)),
+        ):
+            histogram = registry.histogram("h", buckets=LATENCY_BUCKETS)
+            for value in values:
+                histogram.observe(value)
+        left = MetricsRegistry()
+        for source in (a, b, c):
+            left.merge_snapshot(source.snapshot())
+        right = MetricsRegistry()
+        for source in (c, a, b):
+            right.merge_snapshot(source.snapshot())
+        assert left.snapshot() == right.snapshot()
+        assert left.histogram("h").quantile(0.95) == right.histogram(
+            "h"
+        ).quantile(0.95)

@@ -54,6 +54,60 @@ class TestParallelMerge:
         }
         assert {"plan", "mine", "merge"} <= spans
 
+    def test_merged_trace_forms_one_tree(self, db):
+        # Worker spans ship back with the shard outcome and must
+        # reassemble under the driver's "mine" span: one trace id, and
+        # every parent_id resolves to a span in the merged stream.
+        probe = Probe()
+        mine_parallel(db, 2, algorithm="ista", n_workers=2, probe=probe)
+        records = probe.tracer.records
+        span_ids = {
+            record["span_id"]
+            for record in records
+            if record["type"] == "span"
+        }
+        orphans = [
+            record
+            for record in records
+            if record.get("parent_id") is not None
+            and record["parent_id"] not in span_ids
+        ]
+        assert not orphans, f"unresolvable parent ids: {orphans[:3]}"
+        # Worker shard spans carry the shard attr the join stamped and
+        # attach below the driver's mine span.
+        mine_span = next(
+            record
+            for record in records
+            if record["type"] == "span" and record["name"] == "mine"
+        )
+        shard_roots = [
+            record
+            for record in records
+            if record.get("parent_id") == mine_span["span_id"]
+            and "shard" in (record.get("attrs") or {})
+        ]
+        assert shard_roots, "no worker span attached under the mine span"
+
+    def test_worker_records_share_the_driver_trace_id(self, db):
+        probe = Probe()
+        mine_parallel(db, 2, algorithm="ista", n_workers=2, probe=probe)
+        # Every record lives in the driver tracer's buffer: the workers
+        # inherited its trace id rather than minting their own stream.
+        events = {
+            record["name"]
+            for record in probe.tracer.records
+            if record["type"] == "event"
+        }
+        assert "worker-merged" in events
+        names = {
+            record["name"]
+            for record in probe.tracer.records
+            if record["type"] == "span"
+        }
+        # Worker-side phase spans (recode/mine inside the shard) made
+        # the trip back.
+        assert "recode" in names
+
     def test_serial_fallback_path_also_merges(self, db):
         # n_workers=1 short-circuits the process pool but must still
         # produce the same observability surface.

@@ -1,0 +1,297 @@
+"""Flight recorder: framing, scan/repair, retention, resume, torn tails."""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.obs import Probe
+from repro.obs.recorder import (
+    FLIGHT_VERSION,
+    FlightRecorder,
+    _frame_line,
+    _parse_line,
+    flight_tail,
+    repair_flight,
+    scan_flight,
+)
+from repro.runtime import FaultPlan, InjectedCrash
+
+
+@pytest.fixture
+def probe():
+    return Probe()
+
+
+def _recorder(tmp_path, probe, **kwargs):
+    kwargs.setdefault("interval", 0.0)
+    return FlightRecorder(tmp_path / "flight", probe, **kwargs)
+
+
+class TestFraming:
+    def test_frame_roundtrips(self):
+        record = {"type": "snapshot", "seq": 3, "nested": {"a": [1, 2]}}
+        line = _frame_line(record)
+        assert line.endswith(b"\n")
+        assert _parse_line(line) == record
+
+    def test_crc_covers_payload(self):
+        line = bytearray(_frame_line({"seq": 1}))
+        line[-3] ^= 0xFF  # flip a payload byte; CRC must catch it
+        assert _parse_line(bytes(line)) is None
+
+    def test_torn_line_rejected(self):
+        line = _frame_line({"seq": 1})
+        assert _parse_line(line[:-1]) is None  # no trailing newline
+        assert _parse_line(line[: len(line) // 2]) is None
+
+    def test_garbage_rejected(self):
+        assert _parse_line(b"") is None
+        assert _parse_line(b"not a frame at all\n") is None
+        payload = b"[1, 2]"  # valid JSON, but not an object
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        assert _parse_line(b"%08x " % crc + payload + b"\n") is None
+
+
+class TestEmitAndScan:
+    def test_emit_writes_snapshot_records(self, tmp_path, probe):
+        probe.count("ops.reports", 7)
+        with probe.tracer.span("fold"):
+            pass
+        recorder = _recorder(tmp_path, probe, status=lambda: {"pending": 2})
+        assert recorder.emit()
+        recorder.close(final_emit=False)
+
+        scan = scan_flight(tmp_path / "flight")
+        assert scan.clean
+        (record,) = scan.records
+        assert record["seq"] == 0
+        assert record["type"] == "snapshot"
+        assert record["trace_id"] == probe.tracer.trace_id
+        assert record["metrics"]["counters"]["ops.reports"] == 7
+        assert record["status"] == {"pending": 2}
+        assert [span["name"] for span in record["spans"]] == ["fold"]
+
+    def test_interval_rate_limits_and_force_overrides(self, tmp_path, probe):
+        now = [0.0]
+        recorder = FlightRecorder(
+            tmp_path / "flight", probe, interval=5.0, clock=lambda: now[0]
+        )
+        assert recorder.emit()
+        assert not recorder.emit()  # inside the window: free no-op
+        assert recorder.emit(force=True)
+        now[0] = 6.0
+        assert recorder.emit()
+        recorder.close(final_emit=False)
+        assert len(scan_flight(tmp_path / "flight").records) == 3
+
+    def test_span_cursor_ships_each_span_once(self, tmp_path, probe):
+        recorder = _recorder(tmp_path, probe)
+        with probe.tracer.span("first"):
+            pass
+        recorder.emit()
+        with probe.tracer.span("second"):
+            pass
+        recorder.emit()
+        recorder.close(final_emit=False)
+        first, second = scan_flight(tmp_path / "flight").records
+        assert [s["name"] for s in first["spans"]] == ["first"]
+        assert [s["name"] for s in second["spans"]] == ["second"]
+
+    def test_span_overflow_counted_not_lost_silently(self, tmp_path, probe):
+        recorder = _recorder(tmp_path, probe, max_spans=3)
+        for index in range(10):
+            probe.tracer.event("tick", index=index)
+        recorder.emit()
+        recorder.close(final_emit=False)
+        (record,) = scan_flight(tmp_path / "flight").records
+        assert len(record["spans"]) == 3
+        assert record["spans_dropped"] == 7
+        # Most recent kept.
+        assert [s["attrs"]["index"] for s in record["spans"]] == [7, 8, 9]
+
+    def test_refuses_null_probe(self, tmp_path):
+        from repro.obs import NullProbe
+
+        with pytest.raises(ValueError, match="active"):
+            FlightRecorder(tmp_path / "flight", NullProbe())
+
+    def test_close_emits_final_record(self, tmp_path, probe):
+        recorder = _recorder(tmp_path, probe, interval=100.0)
+        recorder.emit(force=True)
+        probe.count("late", 1)
+        recorder.close()  # final emit ignores the interval
+        records = scan_flight(tmp_path / "flight").records
+        assert len(records) == 2
+        assert records[-1]["metrics"]["counters"]["late"] == 1
+
+
+class TestRetention:
+    def test_segments_roll_and_prune(self, tmp_path, probe):
+        recorder = _recorder(
+            tmp_path, probe, segment_max_bytes=400, keep_segments=2
+        )
+        for _ in range(12):
+            recorder.emit(force=True)
+        recorder.close(final_emit=False)
+        names = sorted(os.listdir(tmp_path / "flight"))
+        assert len(names) == 2
+        total = sum(
+            os.path.getsize(tmp_path / "flight" / name) for name in names
+        )
+        # Footprint bounded near keep_segments * segment_max_bytes (one
+        # record may overshoot a segment's cap before the roll).
+        assert total < 2 * (400 + 2048)
+        snapshot = probe.metrics.snapshot()["counters"]
+        assert snapshot["flight.segments_rolled"] >= 2
+        assert snapshot["flight.segments_pruned"] >= 1
+
+    def test_pruned_history_keeps_newest_records(self, tmp_path, probe):
+        recorder = _recorder(
+            tmp_path, probe, segment_max_bytes=400, keep_segments=2
+        )
+        for _ in range(12):
+            recorder.emit(force=True)
+        last_seq = recorder.next_seq - 1
+        recorder.close(final_emit=False)
+        records = scan_flight(tmp_path / "flight").records
+        assert records, "retention must never prune the live tail"
+        assert records[-1]["seq"] == last_seq
+
+    def test_every_segment_opens_with_header(self, tmp_path, probe):
+        recorder = _recorder(
+            tmp_path, probe, segment_max_bytes=300, keep_segments=10
+        )
+        for _ in range(6):
+            recorder.emit(force=True)
+        recorder.close(final_emit=False)
+        for name in sorted(os.listdir(tmp_path / "flight")):
+            with open(tmp_path / "flight" / name, "rb") as handle:
+                first = _parse_line(handle.readline())
+            assert first["type"] == "flight"
+            assert first["version"] == FLIGHT_VERSION
+            base = int(name[len("flight-") : -len(".jsonl")])
+            assert first["base_seq"] == base
+
+
+class TestResumeAndRepair:
+    def test_reopen_resumes_sequence(self, tmp_path, probe):
+        recorder = _recorder(tmp_path, probe)
+        recorder.emit()
+        recorder.emit(force=True)
+        recorder.close(final_emit=False)
+
+        again = _recorder(tmp_path, Probe())
+        assert again.next_seq == 2
+        again.emit()
+        again.close(final_emit=False)
+        assert [r["seq"] for r in scan_flight(tmp_path / "flight").records] == [
+            0, 1, 2,
+        ]
+
+    def test_torn_tail_repaired_on_open(self, tmp_path, probe):
+        recorder = _recorder(tmp_path, probe)
+        recorder.emit()
+        recorder.close(final_emit=False)
+        (name,) = os.listdir(tmp_path / "flight")
+        path = tmp_path / "flight" / name
+        with open(path, "ab") as handle:
+            handle.write(b"\x00half a reco")  # simulated mid-write kill
+
+        scan = scan_flight(tmp_path / "flight")
+        assert not scan.clean
+        assert len(scan.records) == 1  # the tear hides nothing acked
+
+        fresh = Probe()
+        again = _recorder(tmp_path, fresh)
+        assert again.truncated_bytes == 12
+        assert fresh.metrics.snapshot()["counters"][
+            "flight.truncated_bytes"
+        ] == 12
+        again.emit()
+        again.close(final_emit=False)
+        assert scan_flight(tmp_path / "flight").clean
+
+    def test_damage_in_one_segment_keeps_later_segments(self, tmp_path, probe):
+        # Unlike the WAL, telemetry records are independent: a corrupt
+        # middle segment must not make newer segments unreachable.
+        recorder = _recorder(
+            tmp_path, probe, segment_max_bytes=300, keep_segments=10
+        )
+        for _ in range(6):
+            recorder.emit(force=True)
+        recorder.close(final_emit=False)
+        names = sorted(os.listdir(tmp_path / "flight"))
+        assert len(names) >= 3
+        victim = tmp_path / "flight" / names[1]
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(data)
+
+        scan = scan_flight(tmp_path / "flight")
+        assert not scan.clean
+        seqs = [record["seq"] for record in scan.records]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 5  # the newest record survived the middle tear
+
+    def test_repair_removes_segment_with_damaged_header(self, tmp_path, probe):
+        recorder = _recorder(tmp_path, probe)
+        recorder.emit()
+        recorder.close(final_emit=False)
+        (name,) = os.listdir(tmp_path / "flight")
+        path = tmp_path / "flight" / name
+        data = bytearray(path.read_bytes())
+        data[2] ^= 0xFF  # corrupt the header line itself
+        path.write_bytes(data)
+
+        scan = scan_flight(tmp_path / "flight")
+        assert not scan.clean and not scan.records
+        repair_flight(scan)
+        assert os.listdir(tmp_path / "flight") == []
+
+    def test_scan_of_missing_directory_is_empty_not_error(self, tmp_path):
+        scan = scan_flight(tmp_path / "nowhere")
+        assert scan.clean and not scan.records
+        assert scan.next_seq == 0
+
+    def test_flight_tail_returns_newest_first_n(self, tmp_path, probe):
+        recorder = _recorder(tmp_path, probe)
+        for _ in range(5):
+            recorder.emit(force=True)
+        recorder.close(final_emit=False)
+        tail = flight_tail(tmp_path / "flight", n=2)
+        assert [record["seq"] for record in tail] == [3, 4]
+
+
+class TestCrashPoints:
+    def test_emit_crash_leaves_prior_records_readable(self, tmp_path, probe):
+        plan = FaultPlan(crash_at="flight.emit", crash_on_hit=2)
+        recorder = _recorder(tmp_path, probe, fault_plan=plan)
+        with pytest.raises(InjectedCrash):
+            with recorder:
+                recorder.emit(force=True)
+                recorder.emit(force=True)
+        scan = scan_flight(tmp_path / "flight")
+        assert scan.clean
+        assert [record["seq"] for record in scan.records] == [0]
+
+    def test_torn_emit_crash_repaired_by_next_open(self, tmp_path, probe):
+        plan = FaultPlan(crash_at="flight.emit.torn", crash_on_hit=2)
+        recorder = _recorder(tmp_path, probe, fault_plan=plan)
+        with pytest.raises(InjectedCrash):
+            with recorder:
+                recorder.emit(force=True)
+                recorder.emit(force=True)
+        scan = scan_flight(tmp_path / "flight")
+        assert not scan.clean  # half a line is on disk
+        assert [record["seq"] for record in scan.records] == [0]
+
+        survivor = _recorder(tmp_path, Probe())
+        assert survivor.truncated_bytes > 0
+        assert survivor.next_seq == 1
+        survivor.emit()
+        survivor.close(final_emit=False)
+        assert scan_flight(tmp_path / "flight").clean

@@ -5,7 +5,9 @@ from __future__ import annotations
 import io
 import json
 
-from repro.obs.trace import Tracer
+import pytest
+
+from repro.obs.trace import TRACE_VERSION, Tracer
 
 
 class TestSpans:
@@ -63,7 +65,8 @@ class TestJsonlExport:
         lines = buffer.getvalue().strip().splitlines()
         header = json.loads(lines[0])
         assert header["type"] == "trace"
-        assert header["version"] == 1
+        assert header["version"] == TRACE_VERSION
+        assert header["trace_id"] == tracer.trace_id
         assert header["records"] == 2
         assert isinstance(header["wall"], float)
         parsed = [json.loads(line) for line in lines[1:]]
@@ -84,3 +87,106 @@ class TestJsonlExport:
         assert len(tracer) == 0
         tracer.event("x")
         assert len(tracer) == 1
+
+
+class TestTraceContext:
+    def test_span_ids_link_child_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records
+        assert outer["parent_id"] is None
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["span_id"] != outer["span_id"]
+
+    def test_context_reports_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.context() == {
+            "trace_id": tracer.trace_id,
+            "parent_id": None,
+        }
+        with tracer.span("mine") as span:
+            context = tracer.context()
+            assert context["trace_id"] == tracer.trace_id
+            assert context["parent_id"] == span.span_id
+
+    def test_propagated_context_parents_remote_roots(self):
+        parent = Tracer()
+        with parent.span("mine") as mine:
+            context = parent.context()
+        child = Tracer(
+            trace_id=context["trace_id"], parent_id=context["parent_id"]
+        )
+        with child.span("shard"):
+            pass
+        assert child.trace_id == parent.trace_id
+        assert child.records[0]["parent_id"] == mine.span_id
+
+    def test_event_carries_parent_id(self):
+        tracer = Tracer()
+        with tracer.span("merge") as span:
+            tracer.event("worker-merged", shard=0)
+        assert tracer.records[0]["parent_id"] == span.span_id
+
+
+class TestMergeRemote:
+    def test_merge_shifts_onto_parent_timeline(self):
+        parent = Tracer()
+        child = Tracer(trace_id=parent.trace_id)
+        child.wall = parent.wall + 2.0  # child started two seconds later
+        with child.span("shard"):
+            pass
+        start = child.records[0]["start"]
+        parent.merge_remote(child.records, wall=child.wall)
+        merged = parent.records[0]
+        assert merged["start"] == pytest.approx(start + 2.0)
+        assert merged["end"] >= merged["start"]
+
+    def test_merge_stamps_extra_attrs_without_overwriting(self):
+        parent = Tracer()
+        child = Tracer()
+        with child.span("shard", shard=7):
+            pass
+        child.event("done")
+        parent.merge_remote(child.records, wall=child.wall, shard=3)
+        span, event = parent.records
+        assert span["attrs"]["shard"] == 7  # child's value wins
+        assert event["attrs"]["shard"] == 3  # stamped where absent
+
+    def test_merge_does_not_mutate_source_records(self):
+        parent = Tracer()
+        child = Tracer()
+        with child.span("shard"):
+            pass
+        before = json.dumps(child.records, sort_keys=True)
+        parent.merge_remote(child.records, wall=child.wall, shard=1)
+        assert json.dumps(child.records, sort_keys=True) == before
+
+
+class TestBoundedBuffer:
+    def test_oldest_records_drop_at_bound(self):
+        tracer = Tracer(max_records=3)
+        for index in range(5):
+            tracer.event("tick", index=index)
+        assert len(tracer.records) == 3
+        assert [r["attrs"]["index"] for r in tracer.records] == [2, 3, 4]
+        assert tracer.dropped == 2
+        assert tracer.total == 5
+
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for _ in range(100):
+            tracer.event("tick")
+        assert len(tracer.records) == 100
+        assert tracer.dropped == 0
+
+    def test_header_reports_dropped(self):
+        tracer = Tracer(max_records=1)
+        tracer.event("a")
+        tracer.event("b")
+        buffer = io.StringIO()
+        tracer.write_jsonl(buffer)
+        header = json.loads(buffer.getvalue().splitlines()[0])
+        assert header["records"] == 1
+        assert header["dropped"] == 1

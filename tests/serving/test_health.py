@@ -1,0 +1,246 @@
+"""Store health: the read-only report, including over crashed stores.
+
+The acceptance property of the flight recorder: kill the ingest
+pipeline at an arbitrary crash point and ``repro-mine top STORE`` must
+still render a coherent :class:`HealthReport` from the on-disk state
+alone — no writer runs, nothing is repaired, torn tails are reported
+rather than raised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+
+import pytest
+
+from repro.obs import Probe
+from repro.obs.recorder import scan_flight
+from repro.runtime import FaultPlan, InjectedCrash, MiningTimeout
+from repro.serving import (
+    CRASH_POINTS,
+    HealthReport,
+    StreamingMiner,
+    compute_health,
+)
+from repro.cli import main
+
+ROWS = [
+    ["a", "b", "c"],
+    ["a", "b"],
+    ["a", "b", "d"],
+    ["b", "c"],
+    ["a", "b", "c", "d"],
+    ["b", "d"],
+    ["a", "c"],
+    ["c", "d"],
+    ["a", "b", "c"],
+    ["b", "c", "d"],
+    ["a", "d"],
+    ["a", "b", "c", "d"],
+]
+
+#: A longer stream for the crash matrix: every named point — including
+#: the second compaction's — must actually be reached.
+_rng = random.Random(11)
+LONG_ROWS = [
+    [label for label in "abcdefg" if _rng.random() < 0.45] or ["a"]
+    for _ in range(40)
+]
+
+
+def _store_state(directory):
+    """(path, size, mtime) of every file under the store, for a
+    nothing-changed assertion."""
+    state = []
+    for root, _, names in os.walk(directory):
+        for name in names:
+            path = os.path.join(root, name)
+            stat = os.stat(path)
+            state.append((path, stat.st_size, stat.st_mtime_ns))
+    return sorted(state)
+
+
+def _run_store(directory, rows=ROWS, **kwargs):
+    kwargs.setdefault("batch_records", 3)
+    kwargs.setdefault("probe", Probe())
+    kwargs.setdefault("flight_interval", 0.0)
+    store = StreamingMiner.open(directory, **kwargs)
+    for row in rows:
+        store.ingest(row)
+    return store
+
+
+class TestHealthyStore:
+    def test_live_store_reports_without_touching_writer(self, tmp_path):
+        store = _run_store(tmp_path / "store")
+        before = _store_state(tmp_path / "store")
+
+        report = compute_health(tmp_path / "store")
+        assert report.healthy and report.exists and not report.broken
+        assert report.n_transactions == store.n_transactions
+        assert report.pending_records == store.pending_records
+        assert report.flight_records > 0
+        assert report.trace_id
+        # Read-only: no file in the store changed size or content age.
+        assert _store_state(tmp_path / "store") == before
+        store.close()
+
+    def test_quantiles_cover_hot_paths(self, tmp_path):
+        store = _run_store(tmp_path / "store")
+        store.close()
+        report = compute_health(tmp_path / "store")
+        assert "wal.append.seconds" in report.quantiles
+        row = report.quantiles["wal.append.seconds"]
+        assert row["count"] == len(ROWS)
+        assert row["p50"] is not None and row["p50"] <= row["p99"]
+
+    def test_closed_store_wal_lag_matches_snapshot_edge(self, tmp_path):
+        store = _run_store(tmp_path / "store", compact_segments=2,
+                           segment_max_bytes=200)
+        n = store.n_transactions
+        store.close()
+        covered = max(
+            int(name.split("-")[1].split(".")[0])
+            for name in os.listdir(tmp_path / "store")
+            if name.endswith(".rsnp")
+        )
+        report = compute_health(tmp_path / "store")
+        assert report.snapshot_covered == covered
+        assert report.wal_lag_records == n - covered
+        assert report.wal_lag_bytes <= report.wal_bytes
+
+    def test_describe_renders_every_section(self, tmp_path):
+        store = _run_store(tmp_path / "store", compact_segments=2,
+                           segment_max_bytes=200)
+        store.close()
+        text = compute_health(tmp_path / "store").describe()
+        assert "HEALTHY" in text
+        assert "wal:" in text and "wal lag past snapshot:" in text
+        assert "snapshot:" in text and "flight:" in text
+        assert "quantiles:" in text and "p50=" in text
+
+    def test_empty_directory_is_unknown_not_crash(self, tmp_path):
+        os.makedirs(tmp_path / "empty")
+        report = compute_health(tmp_path / "empty")
+        assert report.exists  # the directory itself exists
+        assert report.flight_records == 0 and report.wal_records == 0
+        assert "flight: no recorder data" in report.describe()
+
+    def test_missing_directory_reports_nothing_found(self, tmp_path):
+        report = compute_health(tmp_path / "nowhere")
+        assert not report.exists and not report.healthy
+        assert any("no store state" in note for note in report.notes)
+
+    def test_probe_off_store_still_reports_wal_facts(self, tmp_path):
+        store = StreamingMiner.open(tmp_path / "store", batch_records=3)
+        for row in ROWS:
+            store.ingest(row)
+        store.close()  # close compacts: the snapshot covers the stream
+        report = compute_health(tmp_path / "store")
+        assert report.healthy
+        assert report.snapshot_covered == len(ROWS)
+        assert report.flight_records == 0
+        # Without a recorder the snapshot name still bounds the count.
+        assert report.n_transactions == len(ROWS)
+
+
+class TestCrashedStore:
+    """The acceptance criterion: top renders after a kill, writer never runs."""
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_top_renders_after_crash_at_every_point(
+        self, tmp_path, point, capsys
+    ):
+        plan = FaultPlan(crash_at=point, crash_on_hit=2)
+        with pytest.raises(InjectedCrash):
+            store = StreamingMiner.open(
+                tmp_path / "store",
+                batch_records=3,
+                compact_segments=2,
+                segment_max_bytes=200,
+                fault_plan=plan,
+                probe=Probe(),
+                flight_interval=0.0,
+            )
+            with store:
+                for row in LONG_ROWS:
+                    store.ingest(row)
+                pytest.fail(f"crash point {point} never fired")
+
+        flight_dir = tmp_path / "store" / "flight"
+        before = scan_flight(flight_dir)
+
+        assert main(["top", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert f"store {tmp_path / 'store'}:" in out
+        assert "wal:" in out and "flight:" in out
+        if point == "flight.emit.torn":
+            assert "torn tail" in out
+
+        # Rendering the report repaired nothing and wrote nothing.
+        after = scan_flight(flight_dir)
+        assert [i.valid_end for i in after.segments] == [
+            i.valid_end for i in before.segments
+        ]
+        assert after.clean == before.clean
+
+    def test_mid_fold_break_reports_broken(self, tmp_path, capsys):
+        # A budget trip mid-fold marks the store broken; the flight
+        # recorder's best-effort final record carries the flag out to
+        # any attached reader even though the writer never closed.
+        store = StreamingMiner.open(
+            tmp_path / "store",
+            batch_records=5,
+            fold_timeout=1e9,
+            probe=Probe(),
+            flight_interval=0.0,
+        )
+        for row in ROWS[:4]:
+            store.ingest(row)
+        store._fold_timeout = 1e-9  # every guard check is past due
+        with pytest.raises(MiningTimeout):
+            store.ingest(ROWS[4])
+        assert store.broken
+
+        report = compute_health(tmp_path / "store")
+        assert report.broken and not report.healthy
+        assert main(["top", str(tmp_path / "store")]) == 0
+        assert "BROKEN" in capsys.readouterr().out
+        store.close()
+
+    def test_torn_recorder_tail_tolerated_and_noted(self, tmp_path):
+        store = _run_store(tmp_path / "store")
+        store.close()
+        flight_dir = tmp_path / "store" / "flight"
+        (name,) = [
+            n for n in sorted(os.listdir(flight_dir)) if n.endswith(".jsonl")
+        ][-1:]
+        with open(flight_dir / name, "ab") as handle:
+            handle.write(b"\x01torn tail byt")
+
+        report = compute_health(tmp_path / "store")
+        assert report.healthy  # a torn telemetry tail is not an outage
+        assert report.flight_torn
+        assert any("flight recorder tail torn" in n for n in report.notes)
+        assert report.flight_records > 0
+
+
+class TestTopCli:
+    def test_json_output_is_one_parseable_document(self, tmp_path, capsys):
+        store = _run_store(tmp_path / "store")
+        store.close()
+        assert main(["top", str(tmp_path / "store"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["directory"] == str(tmp_path / "store")
+        assert payload["healthy"] is True
+        assert set(payload) == {
+            field.name for field in dataclasses.fields(HealthReport)
+        }
+
+    def test_missing_store_exits_two(self, tmp_path, capsys):
+        code = main(["top", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -125,16 +125,21 @@ class TestCrashRecovery:
     @pytest.mark.parametrize("hit", [1, 2])
     def test_crash_at_every_point_recovers_identically(self, tmp_path, point, hit):
         plan = FaultPlan(crash_at=point, crash_on_hit=hit)
-        store = StreamingMiner.open(
-            tmp_path / "store",
-            batch_records=3,
-            compact_segments=2,
-            segment_max_bytes=200,
-            fsync="always",
-            fault_plan=plan,
-        )
         acked = 0
+        # The probe turns the flight recorder on, so the flight.emit /
+        # flight.emit.torn points fire too; opening inside the raises
+        # block covers the crash-at-first-emit case.
         with pytest.raises(InjectedCrash):
+            store = StreamingMiner.open(
+                tmp_path / "store",
+                batch_records=3,
+                compact_segments=2,
+                segment_max_bytes=200,
+                fsync="always",
+                fault_plan=plan,
+                probe=Probe(),
+                flight_interval=0.0,
+            )
             with store:
                 for row in ROWS:
                     store.ingest(row)
@@ -296,3 +301,86 @@ class TestObservability:
         assert counters["compaction.snapshot_bytes"] > 0
         names = {record["name"] for record in probe.tracer.records}
         assert {"serve.recover", "serve.fold", "serve.compact"} <= names
+
+    def test_probe_on_equals_probe_off(self, tmp_path):
+        # Probing (histograms + flight recorder included) must never
+        # change what the store answers — across ingest, fold, compact
+        # and a reopen.
+        def run(name, probe):
+            store = StreamingMiner.open(
+                tmp_path / name,
+                batch_records=4,
+                compact_segments=1,
+                segment_max_bytes=200,
+                probe=probe,
+                flight_interval=0.0,
+            )
+            for row in ROWS:
+                store.ingest(row)
+            store.fold()
+            store.compact()
+            answers = {
+                "n": store.n_transactions,
+                "closed": {
+                    smin: dict(store.closed_sets(smin)) for smin in (1, 2, 4)
+                },
+                "top": store.top_k(10),
+                "support": store.support_of(["a", "b"]),
+            }
+            store.close()
+            reopened = StreamingMiner.open(tmp_path / name)
+            assert dict(reopened.closed_sets(2)) == answers["closed"][2]
+            reopened.close()
+            return answers
+
+        assert run("off", None) == run("on", Probe())
+
+    def test_wal_append_histograms_track_every_record(self, tmp_path):
+        probe = Probe()
+        store = StreamingMiner.open(
+            tmp_path / "store", batch_records=4, probe=probe
+        )
+        for row in ROWS[:12]:
+            store.ingest(row)
+        store.close()
+        histograms = probe.metrics.snapshot()["histograms"]
+        assert histograms["wal.append.seconds"]["count"] == 12
+        assert histograms["wal.record.bytes"]["count"] == 12
+        assert histograms["wal.record.bytes"]["min"] >= 1
+        # Fold batches: 3 size-4 folds + the close fold of the rest.
+        assert histograms["serve.fold.records"]["count"] >= 3
+
+    def test_flight_recorder_rides_the_probe(self, tmp_path):
+        probe = Probe()
+        store = StreamingMiner.open(
+            tmp_path / "store",
+            batch_records=4,
+            probe=probe,
+            flight_interval=0.0,
+        )
+        assert store.flight is not None
+        for row in ROWS[:12]:
+            store.ingest(row)
+        store.close()
+        from repro.obs.recorder import scan_flight
+
+        scan = scan_flight(tmp_path / "store" / "flight")
+        assert scan.clean
+        assert len(scan.records) >= 4  # open + folds + final close emit
+        tail = scan.records[-1]
+        assert tail["status"]["n_transactions"] == 12
+        assert tail["status"]["broken"] is False
+        assert tail["metrics"]["counters"]["wal.appends"] == 12
+
+    def test_flight_true_demands_probe(self, tmp_path):
+        with pytest.raises(WalError, match="[Ff]light"):
+            StreamingMiner.open(tmp_path / "store", flight=True)
+
+    def test_flight_off_writes_nothing(self, tmp_path):
+        store = StreamingMiner.open(
+            tmp_path / "store", probe=Probe(), flight=False
+        )
+        store.ingest(["a"])
+        store.close()
+        assert store.flight is None
+        assert not os.path.isdir(tmp_path / "store" / "flight")
