@@ -11,6 +11,7 @@ Subcommands::
     repro-mine query    SNAP [-s SMIN] [--top K] [--supersets ITEMS] [--support ITEMS]
     repro-mine ingest   STORE FILE [--follow] [--fsync always|batch|os]
     repro-mine recover  STORE [-o OUT.snap]
+    repro-mine serve    STORE [--port P] [--workers N] [--max-inflight N] [--request-timeout S]
     repro-mine top      STORE [--watch SECONDS] [--json]
     repro-mine trace    FILE [--render]
 
@@ -32,6 +33,12 @@ count/age cadence, and tiered compaction periodically merges the
 overlay into a canonical snapshot — and ``recover`` opens a store
 (possibly after a crash), repairs a torn log tail, replays the
 surviving records, and reports exactly what was salvaged.
+
+``serve`` is the resident end of the serving workflow: a long-lived
+HTTP/JSON daemon (:class:`~repro.serving.QueryServer`) over a store's
+snapshot generations, answering the ``query`` verbs from a hot
+in-memory repository, hot-swapping new generations as the writer
+compacts them, with admission control and ``/metrics`` + ``/healthz``.
 
 ``top`` renders a store's :class:`~repro.serving.HealthReport` — WAL
 lag, snapshot age, broken flag, rates and latency quantiles — from the
@@ -73,6 +80,7 @@ from .serving import (
     load_snapshot,
     save_snapshot,
 )
+from .serving.queries import parse_items, query_lines
 from .serving.wal import FSYNC_POLICIES
 from .core.incremental import IncrementalMiner
 from .stats import OperationCounters
@@ -515,6 +523,87 @@ def build_parser() -> argparse.ArgumentParser:
         "log tail exactly as recovered",
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the long-lived query daemon over a store's snapshot "
+        "generations: HTTP/JSON endpoints for the query verbs, hot "
+        "snapshot swap, admission control, /metrics and /healthz",
+    )
+    serve_parser.add_argument(
+        "store", help="store directory holding snapshot-*.rsnp generations"
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port; 0 picks an ephemeral port, printed to stderr "
+        "(default: 0)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="query executor threads; snapshot swaps load on a "
+        "dedicated extra thread (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="queries executing concurrently before new ones queue "
+        "(default: 8)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="queries waiting for a slot before new ones are rejected "
+        "with 429 (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock budget; a tripped query answers "
+        "503 and leaves the store untouched",
+    )
+    serve_parser.add_argument(
+        "--request-memory-limit",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-request memory budget (503 on a trip)",
+    )
+    serve_parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint on 429/503 responses (default: 1.0)",
+    )
+    serve_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="store watch period for hot snapshot swaps (default: 1.0)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default=None,
+        choices=available_backends(),
+        help="set-algebra kernel backend for the resident miners",
+    )
+
     top_parser = subparsers.add_parser(
         "top",
         help="render a store's health report (WAL lag, rates, latency "
@@ -832,34 +921,10 @@ def _check_label_universe(miner, db, snap_path: str, delta_path: str) -> None:
         )
 
 
-def _parse_query_items(spec: str, miner: "IncrementalMiner") -> List[object]:
-    """Split a comma-separated item spec, coercing tokens to known labels.
-
-    Command-line tokens are strings, but FIMI-derived labels are ints;
-    a token that is not itself a label falls back to its int reading
-    when that matches one.  Unknown items pass through unchanged —
-    ``support_of`` legitimately answers 0 for them.
-    """
-    labels = set(miner.item_labels)
-    items: List[object] = []
-    for token in spec.split(","):
-        token = token.strip()
-        if not token:
-            continue
-        if token not in labels:
-            try:
-                as_int = int(token)
-            except ValueError:
-                pass
-            else:
-                if as_int in labels:
-                    items.append(as_int)
-                    continue
-        items.append(token)
-    return items
-
-
 def _command_query(args: argparse.Namespace) -> int:
+    # Parsing and rendering live in repro.serving.queries, shared with
+    # the 'serve' daemon — that sharing is what the serve-vs-CLI
+    # differential suite relies on for byte-identical answers.
     chosen = [
         name
         for name, value in (
@@ -873,26 +938,20 @@ def _command_query(args: argparse.Namespace) -> int:
         raise ValueError(f"pick one of {', '.join(chosen)}")
     miner = load_snapshot(args.snapshot, backend=args.backend)
     if args.support is not None:
-        lines = [str(miner.support_of(_parse_query_items(args.support, miner)))]
-    elif args.top is not None:
-        lines = [
-            " ".join(str(label) for label in labels) + f" ({supp})"
-            for labels, supp in miner.top_k(args.top, smin=args.smin)
-        ]
-    else:
-        if args.supersets is not None:
-            items = _parse_query_items(args.supersets, miner)
-            family = miner.supersets_of(items, smin=args.smin)
-        else:
-            family = miner.closed_sets(args.smin)
-        ordered = sorted(
-            family.items(),
-            key=lambda e: (-e[1], [str(label) for label in e[0]]),
+        lines = query_lines(
+            miner, "support_of", items=parse_items(args.support, miner)
         )
-        lines = [
-            " ".join(str(label) for label in labels) + f" ({supp})"
-            for labels, supp in ordered
-        ]
+    elif args.top is not None:
+        lines = query_lines(miner, "top_k", k=args.top, smin=args.smin)
+    elif args.supersets is not None:
+        lines = query_lines(
+            miner,
+            "supersets_of",
+            items=parse_items(args.supersets, miner),
+            smin=args.smin,
+        )
+    else:
+        lines = query_lines(miner, "closed_sets", smin=args.smin)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write("\n".join(lines) + ("\n" if lines else ""))
@@ -1008,6 +1067,37 @@ def _command_recover(args: argparse.Namespace) -> int:
             print(f"compacted {os.path.basename(path)}")
     store.close(compact=False)
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    # Deferred: the daemon (and its asyncio import) is only paid for by
+    # the verb that runs it, never by one-shot mine/query invocations.
+    from .serving import QueryServer
+
+    server = QueryServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
+        request_memory_limit_mb=args.request_memory_limit,
+        retry_after=args.retry_after,
+        poll_interval=args.poll_interval,
+        backend=args.backend,
+    )
+
+    def ready(host: str, port: int) -> None:
+        # stderr, like every other status line: stdout stays free for
+        # machine consumers even when the daemon is piped.
+        print(
+            f"# serving {args.store} on http://{host}:{port}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return server.run(ready=ready)
 
 
 def _command_top(args: argparse.Namespace) -> int:
@@ -1154,6 +1244,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_ingest(args)
         if args.command == "recover":
             return _command_recover(args)
+        if args.command == "serve":
+            return _command_serve(args)
         if args.command == "top":
             return _command_top(args)
         if args.command == "trace":

@@ -65,7 +65,7 @@ from typing import (
 
 from ..data import itemset
 from ..kernels import resolve_backend
-from ..obs import resolve_probe
+from ..obs import SIZE_BUCKETS, resolve_probe
 from ..runtime import RunGuard, checker
 from ..stats import OperationCounters
 from .prefix_tree import PrefixTree
@@ -371,10 +371,18 @@ class IncrementalMiner:
                         step=self._n_transactions,
                     )
                 else:
-                    self._tree = self._pending.build_tree(
+                    pending = self._pending
+                    self._tree = pending.build_tree(
                         self.counters, self._n_transactions
                     )
                     self._pending = None
+                    # Lazy-decode audit: header-only queries must keep
+                    # this histogram empty (tests/serving pin count 0).
+                    self._obs.observe(
+                        "serving.rows_decoded",
+                        pending.n_sets,
+                        buckets=SIZE_BUCKETS,
+                    )
         return self._tree
 
     def _ensure_flat(self) -> Dict[int, int]:
@@ -384,8 +392,14 @@ class IncrementalMiner:
                 if self._tree is not None:
                     self._flat = dict(self._tree.report(1))
                 else:
-                    self._flat = self._pending.build_flat()
+                    pending = self._pending
+                    self._flat = pending.build_flat()
                     self._pending = None
+                    self._obs.observe(
+                        "serving.rows_decoded",
+                        pending.n_sets,
+                        buckets=SIZE_BUCKETS,
+                    )
                 # Fresh key order: the packed mirror is stale.
                 self._packed_table = None
                 self._packed_len = 0
@@ -449,6 +463,7 @@ class IncrementalMiner:
             self._obs.count("serving.memo.hits")
             return hit
         self._obs.count("serving.memo.misses")
+        self._check()
         with self._obs.phase("serve.closed_sets", smin=smin):
             ranks = self._label_ranks()
             out = MappingProxyType(
@@ -490,6 +505,7 @@ class IncrementalMiner:
             return hit
         self._obs.count("serving.memo.misses")
         self._obs.count("serving.query.support")
+        self._check()
         with self._obs.phase("serve.support_of"):
             if self._tree is not None:
                 value = self._tree.superset_support(mask)
@@ -550,6 +566,10 @@ class IncrementalMiner:
             raise ValueError(f"k must be non-negative, got {k}")
         if smin < 1:
             raise ValueError(f"smin must be at least 1, got {smin}")
+        if k == 0:
+            # Nothing to rank: answer from the header alone, without
+            # materialising (or decoding) the repository.
+            return ()
         key = ("top_k", k, smin)
         hit = self._memo.get(key)
         if hit is not None:
@@ -557,6 +577,7 @@ class IncrementalMiner:
             return hit
         self._obs.count("serving.memo.misses")
         self._obs.count("serving.query.top_k")
+        self._check()
         with self._obs.phase("serve.top_k", k=k, smin=smin):
             pairs = self._family_pairs(smin)
             sizes = self._kernel.popcount_many([mask for mask, _ in pairs])
@@ -600,6 +621,7 @@ class IncrementalMiner:
             return hit
         self._obs.count("serving.memo.misses")
         self._obs.count("serving.query.supersets")
+        self._check()
         with self._obs.phase("serve.supersets", smin=smin):
             if self._tree is not None:
                 pairs = list(self._tree.supersets(mask, smin))

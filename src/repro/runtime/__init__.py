@@ -13,13 +13,17 @@ degrade a mining run:
   thread or handler;
 * :class:`FallbackPolicy` — degrade along an algorithm chain when a
   budget trips (driven by :func:`repro.mining.mine`);
-* :class:`FaultPlan` — deterministic fault injection for tests.
+* :class:`FaultPlan` — deterministic fault injection for tests;
+* :class:`AdmissionController` / :func:`request_guard` — bounded
+  concurrency accounting and the per-request guard adapter used by the
+  ``repro serve`` daemon.
 
 See ``docs/robustness.md`` for the full story.  This package is
 deliberately free of imports from the rest of ``repro`` so that the
 data loaders can use its exceptions without cycles.
 """
 
+from .admission import AdmissionController, Saturated, request_guard
 from .cancel import CancellationToken
 from .errors import (
     CorruptInputError,
@@ -37,6 +41,9 @@ __all__ = [
     "RunGuard",
     "ProgressInfo",
     "checker",
+    "AdmissionController",
+    "Saturated",
+    "request_guard",
     "CancellationToken",
     "FallbackPolicy",
     "DEFAULT_CHAIN",

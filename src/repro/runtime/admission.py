@@ -1,0 +1,200 @@
+"""Admission control: bounded concurrency and per-request guard budgets.
+
+The long-lived query daemon (:mod:`repro.serving.server`) must protect
+one resident repository from unbounded concurrent demand.  Two small,
+framework-free primitives do that here — they know nothing about HTTP
+or asyncio, so they are unit-testable and reusable by any future entry
+point (a gRPC front end, a thread-pooled CLI batch mode):
+
+* :class:`AdmissionController` — a thread-safe token counter with the
+  classic shape *N running + M waiting, reject beyond that*.  It does
+  not block; the caller owns the actual wait primitive (the server
+  pairs it with an :class:`asyncio.Semaphore`).  :meth:`admit` raises
+  :class:`Saturated` — carrying the ``Retry-After`` hint — the moment
+  the bounded queue is full, which is what turns overload into fast
+  429/503 responses instead of a latency collapse.
+* :func:`request_guard` — the guard-per-request adapter: wraps one
+  query in a fresh :class:`~repro.runtime.RunGuard` (wall-clock /
+  memory budget, ``stride=1`` so every poll is a real check), installs
+  it as the miner's cooperative check hook for the duration, and
+  always restores the previous hook.  The guard's first check runs
+  *before* the query, so an already-exhausted budget trips with the
+  store untouched — the admission-control property the server tests
+  pin.
+
+Like the rest of :mod:`repro.runtime`, this module imports nothing from
+the rest of ``repro``; the miner is duck-typed (``_check`` hook,
+optional ``counters``).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+from .guard import RunGuard, checker
+
+__all__ = ["Saturated", "AdmissionController", "request_guard"]
+
+
+class Saturated(RuntimeError):
+    """Raised by :meth:`AdmissionController.admit` when the queue is full.
+
+    ``retry_after`` is the server's backoff hint in seconds (the HTTP
+    ``Retry-After`` header value).
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionController:
+    """Bounded *running + waiting* request accounting (non-blocking).
+
+    ``max_inflight`` requests may run concurrently and ``max_queue``
+    more may wait for a slot; an :meth:`admit` beyond that raises
+    :class:`Saturated` immediately.  The controller only counts — the
+    caller provides the wait primitive — so it composes with threads
+    and event loops alike.  All methods are thread-safe.
+
+    Lifecycle per request::
+
+        controller.admit()        # may raise Saturated -> 429
+        try:
+            ...wait for a slot... # caller's semaphore
+            controller.start()    # waiting -> running
+            ...serve...
+        finally:
+            controller.release()  # admit()'s token, wherever it got to
+    """
+
+    __slots__ = (
+        "max_inflight",
+        "max_queue",
+        "retry_after",
+        "_lock",
+        "_inflight",
+        "_waiting",
+        "_admitted",
+        "_rejected",
+    )
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be at least 1, got {max_inflight}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be non-negative, got {max_queue}")
+        if retry_after <= 0:
+            raise ValueError(f"retry_after must be positive, got {retry_after}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._waiting = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    def admit(self) -> None:
+        """Claim a slot in the bounded queue or raise :class:`Saturated`."""
+        with self._lock:
+            if self._inflight + self._waiting >= self.max_inflight + self.max_queue:
+                self._rejected += 1
+                raise Saturated(
+                    f"saturated: {self._inflight} running and "
+                    f"{self._waiting} waiting (limits: {self.max_inflight} "
+                    f"inflight + {self.max_queue} queued); retry in "
+                    f"{self.retry_after:g}s",
+                    self.retry_after,
+                )
+            self._waiting += 1
+            self._admitted += 1
+
+    def start(self) -> None:
+        """Move one admitted request from *waiting* to *running*."""
+        with self._lock:
+            if self._waiting < 1:
+                raise RuntimeError("start() without a matching admit()")
+            self._waiting -= 1
+            self._inflight += 1
+
+    def release(self) -> None:
+        """Return the token claimed by :meth:`admit`, from either state."""
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+            elif self._waiting > 0:
+                # The caller bailed (e.g. a cancelled wait) before start().
+                self._waiting -= 1
+            else:
+                raise RuntimeError("release() without a matching admit()")
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time counts for ``/healthz`` and tests."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "waiting": self._waiting,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+            }
+
+    def __repr__(self) -> str:
+        state = self.snapshot()
+        return (
+            f"AdmissionController(inflight={state['inflight']}/"
+            f"{self.max_inflight}, waiting={state['waiting']}/"
+            f"{self.max_queue})"
+        )
+
+
+@contextmanager
+def request_guard(
+    miner=None,
+    timeout: Optional[float] = None,
+    memory_limit_mb: Optional[float] = None,
+    probe=None,
+):
+    """Run one request under a fresh :class:`RunGuard` budget.
+
+    Yields the guard (or ``None`` when no budget is configured — the
+    adapter then costs nothing).  While the context is active the guard
+    is installed as ``miner._check``, the cooperative hook every query
+    verb and ingest loop polls, and the previous hook is restored on
+    the way out no matter how the request ends.  The first check fires
+    *before* the body runs, so a zero/expired budget trips with the
+    repository untouched.
+
+    The caller must serialise requests against one miner (the server
+    holds a per-snapshot lock): the hook is per-miner state, not
+    per-thread.
+    """
+    if timeout is None and memory_limit_mb is None:
+        yield None
+        return
+    guard = RunGuard(
+        timeout=timeout,
+        memory_limit_mb=memory_limit_mb,
+        stride=1,
+        probe=probe,
+    )
+    previous = None
+    if miner is not None:
+        previous = miner._check
+        miner._check = checker(guard, getattr(miner, "counters", None))
+    try:
+        guard.check()
+        yield guard
+    finally:
+        if miner is not None:
+            miner._check = previous
+        guard.finish()

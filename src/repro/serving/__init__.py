@@ -23,6 +23,12 @@ into a mine-once, serve-many system:
 * :mod:`~repro.serving.health` — :func:`compute_health`, the read-only
   :class:`HealthReport` assembled from a store's flight-recorder tail,
   WAL and snapshot generations (``repro top`` on the CLI).
+* :mod:`~repro.serving.queries` — the canonical query-verb parsing and
+  rendering shared by ``repro query`` and the daemon (what makes their
+  answers byte-identical).
+* :mod:`~repro.serving.server` — :class:`QueryServer`, the long-lived
+  HTTP/JSON daemon with hot snapshot swap and admission control
+  (``repro serve`` on the CLI).
 
 The query surface itself (``closed_sets``, ``support_of``, ``top_k``,
 ``supersets_of``, memoization) lives on ``IncrementalMiner``, re-exported
@@ -32,6 +38,7 @@ here for convenience.
 from ..core.incremental import IncrementalMiner
 from .build import build_miner_parallel, merge_miners
 from .health import HealthReport, compute_health
+from .queries import QUERY_VERBS, parse_items, query_lines
 from .snapshot import (
     SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
@@ -44,6 +51,17 @@ from .snapshot import (
 )
 from .streaming import CRASH_POINTS, RecoveryReport, StreamingMiner
 from .wal import WalError, WriteAheadLog, repair_wal, retry_io, scan_wal
+
+
+def __getattr__(name):
+    # The daemon drags asyncio along; every one-shot import of
+    # ``repro`` (CLI mine/query runs, workers) should not pay for it.
+    if name == "QueryServer":
+        from .server import QueryServer
+
+        return QueryServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "IncrementalMiner",
@@ -62,6 +80,10 @@ __all__ = [
     "CRASH_POINTS",
     "HealthReport",
     "compute_health",
+    "QueryServer",
+    "QUERY_VERBS",
+    "parse_items",
+    "query_lines",
     "WriteAheadLog",
     "WalError",
     "scan_wal",

@@ -110,15 +110,21 @@ def test_null_probe_overhead_is_below_five_percent(table1_db):
     # Price one hook call, then bound total hook cost per run against
     # the cheapest real mining run.  Even a microsecond-scale hook rate
     # times MAX_HOOKS_PER_RUN sits orders of magnitude below 5%.
+    # Both sides are best-of-N: a GC pause or scheduler slice inside a
+    # single pricing loop otherwise tips the (deliberately tight) bound
+    # on fast machines where a whole mining run is ~0.1ms.
     probe = CountingNullProbe()
-    rounds = 20_000
-    started = time.perf_counter()
-    for _ in range(rounds):
-        with probe.phase("mine"):
-            pass
-        probe.count("x")
-        probe.record_counters(None)
-    hook_seconds = (time.perf_counter() - started) / (rounds * 3)
+    rounds = 4_000
+    hook_seconds = None
+    for _ in range(5):
+        started = time.perf_counter()
+        for _ in range(rounds):
+            with probe.phase("mine"):
+                pass
+            probe.count("x")
+            probe.record_counters(None)
+        elapsed = (time.perf_counter() - started) / (rounds * 3)
+        hook_seconds = min(elapsed, hook_seconds or elapsed)
 
     best_run = min(
         _timed(lambda: mine(table1_db, 3, algorithm="ista")) for _ in range(5)

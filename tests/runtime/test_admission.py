@@ -1,0 +1,143 @@
+"""Admission control: the bounded counter and the per-request guard."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.incremental import IncrementalMiner
+from repro.runtime import (
+    AdmissionController,
+    MiningTimeout,
+    Saturated,
+    request_guard,
+)
+
+
+class TestAdmissionController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(retry_after=0)
+
+    def test_lifecycle_counts(self):
+        controller = AdmissionController(max_inflight=2, max_queue=1)
+        controller.admit()
+        assert controller.snapshot() == {
+            "inflight": 0, "waiting": 1, "admitted": 1, "rejected": 0,
+        }
+        controller.start()
+        assert controller.snapshot()["inflight"] == 1
+        assert controller.snapshot()["waiting"] == 0
+        controller.release()
+        assert controller.snapshot() == {
+            "inflight": 0, "waiting": 0, "admitted": 1, "rejected": 0,
+        }
+
+    def test_saturation_raises_with_retry_after(self):
+        controller = AdmissionController(
+            max_inflight=1, max_queue=1, retry_after=3.5
+        )
+        controller.admit()
+        controller.admit()
+        with pytest.raises(Saturated) as caught:
+            controller.admit()
+        assert caught.value.retry_after == 3.5
+        assert "saturated" in str(caught.value)
+        assert controller.snapshot()["rejected"] == 1
+        # Freeing one token re-opens the queue.
+        controller.release()
+        controller.admit()
+
+    def test_release_before_start_returns_waiting_token(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        controller.admit()
+        controller.release()  # a cancelled wait never reached start()
+        assert controller.snapshot()["waiting"] == 0
+        controller.admit()  # slot genuinely free again
+
+    def test_unmatched_calls_are_errors(self):
+        controller = AdmissionController()
+        with pytest.raises(RuntimeError):
+            controller.start()
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_thread_safety_under_contention(self):
+        controller = AdmissionController(max_inflight=4, max_queue=4)
+        outcomes = []
+
+        def worker():
+            try:
+                controller.admit()
+            except Saturated:
+                outcomes.append("rejected")
+                return
+            controller.start()
+            controller.release()
+            outcomes.append("served")
+
+        threads = [threading.Thread(target=worker) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        snapshot = controller.snapshot()
+        assert snapshot["inflight"] == 0 and snapshot["waiting"] == 0
+        assert len(outcomes) == 32
+        assert snapshot["admitted"] == outcomes.count("served")
+        assert snapshot["rejected"] == outcomes.count("rejected")
+
+
+def _tiny_miner():
+    miner = IncrementalMiner()
+    miner.extend([["a", "b"], ["b", "c"], ["a", "b", "c"]])
+    return miner
+
+
+class TestRequestGuard:
+    def test_no_budget_is_free(self):
+        miner = _tiny_miner()
+        before = miner._check
+        with request_guard(miner) as guard:
+            assert guard is None
+            assert miner._check is before
+        assert miner._check is before
+
+    def test_hook_installed_and_restored(self):
+        miner = _tiny_miner()
+        before = miner._check
+        with request_guard(miner, timeout=60.0) as guard:
+            assert guard is not None
+            assert miner._check is not before
+            assert dict(miner.closed_sets(2))  # polls the guard, passes
+        assert miner._check is before
+
+    def test_expired_budget_trips_before_any_work(self):
+        miner = _tiny_miner()
+        before = miner._check
+        ran = []
+        with pytest.raises(MiningTimeout):
+            with request_guard(miner, timeout=0.0):
+                ran.append(True)  # pragma: no cover - must not execute
+        assert not ran
+        assert miner._check is before
+
+    def test_hook_restored_on_body_exception(self):
+        miner = _tiny_miner()
+        before = miner._check
+        with pytest.raises(RuntimeError):
+            with request_guard(miner, timeout=60.0):
+                raise RuntimeError("body failed")
+        assert miner._check is before
+
+    def test_without_miner_still_enforces_budget(self):
+        with pytest.raises(MiningTimeout):
+            with request_guard(timeout=0.0):
+                pass  # pragma: no cover - must not execute
+        with request_guard(timeout=60.0) as guard:
+            guard.check()

@@ -244,3 +244,51 @@ class TestTopCli:
         code = main(["top", str(tmp_path / "nowhere")])
         assert code == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestTopWatch:
+    """The --watch loop: fake-clock iteration, re-render, clean SIGINT."""
+
+    def test_watch_rerenders_on_store_change_and_exits_on_interrupt(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import shutil
+        import time as time_module
+
+        from repro.serving.streaming import _list_snapshots
+
+        store = _run_store(tmp_path / "store")
+        store.close()
+        directory = str(tmp_path / "store")
+        covered, newest = _list_snapshots(directory)[-1]
+        generations_before = len(_list_snapshots(directory))
+        sleeps = []
+
+        def fake_sleep(seconds):
+            # Iteration 1: a new snapshot generation lands between
+            # renders (what a live compacting writer does).  Iteration
+            # 2: the operator hits Ctrl-C.
+            sleeps.append(seconds)
+            if len(sleeps) == 1:
+                shutil.copyfile(
+                    newest,
+                    os.path.join(
+                        directory, f"snapshot-{covered + 5:012d}.rsnp"
+                    ),
+                )
+            else:
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(time_module, "sleep", fake_sleep)
+        assert main(["top", directory, "--watch", "0.25", "--json"]) == 0
+        assert sleeps == [0.25, 0.25]
+
+        renders = [
+            json.loads(chunk)
+            for chunk in capsys.readouterr().out.split("\n\n")
+            if chunk.strip()
+        ]
+        assert len(renders) == 2  # initial render + one refresh
+        assert renders[0]["snapshot_generations"] == generations_before
+        assert renders[1]["snapshot_generations"] == generations_before + 1
+        assert renders[1]["snapshot_covered"] == covered + 5

@@ -1,0 +1,460 @@
+"""The serve daemon: differential, hot-swap soak, admission, lifecycle.
+
+The archetype deliverable of the serving daemon is its harness:
+
+* an **in-process client** (:class:`ServeHarness`) that runs the real
+  asyncio server on a private event-loop thread and speaks real HTTP
+  to it, so every test exercises the production network path;
+* a **serve-vs-CLI differential** suite proving each endpoint's answer
+  byte-identical to the one-shot ``repro-mine query`` on the same
+  snapshot, for every query verb and kernel backend;
+* a **concurrent-swap soak**: client threads hammer ``/top_k`` while a
+  writer produces new snapshot generations and the server hot-swaps
+  them — every response must match the canonical answer of exactly the
+  generation it claims, and ``serve.swap.count`` must equal the
+  generations produced;
+* **admission control**: an exhausted per-request budget answers 503
+  with ``Retry-After`` and provably leaves the store untouched; a full
+  bounded queue answers 429.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.cli import EXIT_USER_ERROR, main
+from repro.kernels import available_backends
+from repro.serving import QueryServer, StreamingMiner, load_snapshot
+from repro.serving.queries import QUERY_VERBS, query_lines
+from repro.serving.streaming import _list_snapshots
+
+TRANSACTIONS = [
+    [1, 2, 3],
+    [1, 2],
+    [2, 3],
+    [1, 3],
+    [1, 2, 3, 4],
+    [2, 4],
+    [3, 4],
+    [1, 2],
+    [4, 5],
+    [2, 3, 4],
+]
+
+EXTRA_ROUNDS = [
+    [[1, 2, 5], [2, 5], [1, 5]],
+    [[3, 4, 5], [1, 2, 3], [2, 3, 5]],
+    [[1, 4], [2, 4, 5], [1, 2, 3, 4]],
+]
+
+
+def build_store(path, transactions=TRANSACTIONS):
+    """Ingest ``transactions`` and close: one snapshot generation on disk."""
+    store = StreamingMiner.open(str(path), batch_records=4)
+    for row in transactions:
+        store.ingest(row)
+    store.close()
+    return str(path)
+
+
+def newest_snapshot(store):
+    covered, path = _list_snapshots(store)[-1]
+    return covered, path
+
+
+def store_state(directory):
+    """(relative path, size, mtime_ns) of every file, recursively."""
+    state = []
+    for root, _, names in os.walk(directory):
+        for name in names:
+            path = os.path.join(root, name)
+            stat = os.stat(path)
+            state.append(
+                (os.path.relpath(path, directory), stat.st_size, stat.st_mtime_ns)
+            )
+    return sorted(state)
+
+
+class ServeHarness:
+    """Run a :class:`QueryServer` on a private event-loop thread.
+
+    The in-process test client of the suite: ``get()`` speaks real
+    HTTP/1.1 over a real socket to the real asyncio server, and error
+    statuses are returned (not raised) so admission tests can assert on
+    them directly.
+    """
+
+    def __init__(self, server: QueryServer) -> None:
+        self.server = server
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+
+    def __enter__(self) -> "ServeHarness":
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(self.server.start(), self.loop).result(30)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop).result(30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10)
+        self.loop.close()
+
+    @property
+    def base(self) -> str:
+        return f"http://127.0.0.1:{self.server.port}"
+
+    def get(self, path, timeout=30):
+        """One GET; returns ``(status, headers, body)`` even on 4xx/5xx."""
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=timeout) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def get_json(self, path, timeout=30):
+        status, headers, body = self.get(path, timeout=timeout)
+        return status, headers, json.loads(body)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return build_store(tmp_path / "store")
+
+
+@pytest.fixture
+def harness(store):
+    with ServeHarness(QueryServer(store, poll_interval=30.0)) as handle:
+        yield handle
+
+
+#: verb -> (CLI argv tail after the snapshot path, endpoint URL,
+#: expected non-default payload fields).
+_DIFFERENTIAL = {
+    "closed_sets": (["-s", "2"], "/closed_sets?smin=2", {"smin": 2}),
+    "top_k": (
+        ["--top", "5", "-s", "2"],
+        "/top_k?k=5&smin=2",
+        {"smin": 2, "k": 5},
+    ),
+    "supersets_of": (
+        ["--supersets", "2,3"],
+        "/supersets_of?items=2,3",
+        {"items": "2,3"},
+    ),
+    "support_of": (
+        ["--support", "1,2"],
+        "/support_of?items=1,2",
+        {"items": "1,2"},
+    ),
+}
+
+
+class TestDifferential:
+    """Every endpoint byte-equals one-shot ``repro query``, by construction."""
+
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("verb", QUERY_VERBS)
+    def test_endpoint_byte_equals_cli(self, store, capsys, verb, backend):
+        covered, snap_path = newest_snapshot(store)
+        cli_tail, url, fields = _DIFFERENTIAL[verb]
+        assert main(["query", snap_path, "--backend", backend] + cli_tail) == 0
+        cli_out = capsys.readouterr().out
+        assert cli_out, "the CLI answer must not be empty"
+
+        with ServeHarness(
+            QueryServer(store, backend=backend, poll_interval=30.0)
+        ) as handle:
+            status, _, body = handle.get(url)
+        assert status == 200
+
+        expected = {
+            "verb": verb,
+            "store": store,
+            "generation": covered,
+            "snapshot": os.path.basename(snap_path),
+            "smin": 1,
+            "lines": cli_out.splitlines(),
+        }
+        expected.update(fields)
+        assert body == json.dumps(
+            expected, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+
+class TestHotSwap:
+    def test_swap_serves_new_generation(self, tmp_path):
+        store = build_store(tmp_path / "store")
+        gen1, _ = newest_snapshot(store)
+        server = QueryServer(store, poll_interval=30.0)
+        with ServeHarness(server) as handle:
+            status, _, before = handle.get_json("/top_k?k=3")
+            assert status == 200 and before["generation"] == gen1
+
+            writer = StreamingMiner.open(store, batch_records=2)
+            for row in EXTRA_ROUNDS[0]:
+                writer.ingest(row)
+            writer.close()
+            gen2, _ = newest_snapshot(store)
+            assert gen2 > gen1
+
+            assert server.reload_if_changed() is True
+            assert server.reload_if_changed() is False  # idempotent
+            status, _, after = handle.get_json("/top_k?k=3")
+            assert status == 200 and after["generation"] == gen2
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["serve.swap.count"] == 1
+        assert counters["serve.load.count"] == 1
+
+    def test_failed_swap_keeps_old_generation(self, store):
+        server = QueryServer(store, poll_interval=30.0)
+        gen1, path = newest_snapshot(store)
+        with ServeHarness(server) as handle:
+            bogus = os.path.join(
+                store, f"snapshot-{gen1 + 7:012d}.rsnp"
+            )
+            with open(bogus, "wb") as fh:
+                fh.write(b"not a snapshot at all")
+            assert server.reload_if_changed() is False
+            status, _, payload = handle.get_json("/closed_sets")
+            assert status == 200 and payload["generation"] == gen1
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["serve.swap.failures"] == 1
+        assert "serve.swap.count" not in counters
+
+    def test_background_watcher_swaps_without_manual_reload(self, tmp_path):
+        store = build_store(tmp_path / "store")
+        gen1, _ = newest_snapshot(store)
+        server = QueryServer(store, poll_interval=0.05)
+        with ServeHarness(server) as handle:
+            writer = StreamingMiner.open(store, batch_records=2)
+            for row in EXTRA_ROUNDS[1]:
+                writer.ingest(row)
+            writer.close()
+            gen2, _ = newest_snapshot(store)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                status, _, payload = handle.get_json("/support_of?items=1")
+                assert status == 200
+                if payload["generation"] == gen2:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail(f"watcher never swapped {gen1} -> {gen2}")
+
+
+class TestSoak:
+    def test_queries_race_swaps_with_zero_torn_reads(self, tmp_path):
+        """200+ queries racing >=3 generation swaps; every response must
+        match the canonical answer of exactly the generation it claims."""
+        store = build_store(tmp_path / "store")
+        expected = {}
+
+        def record_expected():
+            covered, path = newest_snapshot(store)
+            expected[covered] = query_lines(load_snapshot(path), "top_k", k=8)
+            return covered
+
+        record_expected()
+        server = QueryServer(store, poll_interval=30.0)
+        stop = threading.Event()
+        mismatches = []
+        failures = []
+        counts = [0] * 4
+
+        with ServeHarness(server) as handle:
+            def client(index):
+                while not stop.is_set():
+                    try:
+                        status, _, payload = handle.get_json("/top_k?k=8")
+                    except Exception as exc:  # noqa: BLE001 - collected
+                        failures.append(repr(exc))
+                        return
+                    if status != 200:
+                        failures.append((status, payload))
+                        return
+                    want = expected.get(payload["generation"])
+                    if payload["lines"] != want:
+                        mismatches.append(payload)
+                    counts[index] += 1
+
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(len(counts))
+            ]
+            for thread in threads:
+                thread.start()
+
+            swaps = 0
+            for rows in EXTRA_ROUNDS:
+                writer = StreamingMiner.open(store, batch_records=2)
+                for row in rows:
+                    writer.ingest(row)
+                writer.close()
+                # Record the canonical answer BEFORE the flip so a
+                # response can never cite a generation we cannot check.
+                record_expected()
+                assert server.reload_if_changed() is True
+                swaps += 1
+                time.sleep(0.05)
+
+            deadline = time.monotonic() + 30
+            while sum(counts) < 250 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            stop.set()
+            for thread in threads:
+                thread.join(10)
+
+        assert not failures, failures[:3]
+        assert not mismatches, mismatches[:3]
+        assert sum(counts) >= 200, f"only {sum(counts)} queries completed"
+        assert swaps >= 3
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["serve.swap.count"] == swaps
+        assert len(expected) == swaps + 1
+
+
+class TestAdmission:
+    def test_budget_trip_answers_503_and_leaves_store_untouched(self, store):
+        before = store_state(store)
+        server = QueryServer(store, request_timeout=0.0, poll_interval=30.0)
+        with ServeHarness(server) as handle:
+            status, headers, payload = handle.get_json("/closed_sets?smin=2")
+            assert status == 503
+            assert "Retry-After" in headers
+            assert "budget" in payload["error"]
+        assert store_state(store) == before
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["serve.admission.tripped"] == 1
+        assert counters["serve.http.status.503"] == 1
+
+    def test_full_queue_answers_429_with_retry_after(self, store):
+        server = QueryServer(
+            store, max_inflight=1, max_queue=0, retry_after=2.5,
+            poll_interval=30.0,
+        )
+        release = threading.Event()
+        entered = threading.Event()
+        original = server._run_query
+
+        def slow_query(*args, **kwargs):
+            entered.set()
+            release.wait(30)
+            return original(*args, **kwargs)
+
+        server._run_query = slow_query
+        first = []
+        with ServeHarness(server) as handle:
+            blocker = threading.Thread(
+                target=lambda: first.append(handle.get_json("/top_k?k=2"))
+            )
+            blocker.start()
+            assert entered.wait(10)
+            status, headers, payload = handle.get_json("/top_k?k=2")
+            assert status == 429
+            assert headers["Retry-After"] == "2"  # round(2.5) banker's
+            assert "saturated" in payload["error"]
+            release.set()
+            blocker.join(30)
+        assert first and first[0][0] == 200
+        assert server._admission.snapshot()["rejected"] == 1
+
+    def test_generous_budget_serves_normally(self, store):
+        server = QueryServer(store, request_timeout=60.0, poll_interval=30.0)
+        with ServeHarness(server) as handle:
+            status, _, payload = handle.get_json("/closed_sets")
+            assert status == 200 and payload["lines"]
+
+
+class TestOperationalEndpoints:
+    def test_metrics_exposes_per_endpoint_latency(self, harness):
+        for path in ("/top_k?k=2", "/support_of?items=1", "/closed_sets"):
+            assert harness.get(path)[0] == 200
+        status, headers, body = harness.get("/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        for name in (
+            "repro_serve_http_top_k_seconds_count",
+            "repro_serve_http_support_of_seconds_count",
+            "repro_serve_http_closed_sets_seconds_count",
+            "repro_serve_http_requests_total",
+            "repro_serve_load_count_total",
+        ):
+            assert name in text, name
+
+    def test_healthz_reports_store_and_server_state(self, store, harness):
+        status, _, payload = harness.get_json("/healthz")
+        assert status == 200
+        assert payload["healthy"] is True
+        assert payload["directory"] == store
+        covered, path = newest_snapshot(store)
+        assert payload["server"]["generation"] == covered
+        assert payload["server"]["snapshot"] == os.path.basename(path)
+        admission = payload["server"]["admission"]
+        assert admission["inflight"] == 0 and admission["rejected"] == 0
+
+    def test_healthz_is_read_only(self, store, harness):
+        before = store_state(store)
+        assert harness.get("/healthz")[0] == 200
+        assert store_state(store) == before
+
+    def test_unknown_endpoint_404_and_bad_params_400(self, harness):
+        assert harness.get("/nope")[0] == 404
+        assert harness.get("/top_k")[0] == 400
+        assert harness.get("/top_k?k=many")[0] == 400
+        assert harness.get("/supersets_of")[0] == 400
+        status, _, payload = harness.get_json("/top_k?k=-1")
+        assert status == 400
+        assert "k must be non-negative" in payload["error"]
+
+
+class TestCliLifecycle:
+    def test_store_without_snapshot_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["serve", str(empty)]) == EXIT_USER_ERROR
+        assert "no snapshot generation" in capsys.readouterr().err
+
+    def test_bad_workers_exits_2(self, store, capsys):
+        assert main(["serve", store, "--workers", "0"]) == EXIT_USER_ERROR
+
+    def test_sigterm_shuts_down_cleanly(self, store):
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", store, "--port", "0"],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stderr.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            assert match, f"no address line, got {line!r}"
+            port = int(match.group(1))
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10
+            ) as resp:
+                assert resp.status == 200
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)

@@ -275,3 +275,50 @@ class TestDurableWrite:
         finally:
             builtins.open = original
         assert os.listdir(tmp_path) == []
+
+
+class TestLazyDecodeAudit:
+    """Header-only queries must decode zero family rows.
+
+    ``loads_snapshot`` defers row decoding to the first real repository
+    touch; the ``serving.rows_decoded`` histogram audits exactly when
+    that happens, so these tests pin the lazy path: header-answerable
+    queries keep the histogram empty, and the first repository touch
+    records the full family size exactly once.
+    """
+
+    def _restored_with_probe(self, seed=7):
+        from repro.obs import Probe
+
+        miner = _random_miner(seed)
+        probe = Probe()
+        restored = loads_snapshot(dumps_snapshot(miner), probe=probe)
+        return miner, restored, probe
+
+    def _decoded(self, probe):
+        return probe.metrics.snapshot()["histograms"].get(
+            "serving.rows_decoded"
+        )
+
+    def test_header_only_queries_decode_no_rows(self):
+        miner, restored, probe = self._restored_with_probe()
+        assert restored.support_of(["never-seen-item"]) == 0
+        assert restored.support_of([]) == miner.n_transactions
+        assert restored.top_k(0) == ()
+        assert restored.n_transactions == miner.n_transactions
+        assert restored.n_items == miner.n_items
+        assert restored.repository_size > 0  # pending header, not a decode
+        decoded = self._decoded(probe)
+        assert decoded is None or decoded["count"] == 0
+
+    def test_first_repository_touch_decodes_exactly_once(self):
+        miner, restored, probe = self._restored_with_probe(8)
+        n_sets = restored.repository_size
+        family = restored.closed_sets(1)
+        decoded = self._decoded(probe)
+        assert decoded["count"] == 1
+        assert decoded["sum"] == n_sets == len(family)
+        # Follow-up queries reuse the decoded repository: no more rows.
+        restored.top_k(3)
+        restored.support_of([next(iter(family))[0]])
+        assert self._decoded(probe)["count"] == 1
