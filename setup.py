@@ -1,5 +1,26 @@
-"""Shim for environments without the ``wheel`` package (offline installs)."""
+"""Build shim: declares the optional native kernel extension.
 
-from setuptools import setup
+Static metadata lives in ``pyproject.toml``; this file exists to add
+the C extension behind :mod:`repro.kernels.native` (declarative
+configuration cannot express ``optional=True`` extensions) and to keep
+environments without the ``wheel`` package installing (offline
+installs).  ``optional=True`` means a missing or broken compiler skips
+the extension instead of failing the install — the kernel registry
+then falls back to the ``numpy``/``bitint`` backends silently.
 
-setup()
+Build it in a source checkout with::
+
+    python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.kernels._native",
+            sources=["src/repro/kernels/_native.c"],
+            optional=True,
+        )
+    ]
+)

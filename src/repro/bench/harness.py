@@ -431,6 +431,8 @@ def run_kernel_microbench(
     seed: int = 20110322,
     repeats: int = 3,
     backends: Optional[Sequence[str]] = None,
+    cases: Optional[Sequence[str]] = None,
+    descent_masks: Optional[Sequence[int]] = None,
 ) -> Dict:
     """Time the batched kernel primitives on a dense wide fixture.
 
@@ -443,6 +445,16 @@ def run_kernel_microbench(
 
     Absolute seconds are machine-specific; the ``speedup`` ratios are
     not, which is what :func:`compare_kernel_baselines` gates on.
+
+    ``cases`` restricts timing to the named cases (unknown names raise
+    ``ValueError``); the result then carries the restriction under
+    ``"case_filter"`` so the baseline comparison knows the other cases
+    were deliberately not run.  ``descent_masks`` (a prepared
+    transaction stream, e.g. the yeast fig-5 workload) enables the
+    ``ista_descent`` case: the ``"bitint"`` row times the node-at-a-time
+    recursive prefix-tree update, every other backend row times the
+    level-batched bounded descent with that backend — so the
+    ``speedup:`` ratios read "batched descent over recursive baseline".
     """
     names = list(backends) if backends is not None else available_backends()
     masks = _dense_fixture(n_rows, n_bits, density, seed)
@@ -505,11 +517,26 @@ def run_kernel_microbench(
             "bound_filter": lambda: kernel.bound_filter(counts, probe, threshold),
         }
 
+    case_filter = list(cases) if cases is not None else None
+    if case_filter is not None:
+        known = set(cases_for(get_backend(names[0]))) | {"ista_descent"}
+        unknown = sorted(set(case_filter) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown case(s) {unknown}; known cases: {sorted(known)}"
+            )
+
+    def selected(case_dict):
+        if case_filter is None:
+            return case_dict
+        return {k: v for k, v in case_dict.items() if k in case_filter}
+
     cases: Dict[str, Dict[str, float]] = {}
     kernel_metrics: Dict[str, Dict[str, int]] = {}
     for name in names:
         kernel = get_backend(name)
-        for case, call in cases_for(kernel).items():
+        timed_cases = selected(cases_for(kernel))
+        for case, call in timed_cases.items():
             cases.setdefault(case, {})[name] = _time_call(call, repeats)
         # One instrumented pass per backend: the per-primitive call and
         # estimated-bytes counters for the exact case workload above.
@@ -518,13 +545,41 @@ def run_kernel_microbench(
         # untouched by counter churn.
         registry = MetricsRegistry()
         instrumented = InstrumentedBackend(kernel, registry)
-        for call in cases_for(instrumented).values():
+        for call in selected(cases_for(instrumented)).values():
             call()
         kernel_metrics[name] = {
             metric_name: value
             for metric_name, value in registry.snapshot()["counters"].items()
             if value
         }
+
+    if descent_masks is not None and (
+        case_filter is None or "ista_descent" in case_filter
+    ):
+        # The IsTa repository-update workload: recursive node-at-a-time
+        # descent as the "bitint" reference row, level-batched bounded
+        # descent (per backend) for the others — the ratio is the
+        # batched descent's win over the pre-existing baseline.
+        from ..core.prefix_tree import PrefixTree
+
+        stream = list(descent_masks)
+
+        def time_descent(batched, kernel):
+            def call():
+                tree = PrefixTree(kernel=kernel, batched=batched)
+                for tx_mask in stream:
+                    tree.add_transaction(tx_mask)
+
+            return _time_call(call, repeats)
+
+        descent_row: Dict[str, float] = {}
+        for name in names:
+            kernel = get_backend(name)
+            if name == "bitint":
+                descent_row[name] = time_descent(False, kernel)
+            else:
+                descent_row[name] = time_descent(True, kernel)
+        cases["ista_descent"] = descent_row
 
     for case, timings in cases.items():
         reference = timings.get("bitint")
@@ -544,7 +599,7 @@ def run_kernel_microbench(
         if speedups
         else None
     )
-    return {
+    result = {
         "fixture": {
             "n_rows": n_rows,
             "n_bits": n_bits,
@@ -557,6 +612,9 @@ def run_kernel_microbench(
         "kernel_metrics": kernel_metrics,
         "summary": {"geomean_speedup": geomean},
     }
+    if case_filter is not None:
+        result["case_filter"] = case_filter
+    return result
 
 
 def compare_kernel_baselines(
@@ -577,23 +635,47 @@ def compare_kernel_baselines(
     ``tolerance`` (relative) — only meaningful on the machine that
     recorded the baseline.  ``require_speedup`` additionally demands a
     fresh geometric-mean speedup of at least that factor, regardless of
-    what the baseline recorded.  ``per_case_floors`` maps case names to
-    absolute speedup floors every ``speedup:<backend>`` ratio of that
-    case must clear in the fresh run — hard promises for specific
-    primitives (e.g. the resident intersect family), independent of the
-    baseline and of ``tolerance``.
+    what the baseline recorded.  ``per_case_floors`` maps case names
+    (``"name"``, binding every ratio of the case; or
+    ``"name@backend"``, binding only that backend's ratio) to absolute
+    speedup floors the fresh run must clear — hard promises for
+    specific primitives (e.g. the resident intersect family),
+    independent of the baseline and of ``tolerance``.  Floors committed
+    in the baseline itself (a top-level ``"floors"`` mapping with the
+    same spec syntax) apply automatically on every comparison;
+    ``per_case_floors`` entries override a committed floor for the same
+    spec.
+
+    Baseline rows for backends the fresh run did not exercise (its
+    ``"backends"`` list — e.g. ``native`` on an install without the
+    extension) are skipped rather than failed: an absent optional
+    backend is a supported configuration, not a regression.  Whole
+    cases are likewise skipped when the fresh run carries a
+    ``"case_filter"`` naming a deliberate timing restriction — this
+    extends to floors (committed or passed) whose case was restricted
+    out of the fresh run.
     """
     if mode not in ("speedup", "seconds"):
         raise ValueError(f"mode must be 'speedup' or 'seconds', got {mode!r}")
     if tolerance < 0:
         raise ValueError(f"tolerance must be non-negative, got {tolerance}")
     failures: List[str] = []
+    fresh_backends = set(fresh.get("backends", []))
+    case_filter = fresh.get("case_filter")
+
+    def backend_of(key: str) -> str:
+        return key.split(":", 1)[1] if key.startswith("speedup:") else key
+
     for case, base_timings in baseline.get("cases", {}).items():
         fresh_timings = fresh.get("cases", {}).get(case)
         if fresh_timings is None:
+            if case_filter is not None and case not in case_filter:
+                continue
             failures.append(f"{case}: missing from fresh run")
             continue
         for key, base_value in base_timings.items():
+            if fresh_backends and backend_of(key) not in fresh_backends:
+                continue
             fresh_value = fresh_timings.get(key)
             if fresh_value is None:
                 failures.append(f"{case}/{key}: missing from fresh run")
@@ -625,12 +707,45 @@ def compare_kernel_baselines(
                 f"geomean speedup {geomean if geomean is None else f'{geomean:.2f}x'} "
                 f"below required {require_speedup:.2f}x"
             )
-    for case, floor in sorted((per_case_floors or {}).items()):
+    floors = dict(baseline.get("floors") or {})
+    floors.update(per_case_floors or {})
+    for spec, floor in sorted(floors.items()):
+        case, at, backend = spec.partition("@")
+        if (
+            case_filter is not None
+            and case not in case_filter
+            and case not in fresh.get("cases", {})
+        ):
+            # The case was deliberately restricted out of this run (the
+            # derived-family cases survive a restriction to their
+            # members, hence the second condition).
+            continue
         fresh_timings = fresh.get("cases", {}).get(case, {})
+        if at:
+            # Backend-qualified floor: binds exactly one ratio, and only
+            # when the fresh run exercised that backend at all — an
+            # optional backend missing from the install is a supported
+            # configuration, not a broken promise.
+            if fresh_backends and backend not in fresh_backends:
+                continue
+            key = f"speedup:{backend}"
+            value = fresh_timings.get(key)
+            if value is None:
+                failures.append(
+                    f"{case}/{key}: no speedup recorded "
+                    f"(required floor {floor:.2f}x)"
+                )
+            elif value < floor:
+                failures.append(
+                    f"{case}/{key}: speedup {value:.2f}x below required "
+                    f"floor {floor:.2f}x"
+                )
+            continue
         ratios = {
             key: value
             for key, value in fresh_timings.items()
             if key.startswith("speedup:")
+            and (not fresh_backends or backend_of(key) in fresh_backends)
         }
         if not ratios:
             failures.append(

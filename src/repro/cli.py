@@ -14,6 +14,7 @@ Subcommands::
     repro-mine serve    STORE [--port P] [--workers N] [--max-inflight N] [--request-timeout S]
     repro-mine top      STORE [--watch SECONDS] [--json]
     repro-mine trace    FILE [--render]
+    repro-mine backends [--json]
 
 ``mine`` reads a FIMI-format transaction file and prints (or writes)
 the closed frequent item sets, one per line with the support in
@@ -47,6 +48,12 @@ live store (without touching the writer) and on one that was killed.
 ``trace`` renders a JSON-lines trace (``--trace`` output) as a span
 tree.
 
+``backends`` reports the kernel backend registry for this install:
+which backends are built, whether the optional native extension is
+present, and how the current environment's selection (flag absent,
+``REPRO_KERNEL_BACKEND`` honoured) would resolve, with the reason.
+Always exits 0 — it is a diagnostic, not a health check.
+
 Telemetry streams (``--metrics -`` / ``--trace -``) go to **stderr**:
 stdout carries only the machine-readable mining results.
 """
@@ -67,7 +74,12 @@ from .bench.plotting import render_figure
 from .data.arff import read_arff, write_arff
 from .data.io import LoadReport, read_fimi, write_fimi
 from .datasets import DATASETS, load
-from .kernels import available_backends
+from .kernels import (
+    HAVE_NATIVE,
+    available_backends,
+    selectable_backends,
+    selection_report,
+)
 from .mining import ALGORITHMS, mine
 from .obs import Probe, resolve_probe
 from .parallel import mine_parallel
@@ -140,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     mine_parser.add_argument(
         "--backend",
         default=None,
-        choices=available_backends(),
+        choices=selectable_backends(),
         help="set-algebra kernel backend (default: REPRO_KERNEL_BACKEND "
         "environment variable, else 'bitint')",
     )
@@ -312,7 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot_parser.add_argument(
         "--backend",
         default=None,
-        choices=available_backends(),
+        choices=selectable_backends(),
         help="set-algebra kernel backend (default: REPRO_KERNEL_BACKEND "
         "environment variable, else 'bitint')",
     )
@@ -372,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--backend",
         default=None,
-        choices=available_backends(),
+        choices=selectable_backends(),
         help="set-algebra kernel backend for the query descent",
     )
 
@@ -600,7 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--backend",
         default=None,
-        choices=available_backends(),
+        choices=selectable_backends(),
         help="set-algebra kernel backend for the resident miners",
     )
 
@@ -635,6 +647,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="draw the span tree (parent/child by span ids; workers and "
         "folds merged via trace propagation appear under their parents)",
+    )
+
+    backends_parser = subparsers.add_parser(
+        "backends",
+        help="report the kernel backend registry: what is built, the "
+        "native extension status, and how this environment's selection "
+        "resolves (always exits 0)",
+    )
+    backends_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
     )
     return parser
 
@@ -1123,6 +1147,45 @@ def _command_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_backends(args: argparse.Namespace) -> int:
+    """Diagnostic dump of the kernel registry and selection resolution.
+
+    Exits 0 unconditionally: an install without the native extension is
+    a supported configuration, and scripts probing for it should parse
+    the output, not the exit code.
+    """
+    registered = available_backends()
+    selectable = selectable_backends()
+    report = selection_report()
+    payload = {
+        "registered": registered,
+        "selectable": selectable,
+        "native_built": HAVE_NATIVE,
+        "selection": report,
+    }
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(f"registered backends: {', '.join(registered)}")
+    fallback_only = sorted(set(selectable) - set(registered))
+    if fallback_only:
+        print(
+            f"selectable via fallback: {', '.join(fallback_only)} "
+            "(extension not built on this install)"
+        )
+    print(
+        "native extension: "
+        + ("built (repro.kernels._native importable)" if HAVE_NATIVE
+           else "not built — build with: python setup.py build_ext --inplace")
+    )
+    print(
+        f"selection: {report['requested']} (source: {report['source']}) "
+        f"-> {report['resolved']}"
+    )
+    print(f"  {report['reason']}")
+    return 0
+
+
 def _format_trace_record(record: dict, indent: int) -> str:
     attrs = record.get("attrs") or {}
     attr_text = " ".join(f"{key}={value}" for key, value in sorted(attrs.items()))
@@ -1250,6 +1313,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_top(args)
         if args.command == "trace":
             return _command_trace(args)
+        if args.command == "backends":
+            return _command_backends(args)
     except MiningInterrupted as exc:
         print(f"repro-mine: {exc}", file=sys.stderr)
         if exc.fallback_path:

@@ -78,6 +78,12 @@ def mine_cumulative(
         )
     counters = obs.ensure_counters(counters)
     check = checker(guard, counters)
+    # Per-row poll for the vectorised scan/apply loops below: the
+    # bitint branch polls once per stored set, and the interruption
+    # contract (docs/robustness.md) keeps that granularity backend-
+    # independent — but only a *guarded* run pays the per-row call;
+    # unguarded runs skip on a plain None test.
+    row_check = check if guard is not None else None
     transactions = prepared.transactions
     n_items = prepared.n_items
     batched = kernel.vectorized
@@ -111,16 +117,15 @@ def mine_cumulative(
                     if repo_table is None:
                         repo_table = kernel.pack(list(repository), n_items)
                     intersections = kernel.intersect_rows(repo_table, transaction)
-                    for scanned, (intersection, support) in enumerate(
-                        zip(intersections, repository.values())
+                    for intersection, support in zip(
+                        intersections, repository.values()
                     ):
                         # The repository can grow exponentially on
                         # unfavourable inputs; one transaction's scan
-                        # may then outlast the whole budget, so poll
-                        # the guard inside the loop too (amortised to
-                        # nothing on benign inputs).
-                        if not scanned & 0xFFF:
-                            check()
+                        # may then outlast the whole budget, so a
+                        # guarded run polls per row here too.
+                        if row_check is not None:
+                            row_check()
                         if intersection:
                             best = updates.get(intersection)
                             if best is None or support > best:
@@ -136,11 +141,9 @@ def mine_cumulative(
                                 updates[intersection] = support
                 if batched:
                     new_keys = []
-                    for applied, (intersection, support) in enumerate(
-                        updates.items()
-                    ):
-                        if not applied & 0xFFF:
-                            check()
+                    for intersection, support in updates.items():
+                        if row_check is not None:
+                            row_check()
                         if intersection not in repository:
                             new_keys.append(intersection)
                         repository[intersection] = support + 1

@@ -49,6 +49,7 @@ def mine_ista(
     prune: bool = True,
     prune_interval: int = 4,
     dedup: bool = False,
+    batched: bool = True,
     counters: Optional[OperationCounters] = None,
     guard: Optional[RunGuard] = None,
     backend=None,
@@ -77,6 +78,14 @@ def mine_ista(
         Off by default: the result is identical either way, but the
         per-transaction operation counts differ, and databases without
         duplicates pay a small grouping cost for nothing.
+    batched:
+        Run the repository intersection as the level-batched bounded
+        descent (the default): each tree level is tested against the
+        transaction in one ``intersect_count_many_bounded`` kernel call
+        and sentinel-flagged subtrees are skipped wholesale.
+        ``batched=False`` keeps the node-at-a-time recursion of the C
+        original; the mined family is byte-identical either way (see
+        :mod:`repro.core.prefix_tree`).
     counters:
         Optional :class:`~repro.stats.OperationCounters` to fill in.
     guard:
@@ -88,8 +97,9 @@ def mine_ista(
         attached to the exception as an anytime result.
     backend:
         Set-algebra kernel selection (:mod:`repro.kernels`).  The
-        prefix-tree merge itself is pointer-chasing and stays scalar
-        (see :mod:`repro.core.prefix_tree`); the backend batches the
+        backend executes the per-level bounded frontier test of the
+        batched descent (sentinel skips are surfaced as
+        ``ops.kernel.early_aborts`` when a probe is attached) and the
         remaining-occurrence sweep that seeds the pruning counters.
     probe:
         Optional :class:`repro.obs.Probe` for metrics and phase traces
@@ -110,7 +120,7 @@ def mine_ista(
         )
     if prune and prune_interval < 1:
         raise ValueError(f"prune_interval must be positive, got {prune_interval}")
-    tree = PrefixTree(counters, guard)
+    tree = PrefixTree(counters, guard, kernel=kernel, batched=batched)
     check = checker(guard, tree.counters)
     transactions = prepared.transactions
     n = len(transactions)
@@ -204,6 +214,7 @@ def _prune_tree(tree: PrefixTree, remaining: List[int], smin: int) -> None:
                     existing = parent.children.get(grandchild.item)
                     if existing is None:
                         parent.children[grandchild.item] = grandchild
+                        grandchild.parent = parent
                     else:
                         _merge_nodes(existing, grandchild, tree)
                 changed = True
@@ -228,9 +239,14 @@ def _merge_nodes(target: PrefixTreeNode, source: PrefixTreeNode, tree: PrefixTre
         if from_.supp > into.supp:
             into.supp = from_.supp
             into.step = from_.step
+        # Keep the subtree-item summary a superset of the merged
+        # subtree; splice ancestors retain stale bits, which only ever
+        # costs a missed batched-descent skip, never a wrong one.
+        into.below |= from_.below
         for grandchild in from_.children.values():
             existing = into.children.get(grandchild.item)
             if existing is None:
                 into.children[grandchild.item] = grandchild
+                grandchild.parent = into
             else:
                 stack.append((existing, grandchild))

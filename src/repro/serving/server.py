@@ -38,9 +38,17 @@ Design points:
   :func:`~repro.serving.health.compute_health` report as JSON.
 
 The HTTP layer is deliberately minimal — stdlib ``asyncio`` streams,
-``GET`` only, one request per connection — because the protocol
-surface is four read-only verbs plus two operational endpoints; see
+one request per connection — because the protocol surface is four
+read-only verbs plus two operational endpoints; see
 ``docs/serving.md`` for the endpoint catalogue and curl examples.
+Everything answers ``GET``; the two item-taking verbs
+(``/supersets_of``, ``/support_of``) additionally accept ``POST`` with
+a JSON body — an item list, or ``{"items": [...], "smin": N}`` — for
+clients whose item lists outgrow a query string.  A POST answers
+**byte-identically** to the equivalent GET: the body's item list is
+canonicalised to the same comma-separated spec the query parameter
+carries and routed through the identical code path (the differential
+suite pins that too).
 """
 
 from __future__ import annotations
@@ -77,6 +85,13 @@ _REASONS = {
 
 #: Compact, key-sorted JSON: responses are byte-deterministic.
 _JSON_KWARGS = dict(sort_keys=True, separators=(",", ":"))
+
+#: Largest accepted POST body.  The verbs take item lists, not data
+#: uploads — a megabyte of items is already far past any real query.
+_MAX_BODY_BYTES = 1 << 20
+
+#: The verbs that accept a POSTed JSON item list.
+_POST_VERBS = ("supersets_of", "support_of")
 
 
 class _HttpError(Exception):
@@ -347,13 +362,27 @@ class QueryServer:
             if len(parts) < 2:
                 return
             method, target = parts[0], parts[1]
-            # Drain the headers; the protocol is GET-only, bodies are
-            # not read.
+            # Drain the headers, keeping Content-Length: POST verbs
+            # carry a JSON body, everything else has none to read.
+            content_length = 0
             while True:
                 line = await asyncio.wait_for(reader.readline(), timeout=10.0)
                 if line in (b"\r\n", b"\n", b""):
                     break
-            status, ctype, body, extra = await self._respond(method, target)
+                name, _, value = line.decode("latin-1", "replace").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = -1
+            request_body = b""
+            if 0 < content_length <= _MAX_BODY_BYTES:
+                request_body = await asyncio.wait_for(
+                    reader.readexactly(content_length), timeout=10.0
+                )
+            status, ctype, body, extra = await self._respond(
+                method, target, request_body, content_length
+            )
             head = [
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
                 f"Content-Type: {ctype}",
@@ -375,16 +404,40 @@ class QueryServer:
                 pass
 
     async def _respond(
-        self, method: str, target: str
+        self, method: str, target: str, request_body: bytes = b"",
+        content_length: int = 0,
     ) -> Tuple[int, str, bytes, List[str]]:
         """Route one request; returns (status, content-type, body, headers)."""
         split = urlsplit(target)
         endpoint = split.path.strip("/")
         started = time.perf_counter()
         try:
-            if method != "GET":
-                raise _HttpError(405, f"method {method} not allowed; use GET")
-            if endpoint == "metrics":
+            if method == "POST" and endpoint in _POST_VERBS:
+                if content_length > _MAX_BODY_BYTES:
+                    raise _HttpError(
+                        400,
+                        f"POST body of {content_length} bytes exceeds the "
+                        f"{_MAX_BODY_BYTES}-byte limit",
+                    )
+                if content_length < 0:
+                    raise _HttpError(400, "malformed Content-Length header")
+                params = parse_qs(split.query, keep_blank_values=True)
+                items, smin = self._parse_post_body(request_body)
+                # Canonicalise to the exact spec string a GET would
+                # carry in ?items= — from here on the two methods run
+                # the same code and emit the same bytes.
+                params["items"] = [",".join(str(item) for item in items)]
+                if smin is not None:
+                    params["smin"] = [str(smin)]
+                result = await self._query(endpoint, params)
+            elif method != "GET":
+                allowed = (
+                    "GET or POST" if endpoint in _POST_VERBS else "GET"
+                )
+                raise _HttpError(
+                    405, f"method {method} not allowed; use {allowed}"
+                )
+            elif endpoint == "metrics":
                 body = self.metrics.to_prom().encode("utf-8")
                 result = (
                     200,
@@ -451,6 +504,46 @@ class QueryServer:
             "admission": self._admission.snapshot(),
         }
         return json.dumps(payload, **_JSON_KWARGS).encode("utf-8")
+
+    @staticmethod
+    def _parse_post_body(body: bytes) -> Tuple[List[object], Optional[int]]:
+        """Decode a POSTed item list: ``[...]`` or ``{"items": [...]}``.
+
+        Returns ``(items, smin)`` with ``smin`` ``None`` when the body
+        does not carry one.  Items must be JSON strings or integers —
+        the same universe a ``?items=`` query parameter can express.
+        """
+        shape = (
+            "POST body must be JSON: an item list, or an object "
+            "{\"items\": [...], \"smin\": N}"
+        )
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise _HttpError(400, shape) from None
+        smin: Optional[int] = None
+        if isinstance(payload, dict):
+            if "items" not in payload:
+                raise _HttpError(400, shape + " — 'items' is missing")
+            items = payload["items"]
+            smin = payload.get("smin")
+            if smin is not None and (
+                isinstance(smin, bool) or not isinstance(smin, int)
+            ):
+                raise _HttpError(
+                    400, f"POST 'smin' must be an integer, got {smin!r}"
+                )
+        else:
+            items = payload
+        if not isinstance(items, list) or not items:
+            raise _HttpError(400, shape + " — need a non-empty item list")
+        for item in items:
+            if isinstance(item, bool) or not isinstance(item, (str, int)):
+                raise _HttpError(
+                    400,
+                    f"POST items must be strings or integers, got {item!r}",
+                )
+        return items, smin
 
     @staticmethod
     def _int_param(

@@ -204,3 +204,93 @@ class TestKernelMicrobench:
             compare_kernel_baselines({}, {}, mode="wallclock")
         with pytest.raises(ValueError):
             compare_kernel_baselines({}, {}, tolerance=-1.0)
+
+
+class TestCaseFloors:
+    """Per-case speedup floors: CLI-passed and baseline-committed."""
+
+    @staticmethod
+    def record(**cases):
+        """A minimal microbench record with the given speedup ratios."""
+        return {
+            "backends": ["bitint", "numpy", "native"],
+            "cases": {
+                case: {f"speedup:{name}": value for name, value in ratios.items()}
+                for case, ratios in cases.items()
+            },
+            "summary": {"geomean_speedup": 1.0},
+        }
+
+    def test_bare_floor_binds_every_backend(self):
+        fresh = self.record(alpha={"numpy": 2.0, "native": 1.2})
+        assert not compare_kernel_baselines(
+            fresh, fresh, per_case_floors={"alpha": 1.1}
+        )
+        failures = compare_kernel_baselines(
+            fresh, fresh, per_case_floors={"alpha": 1.5}
+        )
+        assert len(failures) == 1
+        assert "speedup:native" in failures[0]
+
+    def test_backend_floor_binds_one_ratio(self):
+        fresh = self.record(alpha={"numpy": 1.2, "native": 4.0})
+        assert not compare_kernel_baselines(
+            fresh, fresh, per_case_floors={"alpha@native": 3.0}
+        )
+        failures = compare_kernel_baselines(
+            fresh, fresh, per_case_floors={"alpha@numpy": 3.0}
+        )
+        assert len(failures) == 1
+        assert "speedup:numpy" in failures[0]
+
+    def test_backend_floor_skipped_when_backend_absent(self):
+        fresh = self.record(alpha={"numpy": 1.2})
+        fresh["backends"] = ["bitint", "numpy"]
+        assert not compare_kernel_baselines(
+            fresh, fresh, per_case_floors={"alpha@native": 100.0}
+        )
+
+    def test_committed_floors_apply_automatically(self):
+        fresh = self.record(alpha={"native": 2.0})
+        baseline = self.record(alpha={"native": 2.0})
+        baseline["floors"] = {"alpha@native": 3.0}
+        failures = compare_kernel_baselines(baseline, fresh)
+        assert len(failures) == 1
+        assert "floor 3.00x" in failures[0]
+
+    def test_cli_floor_overrides_committed(self):
+        fresh = self.record(alpha={"native": 2.0})
+        baseline = self.record(alpha={"native": 2.0})
+        baseline["floors"] = {"alpha@native": 3.0}
+        assert not compare_kernel_baselines(
+            baseline, fresh, per_case_floors={"alpha@native": 1.5}
+        )
+
+    def test_floor_skipped_when_case_restricted_out(self):
+        baseline = self.record(
+            alpha={"native": 2.0}, beta={"native": 2.0}
+        )
+        baseline["floors"] = {"beta@native": 100.0, "beta": 100.0}
+        fresh = self.record(alpha={"native": 2.0})
+        fresh["case_filter"] = ["alpha"]
+        assert not compare_kernel_baselines(baseline, fresh)
+
+    def test_floor_on_derived_case_survives_restriction(self):
+        # A derived case (e.g. the intersection family) is present in a
+        # restricted fresh run even though its name is not in the
+        # case_filter — the floor must still bind.
+        baseline = self.record(family={"native": 4.0})
+        baseline["floors"] = {"family@native": 3.0}
+        fresh = self.record(family={"native": 2.0})
+        fresh["case_filter"] = ["member_a", "member_b"]
+        failures = compare_kernel_baselines(baseline, fresh)
+        assert len(failures) == 1
+        assert "floor 3.00x" in failures[0]
+
+    def test_missing_case_fails_floor_without_restriction(self):
+        fresh = self.record(alpha={"native": 2.0})
+        failures = compare_kernel_baselines(
+            fresh, fresh, per_case_floors={"ghost": 1.0}
+        )
+        assert len(failures) == 1
+        assert "no speedup recorded" in failures[0]

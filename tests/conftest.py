@@ -24,6 +24,43 @@ CLOSED_ALGORITHMS = (
 )
 
 
+def backend_params() -> List:
+    """Every selectable backend as a pytest param; unbuilt ones skip.
+
+    ``available_backends()`` silently omits optional backends whose
+    extension is absent, which would make a CI leg without a compiler
+    *look* like full coverage.  Parametrising over the selectable set
+    instead keeps the ``native`` test IDs in the report as explicit
+    SKIPPED rows whenever the extension is not built.
+    """
+    from repro.kernels import available_backends, selectable_backends
+
+    built = set(available_backends())
+    params = []
+    for name in selectable_backends():
+        marks = (
+            ()
+            if name in built
+            else (
+                pytest.mark.skip(
+                    reason=f"optional backend {name!r} not built on this install"
+                ),
+            )
+        )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
+
+
+def backend_kernel_params() -> List:
+    """:func:`backend_params`, but carrying the kernel instances."""
+    from repro.kernels import get_backend
+
+    return [
+        pytest.param(get_backend(param.values[0]), marks=param.marks, id=param.id)
+        for param in backend_params()
+    ]
+
+
 def make_random_db(
     seed: int,
     max_transactions: int = 10,

@@ -116,3 +116,20 @@ class TestPruningEffect:
         assert counters.nodes_created > 0
         assert counters.node_visits > 0
         assert counters.reports > 0
+
+
+class TestBatchedFlag:
+    """``batched=`` must be output-invisible end to end (with pruning)."""
+
+    @settings(deadline=None, max_examples=30)
+    @given(db=small_databases, smin=st.integers(1, 4))
+    def test_batched_flag_is_output_invisible(self, db, smin):
+        batched = mine_ista(db, smin, batched=True).as_frozensets()
+        recursive = mine_ista(db, smin, batched=False).as_frozensets()
+        assert batched == recursive
+
+    @pytest.mark.parametrize("backend", [None, "bitint", "numpy", "native"])
+    def test_backends_agree_under_both_descents(self, table1_db, backend):
+        reference = mine_ista(table1_db, 2, batched=False).as_frozensets()
+        got = mine_ista(table1_db, 2, batched=True, backend=backend)
+        assert got.as_frozensets() == reference

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 from repro.data import itemset
 from repro.core.prefix_tree import PrefixTree
 
+from ..conftest import backend_kernel_params
+
 # Item codes for the Figure 3 example: a=0, b=1, c=2, d=3, e=4.
 A, B, C, D, E = (1 << i for i in range(5))
 
@@ -209,3 +211,105 @@ class TestAgainstOracle:
         for smin in (1, 2, len(masks)):
             expected = dict(closed_frequent_bruteforce(db, smin))
             assert dict(tree.report(smin)) == expected
+
+
+class TestBatchedDescent:
+    """Level-batched bounded descent vs the node-at-a-time recursion.
+
+    The batched default must be *output-invisible*: identical trees
+    (preorder byte-for-byte), identical reports, identical node
+    creation — under every kernel backend.  The operation counters may
+    legitimately differ in one direction only: the recursion also
+    visits nodes created earlier in the same transaction's merge (all
+    provably exact no-ops), so the batched ``intersections`` /
+    ``support_updates`` never exceed the recursive ones.
+    """
+
+    masks_lists = st.lists(
+        st.integers(min_value=1, max_value=(1 << 12) - 1),
+        min_size=1,
+        max_size=30,
+    )
+
+    @staticmethod
+    def build_pair(masks, kernel=None):
+        from repro.stats import OperationCounters
+
+        batched_counters = OperationCounters()
+        recursive_counters = OperationCounters()
+        batched = PrefixTree(batched_counters, kernel=kernel, batched=True)
+        recursive = PrefixTree(recursive_counters, batched=False)
+        add_all(batched, masks)
+        add_all(recursive, masks)
+        return batched, recursive, batched_counters, recursive_counters
+
+    @pytest.mark.parametrize("kernel", backend_kernel_params())
+    @settings(deadline=None, max_examples=40)
+    @given(masks=masks_lists)
+    def test_trees_byte_identical(self, kernel, masks):
+        batched, recursive, _, _ = self.build_pair(masks, kernel)
+        assert list(batched.preorder()) == list(recursive.preorder())
+
+    @pytest.mark.parametrize("kernel", backend_kernel_params())
+    @settings(deadline=None, max_examples=40)
+    @given(masks=masks_lists)
+    def test_reports_identical(self, kernel, masks):
+        batched, recursive, _, _ = self.build_pair(masks, kernel)
+        for smin in (1, 2, max(1, len(masks) // 2)):
+            assert dict(batched.report(smin)) == dict(recursive.report(smin))
+
+    @settings(deadline=None, max_examples=40)
+    @given(masks=masks_lists)
+    def test_counter_relationship(self, masks):
+        _, _, batched, recursive = self.build_pair(masks)
+        assert batched.nodes_created == recursive.nodes_created
+        assert batched.intersections <= recursive.intersections
+        assert batched.support_updates <= recursive.support_updates
+
+    @settings(deadline=None, max_examples=40)
+    @given(masks=masks_lists)
+    def test_below_summaries_cover_subtrees(self, masks):
+        """Every node's ``below`` is a superset of its subtree's items.
+
+        The one-sided invariant the sentinel skip relies on: an
+        under-approximating summary could skip a subtree that matters,
+        an over-approximating one only costs a missed skip.
+        """
+        tree = PrefixTree(batched=True)
+        add_all(tree, masks)
+
+        def subtree_mask(node):
+            mask = 1 << node.item
+            for child in node.children.values():
+                mask |= subtree_mask(child)
+            return mask
+
+        stack = list(tree._root.children.values())
+        while stack:
+            node = stack.pop()
+            actual = subtree_mask(node)
+            assert actual & ~node.below == 0
+            stack.extend(node.children.values())
+
+    def test_batched_is_the_default(self):
+        assert PrefixTree()._batched is True
+
+    def test_sentinel_skips_surface_as_early_aborts(self):
+        """mine_ista + probe: the bounded frontier test lands sentinels."""
+        from repro.core.ista import mine_ista
+        from repro.data.database import TransactionDatabase
+        from repro.obs import Probe
+
+        # Two item clusters that never co-occur: after the first
+        # cluster populates the repository, every transaction from the
+        # second meets fully-disjoint subtrees, which the bounded
+        # kernel settles as sentinels.
+        rows = []
+        for _ in range(4):
+            rows += [[0, 1, 2, 3, 4], [0, 1, 2, 3], [1, 2, 3, 4]]
+            rows += [[8, 9, 10, 11, 12], [8, 9, 10, 11], [9, 10, 11, 12]]
+        db = TransactionDatabase.from_iterable(rows, item_order=list(range(13)))
+        probe = Probe()
+        mine_ista(db, 2, probe=probe)
+        metrics = probe.metrics.snapshot()
+        assert metrics["counters"]["ops.kernel.early_aborts"] > 0

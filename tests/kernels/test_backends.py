@@ -7,9 +7,12 @@ from hypothesis import strategies as st
 from repro.kernels import (
     BACKEND_ENV_VAR,
     DEFAULT_BACKEND,
+    HAVE_NATIVE,
     available_backends,
     get_backend,
     resolve_backend,
+    selectable_backends,
+    selection_report,
 )
 from repro.kernels.base import KernelBackend
 from repro.kernels.bitint import BitIntBackend, BitTable
@@ -61,6 +64,64 @@ class TestResolve:
         monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
         with pytest.raises(ValueError):
             resolve_backend(None)
+
+
+class TestNativeRegistry:
+    """The optional native backend: registration, fallback, reporting."""
+
+    def test_selectable_is_superset_of_available(self):
+        assert set(available_backends()) <= set(selectable_backends())
+
+    def test_native_always_selectable(self):
+        # The flag/env value 'native' must stay valid on every install,
+        # built extension or not — that is the graceful-degradation
+        # contract of the fallback chain.
+        assert "native" in selectable_backends()
+
+    def test_native_registered_iff_extension_built(self):
+        assert ("native" in available_backends()) == HAVE_NATIVE
+
+    def test_unbuilt_native_falls_back_to_numpy(self, monkeypatch):
+        """Simulate an install without the extension: silent fallback."""
+        from repro import kernels
+
+        monkeypatch.delitem(kernels._BACKENDS, "native", raising=False)
+        assert kernels.get_backend("native").name == "numpy"
+        assert kernels.resolve_backend("native").name == "numpy"
+        report = kernels.selection_report("native")
+        assert report["resolved"] == "numpy"
+        assert "fell back" in report["reason"]
+
+    def test_env_var_native_falls_back_when_unbuilt(self, monkeypatch):
+        from repro import kernels
+
+        monkeypatch.delitem(kernels._BACKENDS, "native", raising=False)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "native")
+        assert kernels.resolve_backend(None).name == "numpy"
+
+    def test_selection_report_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        report = selection_report()
+        assert report["requested"] == DEFAULT_BACKEND
+        assert report["source"] == "default"
+        assert report["resolved"] == DEFAULT_BACKEND
+
+    def test_selection_report_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        report = selection_report()
+        assert report["source"].startswith("environment")
+        assert report["resolved"] == "numpy"
+
+    def test_selection_report_unknown_name_never_raises(self):
+        report = selection_report("fortran")
+        assert report["resolved"] is None
+        assert "fortran" in report["reason"]
+
+    @pytest.mark.skipif(not HAVE_NATIVE, reason="native extension not built")
+    def test_native_backend_registered_and_slotted(self):
+        kernel = get_backend("native")
+        assert kernel.name == "native"
+        assert not hasattr(kernel, "__dict__")
 
 
 masks_strategy = st.lists(st.integers(min_value=0), min_size=0, max_size=12)
@@ -195,7 +256,7 @@ class TestSlots:
         from repro.core.prefix_tree import PrefixTreeNode
 
         node = PrefixTreeNode(1, 2, 3)
-        # 4 slots + object header: generously under 128 bytes, and far
+        # 6 slots + object header: generously under 128 bytes, and far
         # under the ~296 bytes a __dict__-backed instance would cost.
         assert sys.getsizeof(node) < 128
 
@@ -211,4 +272,7 @@ class TestSlots:
         after, _ = tracemalloc.get_traced_memory()
         tracemalloc.stop()
         per_node = (after - before) / len(nodes)
-        assert per_node < 200, f"{per_node:.0f} bytes/node — slots audit regressed"
+        # 6 slots (item/supp/step/children/parent/below) plus each
+        # node's empty children dict; a __dict__-backed node would sit
+        # well past 300 bytes here.
+        assert per_node < 240, f"{per_node:.0f} bytes/node — slots audit regressed"

@@ -22,6 +22,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kernels import available_backends, get_backend
+
+from ..conftest import backend_kernel_params
 from repro.kernels.base import BELOW_BOUND
 from repro.kernels.numpy_packed import PackedTable
 
@@ -54,7 +56,7 @@ def reference_bounded(masks, probe, smin):
 
 
 class TestBoundedContract:
-    @pytest.mark.parametrize("kernel", BACKENDS, ids=lambda k: k.name)
+    @pytest.mark.parametrize("kernel", backend_kernel_params())
     @given(workload=mask_workloads())
     @settings(max_examples=60, deadline=None)
     def test_many_matches_reference(self, kernel, workload):
@@ -62,7 +64,7 @@ class TestBoundedContract:
         got = kernel.intersect_count_many_bounded(masks, probe, n_bits, smin)
         assert (list(got[0]), list(got[1])) == reference_bounded(masks, probe, smin)
 
-    @pytest.mark.parametrize("kernel", BACKENDS, ids=lambda k: k.name)
+    @pytest.mark.parametrize("kernel", backend_kernel_params())
     @given(workload=mask_workloads())
     @settings(max_examples=60, deadline=None)
     def test_untriggered_bound_equals_unbounded(self, kernel, workload):
@@ -76,7 +78,7 @@ class TestBoundedContract:
             assert list(got[0]) == list(joints)
             assert list(got[1]) == list(supports)
 
-    @pytest.mark.parametrize("kernel", BACKENDS, ids=lambda k: k.name)
+    @pytest.mark.parametrize("kernel", backend_kernel_params())
     @given(workload=mask_workloads())
     @settings(max_examples=60, deadline=None)
     def test_table_form_matches_many_form(self, kernel, workload):
@@ -88,7 +90,7 @@ class TestBoundedContract:
             masks, probe, smin
         )
 
-    @pytest.mark.parametrize("kernel", BACKENDS, ids=lambda k: k.name)
+    @pytest.mark.parametrize("kernel", backend_kernel_params())
     @given(workload=mask_workloads(), data=st.data())
     @settings(max_examples=60, deadline=None)
     def test_rows_form_matches_reference_on_subset(self, kernel, workload, data):
@@ -169,7 +171,7 @@ def superset_workloads(draw):
 
 
 class TestSupersetMaxSupportBounded:
-    @pytest.mark.parametrize("kernel", BACKENDS, ids=lambda k: k.name)
+    @pytest.mark.parametrize("kernel", backend_kernel_params())
     @given(workload=superset_workloads())
     @settings(max_examples=80, deadline=None)
     def test_matches_reference(self, kernel, workload):
@@ -188,7 +190,7 @@ class TestSupersetMaxSupportBounded:
             == expected
         )
 
-    @pytest.mark.parametrize("kernel", BACKENDS, ids=lambda k: k.name)
+    @pytest.mark.parametrize("kernel", backend_kernel_params())
     @given(workload=superset_workloads())
     @settings(max_examples=40, deadline=None)
     def test_smin_one_matches_unbounded_on_positive_supports(self, kernel, workload):

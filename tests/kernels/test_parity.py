@@ -11,12 +11,12 @@ from repro.closure.verify import check_closed_family
 from repro.kernels import available_backends
 from repro.mining import ALGORITHMS, mine
 
-from ..conftest import make_random_db
+from ..conftest import backend_params, make_random_db
 
 SEEDS = range(6)
 
 
-@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("backend", backend_params())
 @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
 def test_backend_parity_random_dbs(algorithm, backend):
     for seed in SEEDS:
@@ -27,14 +27,14 @@ def test_backend_parity_random_dbs(algorithm, backend):
         assert got == reference, f"seed={seed} smin={smin}"
 
 
-@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("backend", backend_params())
 def test_backend_parity_verified_against_oracle(backend, table1_db):
     for smin in (1, 2, 3):
         result = mine(table1_db, smin, algorithm="ista", backend=backend)
         check_closed_family(table1_db, result, smin)
 
 
-@pytest.mark.parametrize("backend", available_backends())
+@pytest.mark.parametrize("backend", backend_params())
 @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
 def test_backend_parity_wide_dense(algorithm, backend):
     """Dense wide rows — the regime where the batched paths activate."""

@@ -130,6 +130,23 @@ class ServeHarness:
         status, headers, body = self.get(path, timeout=timeout)
         return status, headers, json.loads(body)
 
+    def post(self, path, payload, timeout=30):
+        """One POST; ``payload`` is JSON-encoded unless already bytes."""
+        data = payload if isinstance(payload, bytes) else json.dumps(
+            payload
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            self.base + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
 
 @pytest.fixture
 def store(tmp_path):
@@ -194,6 +211,52 @@ class TestDifferential:
         assert body == json.dumps(
             expected, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
+
+    @pytest.mark.parametrize(
+        "verb,get_url,payload",
+        [
+            ("supersets_of", "/supersets_of?items=2,3", {"items": [2, 3]}),
+            ("supersets_of", "/supersets_of?items=2,3", [2, 3]),
+            (
+                "supersets_of",
+                "/supersets_of?items=2,3&smin=2",
+                {"items": [2, 3], "smin": 2},
+            ),
+            ("support_of", "/support_of?items=1,2", {"items": [1, 2]}),
+            ("support_of", "/support_of?items=1,2", [1, 2]),
+        ],
+    )
+    def test_post_body_byte_equals_get(self, harness, verb, get_url, payload):
+        """A POSTed item list answers byte-identically to the GET form."""
+        get_status, _, get_body = harness.get(get_url)
+        post_status, _, post_body = harness.post(f"/{verb}", payload)
+        assert (get_status, post_status) == (200, 200)
+        assert post_body == get_body
+
+    def test_post_rejected_on_non_item_verbs(self, harness):
+        for path in ("/closed_sets", "/top_k?k=3", "/metrics", "/healthz"):
+            status, _, body = harness.post(path, {"items": [1]})
+            assert status == 405, path
+            assert b"use GET" in body
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"not json at all",
+            {"no_items": 1},
+            [],
+            {"items": []},
+            {"items": "2,3"},
+            {"items": [1.5]},
+            {"items": [True]},
+            {"items": [1], "smin": "two"},
+            {"items": [1], "smin": True},
+        ],
+    )
+    def test_post_bad_bodies_answer_400(self, harness, payload):
+        status, _, body = harness.post("/support_of", payload)
+        assert status == 400
+        assert b"error" in body
 
 
 class TestHotSwap:

@@ -152,3 +152,46 @@ class TestBenchCommand:
         args = parser.parse_args(["mine", "x.fimi", "-s", "3"])
         assert args.command == "mine"
         assert args.smin == 3
+
+
+class TestBackendsCommand:
+    def test_text_report_exits_zero(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "registered backends:" in out
+        assert "bitint" in out
+        assert "selection:" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        from repro.kernels import HAVE_NATIVE
+
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "bitint" in payload["registered"]
+        assert "native" in payload["selectable"]
+        assert payload["native_built"] == HAVE_NATIVE
+        assert payload["selection"]["resolved"] in payload["registered"]
+
+    def test_environment_selection_reported(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "environment (REPRO_KERNEL_BACKEND)" in out
+        assert "-> numpy" in out
+
+    def test_unknown_env_backend_still_exits_zero(self, capsys, monkeypatch):
+        # Diagnostic, not health check: a broken environment variable
+        # is exactly what the verb exists to explain.
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "fortran")
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "-> None" in out
+
+    def test_native_flag_accepted_everywhere(self, fimi_file, capsys):
+        # 'native' stays a valid --backend value even when the
+        # extension is not built (it resolves down the fallback chain).
+        assert main(["mine", fimi_file, "-s", "2", "--backend", "native"]) == 0
+        out = capsys.readouterr().out
+        assert "1 2 (3)" in out
